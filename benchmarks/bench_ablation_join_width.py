@@ -1,0 +1,120 @@
+"""Ablation (Section 2.3) — compensation cost versus number of joined tables.
+
+Delta compensation must evaluate ``2^t - 1`` subjoins for a ``t``-table
+join, which is why the paper's Fig. 9 focuses on queries joining more than
+three tables.  This bench measures the cached query with and without
+pruning for t = 2, 3, 4 over a chained star schema, showing the exponential
+subjoin count and that pruning flattens it.
+"""
+
+import pytest
+
+from repro import Database, ExecutionStrategy
+from repro.bench import STRATEGY_LABELS
+
+STRATEGIES = [
+    ExecutionStrategy.CACHED_NO_PRUNING,
+    ExecutionStrategy.CACHED_FULL_PRUNING,
+]
+
+_STATE = {}
+
+
+def get_db() -> Database:
+    """Chain: grand -> header -> item -> detail, MDs along every edge."""
+    if "db" in _STATE:
+        return _STATE["db"]
+    db = Database()
+    db.create_table("grand", [("gid", "INT"), ("region", "TEXT")], primary_key="gid")
+    db.create_table(
+        "header", [("hid", "INT"), ("gid", "INT"), ("year", "INT")], primary_key="hid"
+    )
+    db.create_table(
+        "item",
+        [("iid", "INT"), ("hid", "INT"), ("price", "FLOAT")],
+        primary_key="iid",
+    )
+    db.create_table(
+        "detail", [("did", "INT"), ("iid", "INT"), ("note", "TEXT")], primary_key="did"
+    )
+    db.add_matching_dependency("grand", "gid", "header", "gid")
+    db.add_matching_dependency("header", "hid", "item", "hid")
+    db.add_matching_dependency("item", "iid", "detail", "iid")
+    did = 0
+    for gid in range(40):
+        txn = db.begin()
+        db.insert("grand", {"gid": gid, "region": f"r{gid % 4}"}, txn=txn)
+        for h in range(5):
+            hid = gid * 5 + h
+            db.insert("header", {"hid": hid, "gid": gid, "year": 2013}, txn=txn)
+            for i in range(4):
+                iid = hid * 4 + i
+                db.insert(
+                    "item", {"iid": iid, "hid": hid, "price": float(i + 1)}, txn=txn
+                )
+                for _d in range(2):
+                    db.insert(
+                        "detail", {"did": did, "iid": iid, "note": "x"}, txn=txn
+                    )
+                    did += 1
+        txn.commit()
+    db.merge()
+    # Fresh business objects in every delta.
+    for gid in range(40, 44):
+        txn = db.begin()
+        db.insert("grand", {"gid": gid, "region": "rn"}, txn=txn)
+        hid = gid * 5
+        db.insert("header", {"hid": hid, "gid": gid, "year": 2014}, txn=txn)
+        iid = hid * 4
+        db.insert("item", {"iid": iid, "hid": hid, "price": 9.0}, txn=txn)
+        db.insert("detail", {"did": did, "iid": iid, "note": "y"}, txn=txn)
+        did += 1
+        txn.commit()
+    _STATE["db"] = db
+    return db
+
+
+QUERIES = {
+    2: (
+        "SELECT h.year AS y, SUM(i.price) AS s FROM header h, item i "
+        "WHERE h.hid = i.hid GROUP BY h.year"
+    ),
+    3: (
+        "SELECT g.region AS r, SUM(i.price) AS s FROM grand g, header h, item i "
+        "WHERE g.gid = h.gid AND h.hid = i.hid GROUP BY g.region"
+    ),
+    4: (
+        "SELECT g.region AS r, SUM(i.price) AS s, COUNT(*) AS n "
+        "FROM grand g, header h, item i, detail d "
+        "WHERE g.gid = h.gid AND h.hid = i.hid AND i.iid = d.iid "
+        "GROUP BY g.region"
+    ),
+}
+
+CELLS = [(t, s) for t in QUERIES for s in STRATEGIES]
+
+
+@pytest.mark.parametrize(
+    "tables,strategy", CELLS, ids=[f"t{t}-{s.value}" for t, s in CELLS]
+)
+def test_ablation_join_width(benchmark, figures, tables, strategy):
+    db = get_db()
+    query = db.parse(QUERIES[tables])
+    db.query(query, strategy=strategy)
+    benchmark.pedantic(lambda: db.query(query, strategy=strategy), rounds=3, iterations=1)
+    elapsed = benchmark.stats.stats.min
+    db.query(query, strategy=strategy)
+    prune = db.last_report.prune
+    report = figures.report(
+        "Ablation 2.3",
+        "compensation subjoins vs number of joined tables",
+        "2^t - 1 compensation subjoins without pruning; pruning keeps the "
+        "evaluated count near-constant",
+        ["tables", "strategy", "subjoins_total", "evaluated", "seconds"],
+    )
+    report.add_row(
+        tables, STRATEGY_LABELS[strategy], prune.combos_total, prune.evaluated, elapsed
+    )
+    assert prune.combos_total == 2**tables - 1
+    if strategy is ExecutionStrategy.CACHED_FULL_PRUNING:
+        assert prune.evaluated <= tables

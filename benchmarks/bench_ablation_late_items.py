@@ -1,0 +1,69 @@
+"""Ablation (Sections 3.2 / 5) — temporal-locality violations ("late items").
+
+The tid-range pruning is guaranteed *correct* regardless of the temporal
+soft-constraint, but its *success rate* depends on it: items inserted long
+after their header overlap the tid ranges of main and delta, keeping the
+cross subjoins alive.  This bench sweeps the late-item rate and reports
+pruning success and query time — the graceful-degradation story behind the
+paper's "if the temporal soft-constraint doesn't hold, the dynamic pruning
+will not be possible; in both cases the join pruning will be correct".
+"""
+
+import pytest
+
+from repro import Database, ExecutionStrategy
+from repro.workloads import ErpConfig, ErpWorkload
+
+FULL = ExecutionStrategy.CACHED_FULL_PRUNING
+LATE_RATES = [0.0, 0.1, 0.5]
+
+
+def build(late_rate: float):
+    db = Database()
+    workload = ErpWorkload(db, ErpConfig(seed=61, n_categories=15))
+    workload.insert_objects(400, merge_after=True)
+    workload.insert_objects(60)
+    # Cross-merge late items: additions to *already merged* business objects
+    # (a customer adds products to an old order, Section 3.2).  Their
+    # tid_Header values are old, so the Header_main x Item_delta tid ranges
+    # overlap and that subjoin becomes unprunable.
+    n_late = int(60 * workload.config.items_per_header * late_rate)
+    next_iid = 1_000_000
+    for k in range(n_late):
+        db.insert(
+            "Item",
+            {
+                "ItemID": next_iid + k,
+                "HeaderID": (k % 400) + 1,  # a merged header
+                "CategoryID": k % 15,
+                "FiscalYear": 2013,
+                "Amount": 1,
+                "Price": 3.5,
+            },
+        )
+    query = db.parse(workload.header_item_sql())
+    return db, query
+
+
+@pytest.mark.parametrize("late_rate", LATE_RATES, ids=lambda r: f"late{int(r*100)}")
+def test_ablation_late_items(benchmark, figures, late_rate):
+    db, query = build(late_rate)
+    db.query(query, strategy=FULL)
+    benchmark.pedantic(lambda: db.query(query, strategy=FULL), rounds=3, iterations=1)
+    elapsed = benchmark.stats.stats.min
+    db.query(query, strategy=FULL)
+    prune = db.last_report.prune
+    reference = db.query(query, strategy=ExecutionStrategy.UNCACHED)
+    cached = db.query(query, strategy=FULL)
+    assert cached == reference  # correctness never depends on the soft constraint
+    report = figures.report(
+        "Ablation 3.2",
+        "pruning success under temporal-locality violations",
+        "late items reduce pruning success, never correctness",
+        ["late_item_rate", "subjoins_pruned", "subjoins_evaluated", "seconds"],
+    )
+    report.add_row(late_rate, prune.pruned_total, prune.evaluated, elapsed)
+    if late_rate == 0.0:
+        assert prune.evaluated == 1
+    if late_rate >= 0.5:
+        assert prune.evaluated >= 2

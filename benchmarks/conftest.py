@@ -1,0 +1,26 @@
+"""Shared benchmark infrastructure.
+
+Every benchmark file regenerates one of the paper's figures/tables; the
+measured series are appended to a session-wide :class:`FigureCollector`
+whose rendered summary is printed at the end of the run (and therefore
+lands in ``bench_output.txt``).
+"""
+
+import pytest
+
+from repro.bench import FigureCollector
+
+_collector = FigureCollector()
+
+
+@pytest.fixture(scope="session")
+def figures() -> FigureCollector:
+    return _collector
+
+
+def pytest_terminal_summary(terminalreporter):
+    rendered = _collector.render_all()
+    if rendered:
+        terminalreporter.write_line("")
+        for line in rendered.splitlines():
+            terminalreporter.write_line(line)

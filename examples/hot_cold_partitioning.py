@@ -1,0 +1,69 @@
+"""Hot/cold multi-partitioning with logical + dynamic pruning (Section 5.4).
+
+Ages Header and Item into hot (current fiscal year) and cold partitions at
+roughly the paper's 1:3 ratio, declares consistent aging, and shows:
+
+* one aggregate cache entry per all-main temperature combination,
+* logical pruning of every cross-temperature compensation subjoin,
+* hot-only merges that maintain only the hot entries.
+
+Run with:  python examples/hot_cold_partitioning.py
+"""
+
+from repro import Database, ExecutionStrategy
+from repro.storage import threshold_aging
+from repro.workloads import ErpConfig, ErpWorkload
+
+
+def main() -> None:
+    db = Database()
+    workload = ErpWorkload(
+        db,
+        ErpConfig(seed=3, n_categories=10, years=(2011, 2012, 2013, 2014)),
+        header_aging=threshold_aging("FiscalYear", 2014),
+        item_aging=threshold_aging("FiscalYear", 2014),
+    )
+    print("loading 600 business objects across fiscal years 2011-2014 ...")
+    workload.insert_objects(600, merge_after=True)
+
+    header = db.table("Header")
+    print("\npartition layout after the merge:")
+    for partition in header.partitions():
+        print(f"  Header.{partition.name:<11} {partition.row_count:>6} rows")
+    for partition in db.table("Item").partitions():
+        print(f"  Item.{partition.name:<13} {partition.row_count:>6} rows")
+
+    sql = workload.header_item_sql()
+    result = db.query(sql, strategy=ExecutionStrategy.CACHED_FULL_PRUNING)
+    print(
+        f"\nfirst query created {db.cache.entry_count()} cache entries "
+        "(one per hot/cold main combination; the cross-temperature ones are "
+        "empty by consistent aging)"
+    )
+
+    print("\ninserting 40 objects of new (hot) business ...")
+    workload.insert_objects(40, year=2014)
+    result = db.query(sql, strategy=ExecutionStrategy.CACHED_FULL_PRUNING)
+    report = db.last_report
+    print(
+        f"compensation subjoins: {report.prune.combos_total} total, "
+        f"{report.prune.pruned_logical} logically pruned (cross-temperature), "
+        f"{report.prune.pruned_empty} empty, "
+        f"{report.prune.pruned_dynamic} dynamic, "
+        f"{report.prune.evaluated} evaluated"
+    )
+
+    print("\nmerging only the hot groups (the cold ones are undisturbed) ...")
+    db.merge("Header", group_name="hot")
+    db.merge("Item", group_name="hot")
+    result = db.query(sql, strategy=ExecutionStrategy.CACHED_FULL_PRUNING)
+    print(f"all {db.last_report.cache_hits} entries still hit after the merge")
+
+    reference = db.query(sql, strategy=ExecutionStrategy.UNCACHED)
+    assert result == reference
+    print("\nresult verified against the uncached aggregation:")
+    print(result.to_text(max_rows=10))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+"""Maintenance strategies under a mixed workload (the Fig. 6 story).
+
+Compares three ways of serving the same aggregate while inserts stream in:
+
+* an eager incremental materialized view (summary table updated inside
+  every insert transaction),
+* a lazy incremental materialized view (change log drained before reads),
+* the aggregate cache (entries on the main only; deltas compensated at
+  read time, maintenance only at the merge).
+
+Run with:  python examples/maintenance_strategies.py
+"""
+
+import time
+
+from repro import Database
+from repro.workloads import (
+    AggregateCacheSystem,
+    EagerViewSystem,
+    LazyViewSystem,
+    run_mixed_workload,
+)
+
+SQL = (
+    "SELECT CategoryID, SUM(Price) AS Revenue, COUNT(*) AS N "
+    "FROM Item GROUP BY CategoryID"
+)
+INITIAL_ROWS = 2000
+OPERATIONS = 150
+
+
+def make_database() -> Database:
+    db = Database()
+    db.create_table(
+        "Item",
+        [("ItemID", "INT"), ("CategoryID", "INT"), ("Price", "FLOAT")],
+        primary_key="ItemID",
+    )
+    for item_id in range(INITIAL_ROWS):
+        db.insert(
+            "Item",
+            {"ItemID": item_id, "CategoryID": item_id % 15, "Price": float(item_id % 40)},
+        )
+    db.merge()
+    return db
+
+
+def object_stream(start: int):
+    """One 10-row business object per insert operation."""
+    item_id = start
+    while True:
+        rows = []
+        for _ in range(10):
+            rows.append(
+                {
+                    "ItemID": item_id,
+                    "CategoryID": item_id % 15,
+                    "Price": float(item_id % 40),
+                }
+            )
+            item_id += 1
+        yield ("Item", rows)
+
+
+def main() -> None:
+    print(f"mixed workload: {OPERATIONS} operations over a {INITIAL_ROWS}-row table")
+    print(f"{'insert ratio':>12} | {'eager view':>10} | {'lazy view':>10} | {'agg cache':>10}")
+    for ratio in (0.0, 0.25, 0.5, 0.75, 1.0):
+        times = {}
+        for label, factory in (
+            ("eager", EagerViewSystem),
+            ("lazy", LazyViewSystem),
+            ("cache", AggregateCacheSystem),
+        ):
+            db = make_database()
+            system = factory(db, SQL)
+            system.read()  # warm
+            result = run_mixed_workload(
+                system, object_stream(INITIAL_ROWS), OPERATIONS, ratio, seed=5
+            )
+            started = time.perf_counter()
+            system.read()  # the deferred lazy bill comes due here
+            final_read = time.perf_counter() - started
+            times[label] = result.total_time + final_read
+        print(
+            f"{ratio:>12.0%} | {times['eager'] * 1000:>8.1f}ms | "
+            f"{times['lazy'] * 1000:>8.1f}ms | {times['cache'] * 1000:>8.1f}ms"
+        )
+    print(
+        "\nclassical view maintenance pays per write (eager) or at "
+        "read-after-write (lazy); the aggregate cache's insert path is "
+        "untouched and its read-side compensation stays bounded."
+    )
+
+
+if __name__ == "__main__":
+    main()

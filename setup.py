@@ -1,0 +1,7 @@
+"""Legacy setup shim: the build environment has no `wheel` package, so
+`pip install -e . --no-build-isolation` falls back to `setup.py develop`,
+which this file enables. All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

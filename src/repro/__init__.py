@@ -1,0 +1,72 @@
+"""repro — reproduction of "Using Object-Awareness to Optimize Join
+Processing in the SAP HANA Aggregate Cache" (EDBT 2015).
+
+The package implements, from scratch, a columnar in-memory database with the
+delta-main architecture, an aggregate cache with main/delta compensation,
+and the paper's object-aware join optimizations (matching dependencies,
+dynamic join pruning, join predicate pushdown, hot/cold multi-partition
+pruning), plus the workloads and benchmark harnesses that regenerate every
+figure of the paper's evaluation.
+
+Most applications only need :class:`Database` and
+:class:`ExecutionStrategy`; see the README quickstart.
+"""
+
+from .core import (
+    AlwaysAdmit,
+    CacheConfig,
+    ExecutionStrategy,
+    LruEviction,
+    MaintenanceMode,
+    MatchingDependency,
+    ProfitAdmission,
+    ProfitEviction,
+)
+from .database import Database
+from .errors import (
+    CacheError,
+    CatalogError,
+    IntegrityError,
+    QueryError,
+    ReproError,
+    SchemaError,
+    SqlSyntaxError,
+    StorageError,
+    TransactionError,
+    UnsupportedQueryError,
+)
+from .query import AggregateQuery, QueryResult, parse_sql
+from .storage import ColumnDef, Schema, SqlType, ratio_aging, threshold_aging, tid_column
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AggregateQuery",
+    "AlwaysAdmit",
+    "CacheConfig",
+    "CacheError",
+    "CatalogError",
+    "ColumnDef",
+    "Database",
+    "ExecutionStrategy",
+    "IntegrityError",
+    "LruEviction",
+    "MaintenanceMode",
+    "MatchingDependency",
+    "ProfitAdmission",
+    "ProfitEviction",
+    "QueryError",
+    "QueryResult",
+    "ReproError",
+    "Schema",
+    "SchemaError",
+    "SqlSyntaxError",
+    "SqlType",
+    "StorageError",
+    "TransactionError",
+    "UnsupportedQueryError",
+    "parse_sql",
+    "ratio_aging",
+    "threshold_aging",
+    "tid_column",
+]

@@ -1,0 +1,21 @@
+"""Benchmark harness utilities."""
+
+from .harness import (
+    STRATEGY_LABELS,
+    FigureCollector,
+    FigureReport,
+    normalize,
+    strategy_sweep,
+    time_call,
+    time_query,
+)
+
+__all__ = [
+    "FigureCollector",
+    "FigureReport",
+    "STRATEGY_LABELS",
+    "normalize",
+    "strategy_sweep",
+    "time_call",
+    "time_query",
+]

@@ -1,0 +1,65 @@
+"""Cache admission policies (Section 2.1).
+
+When the matching process misses, the manager computes the aggregate on the
+main partitions and asks the admission policy whether the result "is
+profitable enough for cache admission".  Admission sees the freshly
+measured creation cost and the result size — the two sides of the profit
+trade-off — plus the query itself for shape-based rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+from ..query.aggregates import GroupedAggregates
+from ..query.query import AggregateQuery
+
+
+@dataclass(frozen=True)
+class AdmissionRequest:
+    """Facts available at admission-decision time."""
+
+    query: AggregateQuery
+    value: GroupedAggregates
+    creation_time: float  # seconds spent computing the main aggregate
+    aggregated_records: int  # records folded into the main aggregate
+
+
+class AdmissionPolicy(Protocol):
+    """Decides whether a freshly computed aggregate enters the cache."""
+
+    def admit(self, request: AdmissionRequest) -> bool:
+        """Decide whether the freshly computed aggregate enters the cache."""
+        ...
+
+
+class AlwaysAdmit:
+    """Admit everything — the configuration used by the paper's benchmarks,
+    where the evaluated queries are known to be cache-worthy."""
+
+    def admit(self, request: AdmissionRequest) -> bool:
+        """Always True."""
+        return True
+
+
+@dataclass
+class ProfitAdmission:
+    """Admit when the aggregate is expensive enough to be worth caching.
+
+    ``min_creation_time`` filters out aggregates so cheap that compensation
+    overhead would dominate; ``min_compression`` requires the aggregate to
+    be substantially smaller than its input (records aggregated per group),
+    which is the precondition for the cache paying off at all.
+    """
+
+    min_creation_time: float = 0.0
+    min_compression: float = 1.0
+
+    def admit(self, request: AdmissionRequest) -> bool:
+        """Admit when creation cost and compression clear the thresholds."""
+        if request.creation_time < self.min_creation_time:
+            return False
+        groups = max(1, request.value.group_count())
+        compression = request.aggregated_records / groups
+        return compression >= self.min_compression

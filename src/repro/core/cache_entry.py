@@ -1,0 +1,125 @@
+"""Aggregate cache entries (Fig. 2).
+
+An entry binds a :class:`CacheKey` to
+
+* the **value**: the grouped aggregate computed over *one all-main partition
+  combination only* (never the deltas — that is the whole point of the
+  design: inserts go to the delta and cannot invalidate the entry);
+* the **visibility snapshot**: one bit vector per referenced main partition,
+  captured at creation time through the consistent view manager, which main
+  compensation diffs against the current visibility to find invalidated
+  records (Section 2.2);
+* the **metrics** used for admission/eviction/maintenance decisions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..errors import CacheError
+from ..query.aggregates import GroupedAggregates
+from ..storage.bitvector import BitVector
+from ..storage.partition import Partition
+from .cache_key import CacheKey
+from .metrics import CacheMetrics, EntryStatus
+
+
+@dataclass
+class AggregateCacheEntry:
+    """One cached aggregate extent."""
+
+    key: CacheKey
+    query: "object"  # the bound AggregateQuery this entry caches
+    value: GroupedAggregates
+    # alias -> the table owning each referenced main partition
+    tables: Dict[str, "object"]
+    # alias -> the main partition the entry is defined on
+    main_partitions: Dict[str, Partition]
+    # alias -> visibility of that main partition at creation/maintenance time
+    visibility: Dict[str, BitVector]
+    snapshot: int  # transaction id the visibility was captured at
+    # alias -> partition.invalidation_epoch at snapshot time (O(1) clean check)
+    invalidation_epochs: Dict[str, int] = field(default_factory=dict)
+    metrics: CacheMetrics = field(default_factory=CacheMetrics)
+
+    def __post_init__(self):
+        missing = set(self.main_partitions) ^ set(self.visibility)
+        if missing:
+            raise CacheError(
+                f"entry visibility does not cover aliases {sorted(missing)}"
+            )
+        for alias, partition in self.main_partitions.items():
+            if len(self.visibility[alias]) != partition.row_count:
+                raise CacheError(
+                    f"visibility length mismatch for alias {alias!r}: "
+                    f"{len(self.visibility[alias])} != {partition.row_count}"
+                )
+            self.invalidation_epochs.setdefault(alias, partition.invalidation_epoch)
+
+    def is_clean_for(self, snapshot: int) -> bool:
+        """O(1) check that main compensation would be a no-op: nothing was
+        invalidated in any referenced main since the entry's snapshot, and
+        the reader is not older than the entry (an older reader must not see
+        rows that were folded in by a later merge)."""
+        if snapshot < self.snapshot:
+            return False
+        return all(
+            partition.invalidation_epoch == self.invalidation_epochs[alias]
+            for alias, partition in self.main_partitions.items()
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def is_active(self) -> bool:
+        """False once invalidated (DROP-mode maintenance)."""
+        return self.metrics.status is EntryStatus.ACTIVE
+
+    def invalidate(self) -> None:
+        """Mark the entry invalidated; the next lookup replaces it."""
+        self.metrics.status = EntryStatus.INVALIDATED
+
+    def matches_current_partitions(self) -> bool:
+        """False once a referenced main partition was rebuilt (delta merge)
+        without this entry being maintained — the entry is then stale and
+        must be recomputed rather than compensated.
+
+        Checks both object identity (the table may have swapped in a rebuilt
+        partition under the same name) and snapshot length.
+        """
+        for alias, partition in self.main_partitions.items():
+            live = self.tables[alias].partition(partition.name)
+            if live is not partition:
+                return False
+            if len(self.visibility[alias]) != partition.row_count:
+                return False
+        return True
+
+    def rebase(
+        self,
+        alias: str,
+        new_partition: Partition,
+        new_visibility: BitVector,
+        new_value: GroupedAggregates,
+        snapshot: int,
+    ) -> None:
+        """Re-anchor one alias after its main partition was rebuilt by a
+        merge and the value was incrementally maintained (Section 5.2)."""
+        if alias not in self.main_partitions:
+            raise CacheError(f"entry does not reference alias {alias!r}")
+        if len(new_visibility) != new_partition.row_count:
+            raise CacheError("rebase visibility length mismatch")
+        self.main_partitions[alias] = new_partition
+        self.visibility[alias] = new_visibility
+        self.invalidation_epochs[alias] = new_partition.invalidation_epoch
+        self.value = new_value
+        self.snapshot = snapshot
+        self.metrics.size_bytes = new_value.approximate_nbytes()
+        self.metrics.aggregated_records_main = new_value.total_rows_aggregated()
+        self.metrics.dirty_counter = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"AggregateCacheEntry(key={self.key.combo}, "
+            f"groups={self.value.group_count()}, status={self.metrics.status.value})"
+        )

@@ -1,0 +1,46 @@
+"""Aggregate-cache keys (Fig. 2: the "Aggregate Cache Key").
+
+A key identifies one cached extent: the canonical query definition — table
+names *and ids*, grouping attributes, aggregate functions, filter predicates
+— plus the identity of the all-main partition combination the entry covers.
+The combination matters under hot/cold multi-partitioning (Section 5.4),
+where one query has several all-main combinations and therefore several
+cache entries (one per temperature).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..query.query import AggregateQuery
+from ..storage.catalog import Catalog
+from ..storage.partition import Partition
+
+
+@dataclass(frozen=True)
+class CacheKey:
+    """Hashable cache-entry identifier."""
+
+    query_text: str
+    table_ids: Tuple[Tuple[str, int], ...]
+    combo: Tuple[Tuple[str, str], ...]  # (alias, partition name), sorted
+
+    def __str__(self) -> str:
+        combo = ", ".join(f"{alias}:{part}" for alias, part in self.combo)
+        return f"{self.query_text} @ [{combo}]"
+
+
+def cache_key_for(
+    query: AggregateQuery,
+    catalog: Catalog,
+    main_combo: Dict[str, Partition],
+) -> CacheKey:
+    """Build the key of the entry caching ``main_combo`` for ``query``."""
+    table_ids = tuple(
+        sorted((ref.table, catalog.table(ref.table).table_id) for ref in query.tables)
+    )
+    combo = tuple(
+        sorted((alias, partition.name) for alias, partition in main_combo.items())
+    )
+    return CacheKey(query.canonical_key(), table_ids, combo)

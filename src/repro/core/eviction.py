@@ -1,0 +1,100 @@
+"""Cache eviction policies.
+
+The manager calls the eviction policy after every admission; the policy
+returns the keys to drop so the cache fits its configured budget
+(``max_entries`` and/or ``max_bytes``).  Two classic policies are provided:
+least-recently-used and lowest-profit-first (the dynamic decision metric of
+Section 2.1 / [20]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Protocol
+
+from .cache_entry import AggregateCacheEntry
+from .cache_key import CacheKey
+
+
+class EvictionPolicy(Protocol):
+    """Selects victims when the cache exceeds its budget."""
+
+    def select_victims(
+        self,
+        entries: Dict[CacheKey, AggregateCacheEntry],
+        max_entries: Optional[int],
+        max_bytes: Optional[int],
+    ) -> List[CacheKey]:
+        """Keys to drop so the cache fits its budget (empty if within)."""
+        ...
+
+
+def _over_budget(
+    entries: Dict[CacheKey, AggregateCacheEntry],
+    max_entries: Optional[int],
+    max_bytes: Optional[int],
+) -> bool:
+    if max_entries is not None and len(entries) > max_entries:
+        return True
+    if max_bytes is not None:
+        total = sum(e.metrics.size_bytes for e in entries.values())
+        if total > max_bytes:
+            return True
+    return False
+
+
+@dataclass
+class LruEviction:
+    """Evict the least recently used entries first."""
+
+    def select_victims(
+        self,
+        entries: Dict[CacheKey, AggregateCacheEntry],
+        max_entries: Optional[int],
+        max_bytes: Optional[int],
+    ) -> List[CacheKey]:
+        """Oldest-access-first victims until within budget."""
+        return _evict_in_order(
+            entries,
+            max_entries,
+            max_bytes,
+            key_fn=lambda e: e.metrics.last_access_clock,
+        )
+
+
+@dataclass
+class ProfitEviction:
+    """Evict the lowest-profit entries first (ties broken by recency)."""
+
+    def select_victims(
+        self,
+        entries: Dict[CacheKey, AggregateCacheEntry],
+        max_entries: Optional[int],
+        max_bytes: Optional[int],
+    ) -> List[CacheKey]:
+        """Lowest-profit-first victims until within budget."""
+        return _evict_in_order(
+            entries,
+            max_entries,
+            max_bytes,
+            key_fn=lambda e: (e.metrics.profit(), e.metrics.last_access_clock),
+        )
+
+
+def _evict_in_order(
+    entries: Dict[CacheKey, AggregateCacheEntry],
+    max_entries: Optional[int],
+    max_bytes: Optional[int],
+    key_fn,
+) -> List[CacheKey]:
+    if not _over_budget(entries, max_entries, max_bytes):
+        return []
+    ordered = sorted(entries.items(), key=lambda kv: key_fn(kv[1]))
+    remaining = dict(entries)
+    victims: List[CacheKey] = []
+    for key, _entry in ordered:
+        if not _over_budget(remaining, max_entries, max_bytes):
+            break
+        del remaining[key]
+        victims.append(key)
+    return victims

@@ -1,0 +1,146 @@
+"""EXPLAIN for aggregate-cache query processing.
+
+Renders, without executing the query, how the cache manager would answer
+it: which all-main combinations are cached (hit/miss), and for every
+compensation subjoin whether it would be evaluated or pruned — and by which
+mechanism (empty partition, logical hot/cold, dynamic tid range) — plus any
+join-predicate-pushdown filters that would be attached.  This is the
+introspection surface for understanding the paper's optimizations on a live
+database.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..query.executor import main_only_combos
+from ..query.query import AggregateQuery
+from .cache_key import cache_key_for
+from .delta_compensation import compensation_assignments
+from .pruning import JoinPruner
+from .strategies import ExecutionStrategy
+
+
+@dataclass
+class SubjoinPlan:
+    """Fate of one compensation subjoin."""
+
+    partitions: Dict[str, str]  # alias -> partition name
+    action: str  # "evaluate" | "pruned"
+    reason: str = ""  # "", "empty", "logical", "dynamic"
+    pushdown: Dict[str, List[str]] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        """One-line rendering of this subjoin's fate."""
+        inner = ", ".join(f"{a}:{p}" for a, p in sorted(self.partitions.items()))
+        if self.action == "pruned":
+            return f"({inner})  PRUNED [{self.reason}]"
+        if self.pushdown:
+            filters = "; ".join(
+                f"{alias}: {' AND '.join(exprs)}"
+                for alias, exprs in sorted(self.pushdown.items())
+            )
+            return f"({inner})  EVALUATE with pushdown {{{filters}}}"
+        return f"({inner})  EVALUATE"
+
+
+@dataclass
+class QueryPlan:
+    """The full explanation of one query under one strategy."""
+
+    strategy: ExecutionStrategy
+    cacheable: bool
+    cached_combos: List[Dict[str, str]] = field(default_factory=list)
+    entry_states: List[str] = field(default_factory=list)  # "HIT"/"MISS" per combo
+    subjoins: List[SubjoinPlan] = field(default_factory=list)
+
+    def render(self) -> str:
+        """Multi-line rendering of the whole plan."""
+        lines = [f"strategy: {self.strategy.value}"]
+        if not self.cacheable:
+            lines.append(
+                "query does not qualify for the aggregate cache "
+                "(non-self-maintainable aggregates); executes uncached over "
+                "all partition combinations"
+            )
+            return "\n".join(lines)
+        if self.strategy is ExecutionStrategy.UNCACHED:
+            lines.append("aggregate cache bypassed; all subjoins evaluated:")
+            for plan in self.subjoins:
+                lines.append(f"  {plan.describe()}")
+            return "\n".join(lines)
+        lines.append("cached all-main combinations:")
+        for combo, state in zip(self.cached_combos, self.entry_states):
+            inner = ", ".join(f"{a}:{p}" for a, p in sorted(combo.items()))
+            lines.append(f"  ({inner})  {state}")
+        evaluated = sum(1 for s in self.subjoins if s.action == "evaluate")
+        pruned = len(self.subjoins) - evaluated
+        lines.append(
+            f"delta compensation: {len(self.subjoins)} subjoins "
+            f"({evaluated} evaluated, {pruned} pruned):"
+        )
+        for plan in self.subjoins:
+            lines.append(f"  {plan.describe()}")
+        return "\n".join(lines)
+
+
+def explain_query(manager, query: AggregateQuery, strategy: Optional[ExecutionStrategy] = None) -> QueryPlan:
+    """Build the :class:`QueryPlan` for ``query`` under ``strategy``.
+
+    ``manager`` is the :class:`~repro.core.manager.AggregateCacheManager`;
+    nothing is executed and no entry is created.
+    """
+    strategy = strategy if strategy is not None else manager.config.default_strategy
+    bound = manager._executor.bind(query)
+    plan = QueryPlan(strategy=strategy, cacheable=bound.is_self_maintainable())
+    if not plan.cacheable:
+        return plan
+    cached = main_only_combos(bound, manager._catalog)
+    if strategy is ExecutionStrategy.UNCACHED:
+        cached_for_compensation = []
+    else:
+        cached_for_compensation = cached
+        for combo in cached:
+            key = cache_key_for(bound, manager._catalog, combo)
+            entry = manager._entries.get(key)
+            state = (
+                "HIT"
+                if entry is not None
+                and entry.is_active
+                and entry.matches_current_partitions()
+                else "MISS (would be computed and admitted)"
+            )
+            plan.cached_combos.append(
+                {alias: p.name for alias, p in combo.items()}
+            )
+            plan.entry_states.append(state)
+    pruner = None
+    if strategy.prunes_empty or strategy.prunes_dynamic:
+        pruner = JoinPruner(
+            bound,
+            manager._mds,
+            manager._agings,
+            strategy,
+            predicate_pushdown=manager.config.predicate_pushdown,
+            assume_md_integrity=manager.config.enforce_referential_integrity,
+        )
+    for assignment in compensation_assignments(
+        bound, manager._catalog, cached_for_compensation
+    ):
+        names = {alias: p.name for alias, p in assignment.items()}
+        if pruner is None:
+            plan.subjoins.append(SubjoinPlan(names, "evaluate"))
+            continue
+        reason, pushdown = pruner.check(assignment)
+        if reason is not None:
+            plan.subjoins.append(SubjoinPlan(names, "pruned", reason))
+        else:
+            rendered = {
+                alias: [e.canonical() for e in exprs]
+                for alias, exprs in pushdown.items()
+            }
+            plan.subjoins.append(
+                SubjoinPlan(names, "evaluate", pushdown=rendered)
+            )
+    return plan

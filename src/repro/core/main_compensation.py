@@ -1,0 +1,85 @@
+"""Main compensation (Section 2.2).
+
+Updates and deletes invalidate rows in the main storage (the new version,
+if any, goes to the delta).  A cache entry therefore stores the visibility
+bit vector of every referenced main partition at creation time; at use
+time the stored vectors are compared with the current transaction's vectors
+and the contribution of the invalidated rows is *subtracted* from the
+cached aggregate.
+
+For join entries the subtraction is the inclusion–exclusion expansion over
+the tables with invalidations: with invalidated sets ``inv_a`` and still-
+visible sets ``now_a = stored_a ∩ current_a``,
+
+    join(stored) = Σ_{T ⊆ aliases} join(a∈T: inv_a, a∉T: now_a)
+
+so ``join(now) = join(stored) − Σ_{T ≠ ∅} join(...)``.  The number of
+correction subjoins is ``2^k − 1`` for ``k`` tables with invalidations —
+normally ``k ≤ 1`` since updates are rare in the analyzed workloads
+(Section 3.2).  (The paper leaves optimizing this case to future work; we
+implement the exact expansion.)
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..errors import CacheError
+from ..query.executor import ComboSpec, QueryExecutor
+from ..query.aggregates import GroupedAggregates
+from .cache_entry import AggregateCacheEntry
+
+
+class StaleEntryError(CacheError):
+    """The entry's partitions were rebuilt without maintenance; recompute."""
+
+
+def apply_main_compensation(
+    entry: AggregateCacheEntry,
+    executor: QueryExecutor,
+    snapshot: int,
+    into: GroupedAggregates,
+) -> int:
+    """Subtract invalidated main-row contributions from ``into``.
+
+    ``into`` must already contain (a copy of) the entry's value.  Returns
+    the number of invalidated rows compensated (0 = entry was clean).
+    Raises :class:`StaleEntryError` when a referenced main partition has a
+    different length than the stored snapshot (it was rebuilt by a merge
+    without entry maintenance).
+    """
+    if not entry.matches_current_partitions():
+        raise StaleEntryError(f"entry {entry.key} references rebuilt partitions")
+    if entry.is_clean_for(snapshot):
+        return 0
+    invalidated: Dict[str, np.ndarray] = {}
+    surviving: Dict[str, np.ndarray] = {}
+    for alias, partition in entry.main_partitions.items():
+        current = partition.visibility(snapshot)
+        stored = entry.visibility[alias]
+        inv = stored.and_not(current)
+        if inv.any():
+            invalidated[alias] = np.asarray(inv.set_indices(), dtype=np.int64)
+        surviving[alias] = np.flatnonzero((stored & current).to_numpy())
+    if not invalidated:
+        return 0
+    dirty_aliases = sorted(invalidated)
+    total_rows = int(sum(len(rows) for rows in invalidated.values()))
+    combos: List[ComboSpec] = []
+    for size in range(1, len(dirty_aliases) + 1):
+        for subset in combinations(dirty_aliases, size):
+            fixed: Dict[str, np.ndarray] = {}
+            for alias in entry.main_partitions:
+                if alias in subset:
+                    fixed[alias] = invalidated[alias]
+                else:
+                    fixed[alias] = surviving[alias]
+            combos.append(
+                ComboSpec(dict(entry.main_partitions), fixed_rows=fixed)
+            )
+    executor.execute(entry.query, snapshot, combos=combos, into=into, sign=-1)
+    entry.metrics.dirty_counter = total_rows
+    return total_rows

@@ -1,0 +1,114 @@
+"""Incremental cache maintenance during the delta merge (Sections 5.2, 6.1).
+
+The aggregate cache maintains its entries *only* at delta-merge time — not
+per base-table modification (eager views) and not at query time (lazy
+views).  When a (main, delta) pair of a table is merged, every entry whose
+combination references that main partition is folded forward while the
+pre-merge state is still queryable:
+
+1. pay off the accumulated main-compensation debt of *all* referenced
+   tables (invalidated rows are subtracted permanently — the merge drops
+   them from the rebuilt main);
+2. add the contribution of the subjoin in which the merging table reads its
+   delta and every other table reads its (still pre-merge) main — exactly
+   the rows the merge is about to move.
+
+After the physical swap the entry is re-anchored: the merging alias points
+at the rebuilt main with a fresh visibility snapshot, and the other aliases'
+stored visibilities advance to the merge snapshot.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..query.aggregates import GroupedAggregates
+from ..query.executor import ComboSpec, QueryExecutor
+from ..storage.merge import MergeEvent
+from .cache_entry import AggregateCacheEntry
+from .cache_key import CacheKey
+from .main_compensation import StaleEntryError, apply_main_compensation
+
+
+@dataclass
+class _PendingMaintenance:
+    """State carried from before_merge to after_merge for one entry."""
+
+    entry: AggregateCacheEntry
+    merging_alias: str
+    corrected: GroupedAggregates
+    elapsed: float
+
+
+def plan_entry_maintenance(
+    entry: AggregateCacheEntry,
+    event: MergeEvent,
+    executor: QueryExecutor,
+) -> Optional[_PendingMaintenance]:
+    """Compute the post-merge value of ``entry`` (pre-merge state required).
+
+    Returns None when the entry does not reference the merging main.
+    Raises :class:`StaleEntryError` when the entry cannot be maintained
+    (stale snapshot, or the merging main appears under several aliases —
+    a self-join, which we drop rather than maintain).
+    """
+    merging_main = event.table.partition(event.main_name)
+    aliases = [
+        alias
+        for alias, partition in entry.main_partitions.items()
+        if partition is merging_main
+    ]
+    if not aliases:
+        return None
+    if len(aliases) > 1:
+        raise StaleEntryError("self-join entries are not incrementally maintained")
+    alias = aliases[0]
+    started = time.perf_counter()
+    corrected = entry.value.copy()
+    # Step 1: retire invalidation debt (all aliases) at the merge snapshot.
+    apply_main_compensation(entry, executor, event.snapshot, corrected)
+    # Step 2: fold in the rows the merge moves out of the delta(s) — the
+    # insert delta plus, when the table keeps one, the separate update delta.
+    delta_names = [event.delta_name]
+    if event.update_delta_name is not None:
+        delta_names.append(event.update_delta_name)
+    combos = []
+    for delta_name in delta_names:
+        combo_partitions = dict(entry.main_partitions)
+        combo_partitions[alias] = event.table.partition(delta_name)
+        combos.append(ComboSpec(combo_partitions))
+    executor.execute(
+        entry.query,
+        event.snapshot,
+        combos=combos,
+        into=corrected,
+        sign=1,
+    )
+    elapsed = time.perf_counter() - started
+    return _PendingMaintenance(entry, alias, corrected, elapsed)
+
+
+def finish_entry_maintenance(
+    pending: _PendingMaintenance, event: MergeEvent
+) -> None:
+    """Re-anchor the entry onto the rebuilt main (post-merge state)."""
+    entry = pending.entry
+    alias = pending.merging_alias
+    new_main = event.table.partition(event.main_name)
+    entry.rebase(
+        alias,
+        new_main,
+        new_main.visibility(event.snapshot),
+        pending.corrected,
+        event.snapshot,
+    )
+    # The other aliases' partitions were not rebuilt, but their stored
+    # visibility advances to the merge snapshot: step 1 above permanently
+    # subtracted everything invisible at that snapshot.
+    for other_alias, partition in entry.main_partitions.items():
+        if other_alias != alias:
+            entry.visibility[other_alias] = partition.visibility(event.snapshot)
+            entry.invalidation_epochs[other_alias] = partition.invalidation_epoch
+    entry.metrics.maintenance_time += pending.elapsed

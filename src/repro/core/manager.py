@@ -1,0 +1,372 @@
+"""The aggregate cache manager (Fig. 1 / Fig. 3).
+
+Orchestrates the full query path of the paper:
+
+1. the query executor delegates qualifying aggregate query blocks here;
+2. the cache matching process looks up an entry per all-main partition
+   combination (one for plain tables, one per temperature under hot/cold
+   partitioning);
+3. on a miss the aggregate is computed on the main partitions with the
+   global record visibility and, if the admission policy agrees, an entry
+   is created;
+4. hit or freshly created, **main compensation** then **delta compensation**
+   are applied to produce the transaction-consistent result;
+5. at delta-merge time the manager acts as a merge listener and maintains
+   its entries incrementally (or drops them, per configuration).
+
+Matching dependencies and consistent-aging declarations registered here
+power the dynamic join pruning and predicate pushdown of delta compensation.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import CacheError
+from ..query.aggregates import GroupedAggregates
+from ..query.executor import ComboSpec, ExecutionStats, QueryExecutor, main_only_combos
+from ..query.query import AggregateQuery
+from ..storage.aging import ConsistentAging
+from ..storage.catalog import Catalog
+from ..storage.merge import MergeEvent
+from ..txn.consistent_view import ConsistentViewManager
+from ..txn.manager import Transaction
+from .admission import AdmissionPolicy, AdmissionRequest, AlwaysAdmit
+from .cache_entry import AggregateCacheEntry
+from .cache_key import CacheKey, cache_key_for
+from .delta_compensation import build_compensation_combos
+from .enforcement import MDEnforcer
+from .eviction import EvictionPolicy, ProfitEviction
+from .main_compensation import StaleEntryError, apply_main_compensation
+from .maintenance import (
+    _PendingMaintenance,
+    finish_entry_maintenance,
+    plan_entry_maintenance,
+)
+from .matching_dependency import MatchingDependency
+from .metrics import CacheMetrics
+from .pruning import JoinPruner, PruneReport
+from .strategies import CacheConfig, ExecutionStrategy, MaintenanceMode
+
+
+@dataclass
+class CacheQueryReport:
+    """Everything that happened while answering one query."""
+
+    strategy: ExecutionStrategy
+    fallback_uncached: bool = False  # query did not qualify for the cache
+    cache_hits: int = 0
+    entries_created: int = 0
+    admission_rejected: int = 0
+    entries_recomputed: int = 0  # stale/invalidated entries replaced
+    invalidated_rows_compensated: int = 0
+    prune: PruneReport = field(default_factory=PruneReport)
+    executor_stats: ExecutionStats = field(default_factory=ExecutionStats)
+    time_total: float = 0.0
+    time_cache_lookup_or_build: float = 0.0
+    time_main_compensation: float = 0.0
+    time_delta_compensation: float = 0.0
+
+
+class AggregateCacheManager:
+    """Manages aggregate cache entries and answers queries through them."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        executor: QueryExecutor,
+        view_manager: ConsistentViewManager,
+        config: Optional[CacheConfig] = None,
+        admission: Optional[AdmissionPolicy] = None,
+        eviction: Optional[EvictionPolicy] = None,
+    ):
+        self._catalog = catalog
+        self._executor = executor
+        self._views = view_manager
+        self.config = config if config is not None else CacheConfig()
+        self._admission = admission if admission is not None else AlwaysAdmit()
+        self._eviction = eviction if eviction is not None else ProfitEviction()
+        self._entries: Dict[CacheKey, AggregateCacheEntry] = {}
+        self._mds: List[MatchingDependency] = []
+        self._agings: List[ConsistentAging] = []
+        self._clock = 0
+        self._pending_maintenance: List[_PendingMaintenance] = []
+        self._pending_drops: List[CacheKey] = []
+        # Lifetime counters (the monitor's system view).
+        self.total_hits = 0
+        self.total_misses = 0
+        self.total_evictions = 0
+        self.total_maintenance_runs = 0
+
+    # ------------------------------------------------------------------
+    # object-awareness registration
+    # ------------------------------------------------------------------
+    def register_matching_dependency(self, md: MatchingDependency) -> None:
+        """Activate an MD for pruning/pushdown decisions."""
+        self._mds.append(md)
+
+    def register_consistent_aging(self, declaration: ConsistentAging) -> None:
+        """Activate a consistent-aging declaration for logical pruning."""
+        self._agings.append(declaration)
+
+    @property
+    def matching_dependencies(self) -> List[MatchingDependency]:
+        """The registered matching dependencies (copy)."""
+        return list(self._mds)
+
+    # ------------------------------------------------------------------
+    # entry inspection (tests / metrics)
+    # ------------------------------------------------------------------
+    def entry_count(self) -> int:
+        """Number of live cache entries."""
+        return len(self._entries)
+
+    def entries(self) -> List[AggregateCacheEntry]:
+        """All live cache entries (copy of the list)."""
+        return list(self._entries.values())
+
+    def entries_for(self, query: AggregateQuery) -> List[AggregateCacheEntry]:
+        """Entries caching the given query (any all-main combination)."""
+        bound = self._executor.bind(query)
+        text = bound.canonical_key()
+        return [e for e in self._entries.values() if e.key.query_text == text]
+
+    def clear(self) -> None:
+        """Drop every cache entry."""
+        self._entries.clear()
+
+    def explain(self, query, strategy=None):
+        """Dry-run plan: see :func:`repro.core.explain.explain_query`."""
+        from .explain import explain_query
+
+        return explain_query(self, query, strategy)
+
+    # ------------------------------------------------------------------
+    # query execution (Fig. 3)
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        query: AggregateQuery,
+        txn: Transaction,
+        strategy: Optional[ExecutionStrategy] = None,
+    ) -> Tuple[GroupedAggregates, CacheQueryReport]:
+        """Answer a query through the cache pipeline (Fig. 3); returns (grouped result, report)."""
+        strategy = strategy if strategy is not None else self.config.default_strategy
+        report = CacheQueryReport(strategy=strategy)
+        started = time.perf_counter()
+        bound = self._executor.bind(query)
+        if not strategy.uses_cache or not bound.is_self_maintainable():
+            if strategy.uses_cache:
+                report.fallback_uncached = True
+            grouped = self._executor.execute(
+                bound, txn.snapshot, stats=report.executor_stats
+            )
+            report.time_total = time.perf_counter() - started
+            return grouped, report
+        self._clock += 1
+        result = GroupedAggregates(bound.aggregates)
+        cached_combos = main_only_combos(bound, self._catalog)
+        for combo in cached_combos:
+            self._apply_main_entry(bound, combo, txn, result, report)
+        self._apply_delta_compensation(bound, cached_combos, txn, strategy, result, report)
+        report.time_total = time.perf_counter() - started
+        return result, report
+
+    # ------------------------------------------------------------------
+    def _apply_main_entry(
+        self,
+        bound: AggregateQuery,
+        combo: Dict,
+        txn: Transaction,
+        result: GroupedAggregates,
+        report: CacheQueryReport,
+    ) -> None:
+        """Look up / create the entry for one all-main combination and fold
+        its main-compensated value into ``result``."""
+        lookup_started = time.perf_counter()
+        key = cache_key_for(bound, self._catalog, combo)
+        entry = self._entries.get(key)
+        if entry is not None and (
+            not entry.is_active or not entry.matches_current_partitions()
+        ):
+            del self._entries[key]
+            report.entries_recomputed += 1
+            entry = None
+        if entry is None:
+            self.total_misses += 1
+            entry = self._create_entry(bound, combo, key, report)
+        else:
+            report.cache_hits += 1
+            self.total_hits += 1
+        report.time_cache_lookup_or_build += time.perf_counter() - lookup_started
+        if entry is None:
+            # Admission rejected: compute this query's main contribution
+            # directly at the transaction snapshot, uncached.
+            self._executor.execute(
+                bound,
+                txn.snapshot,
+                combos=[ComboSpec(dict(combo))],
+                into=result,
+                stats=report.executor_stats,
+            )
+            return
+        if txn.snapshot < entry.snapshot:
+            # The entry is anchored at a newer snapshot than this reader
+            # (time travel, or a transaction begun before the last merge).
+            # Main compensation can only *subtract*; rows the old reader
+            # should see that the entry no longer carries cannot be added
+            # back, so answer this combination directly from the base data.
+            self._executor.execute(
+                bound,
+                txn.snapshot,
+                combos=[ComboSpec(dict(combo))],
+                into=result,
+                stats=report.executor_stats,
+            )
+            return
+        entry.metrics.record_use(self._clock)
+        if entry.is_clean_for(txn.snapshot):
+            # Fast path: nothing was invalidated since the entry snapshot,
+            # so the cached value contributes as-is (merge copies states).
+            result.merge(entry.value)
+            return
+        contribution = entry.value.copy()
+        comp_started = time.perf_counter()
+        rows = apply_main_compensation(entry, self._executor, txn.snapshot, contribution)
+        elapsed = time.perf_counter() - comp_started
+        entry.metrics.compensation_time_main += elapsed
+        report.time_main_compensation += elapsed
+        report.invalidated_rows_compensated += rows
+        result.merge(contribution)
+
+    def _create_entry(
+        self,
+        bound: AggregateQuery,
+        combo: Dict,
+        key: CacheKey,
+        report: CacheQueryReport,
+    ) -> Optional[AggregateCacheEntry]:
+        """Compute the main aggregate with global visibility; admit or not."""
+        global_snapshot = self._views.txn_manager.global_snapshot()
+        build_started = time.perf_counter()
+        value = self._executor.execute(
+            bound, global_snapshot, combos=[ComboSpec(dict(combo))]
+        )
+        creation_time = time.perf_counter() - build_started
+        records = value.total_rows_aggregated()
+        request = AdmissionRequest(bound, value, creation_time, records)
+        if not self._admission.admit(request):
+            report.admission_rejected += 1
+            return None
+        visibility = {
+            alias: partition.visibility(global_snapshot)
+            for alias, partition in combo.items()
+        }
+        metrics = CacheMetrics(
+            size_bytes=value.approximate_nbytes(),
+            aggregated_records_main=records,
+            creation_time_main=creation_time,
+            last_access_clock=self._clock,
+        )
+        tables = {
+            ref.alias: self._catalog.table(ref.table) for ref in bound.tables
+        }
+        entry = AggregateCacheEntry(
+            key=key,
+            query=bound,
+            value=value,
+            tables=tables,
+            main_partitions=dict(combo),
+            visibility=visibility,
+            snapshot=global_snapshot,
+            metrics=metrics,
+        )
+        self._entries[key] = entry
+        report.entries_created += 1
+        self._run_eviction()
+        # The freshly inserted entry may itself have been evicted.
+        return self._entries.get(key)
+
+    def _run_eviction(self) -> None:
+        victims = self._eviction.select_victims(
+            self._entries, self.config.max_entries, self.config.max_bytes
+        )
+        for key in victims:
+            del self._entries[key]
+            self.total_evictions += 1
+
+    def _apply_delta_compensation(
+        self,
+        bound: AggregateQuery,
+        cached_combos,
+        txn: Transaction,
+        strategy: ExecutionStrategy,
+        result: GroupedAggregates,
+        report: CacheQueryReport,
+    ) -> None:
+        pruner: Optional[JoinPruner] = None
+        if strategy.prunes_empty or strategy.prunes_dynamic:
+            pruner = JoinPruner(
+                bound,
+                self._mds,
+                self._agings,
+                strategy,
+                predicate_pushdown=self.config.predicate_pushdown,
+                assume_md_integrity=self.config.enforce_referential_integrity,
+            )
+        combos = build_compensation_combos(
+            bound, self._catalog, cached_combos, pruner, report.prune
+        )
+        comp_started = time.perf_counter()
+        self._executor.execute(
+            bound,
+            txn.snapshot,
+            combos=combos,
+            into=result,
+            stats=report.executor_stats,
+        )
+        elapsed = time.perf_counter() - comp_started
+        report.time_delta_compensation += elapsed
+
+    # ------------------------------------------------------------------
+    # merge maintenance (MergeListener protocol)
+    # ------------------------------------------------------------------
+    def before_merge(self, event: MergeEvent) -> None:
+        """Fold each affected entry forward while pre-merge state exists."""
+        self._pending_maintenance = []
+        self._pending_drops = []
+        for key, entry in self._entries.items():
+            if not entry.is_active:
+                self._pending_drops.append(key)
+                continue
+            if self.config.maintenance_mode is MaintenanceMode.DROP:
+                if self._entry_references(entry, event):
+                    self._pending_drops.append(key)
+                continue
+            try:
+                pending = plan_entry_maintenance(entry, event, self._executor)
+            except StaleEntryError:
+                self._pending_drops.append(key)
+                continue
+            if pending is not None:
+                self._pending_maintenance.append(pending)
+
+    def after_merge(self, event: MergeEvent) -> None:
+        """Re-anchor maintained entries onto the rebuilt main partitions."""
+        for pending in self._pending_maintenance:
+            finish_entry_maintenance(pending, event)
+            self.total_maintenance_runs += 1
+        self._pending_maintenance = []
+        for key in self._pending_drops:
+            self._entries.pop(key, None)
+        self._pending_drops = []
+
+    @staticmethod
+    def _entry_references(entry: AggregateCacheEntry, event: MergeEvent) -> bool:
+        merging_main = event.table.partition(event.main_name)
+        return any(
+            partition is merging_main
+            for partition in entry.main_partitions.values()
+        )

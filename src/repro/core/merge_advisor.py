@@ -1,0 +1,124 @@
+"""Merge decision functions: when should the delta merge run?
+
+The paper treats the delta merge as periodic and observes (Section 5.2)
+that *synchronizing* the merges of related tables maximizes join-pruning
+success.  Production systems use merge decision functions over observable
+state; this module implements one over the engine's own signals:
+
+* **delta fill** — the fraction of a table's physical rows sitting in delta
+  partitions.  A growing delta makes every compensation more expensive
+  (Figs. 7/8), so crossing a fill threshold recommends a merge.
+* **compensation pressure** — the cumulative delta-compensation time the
+  aggregate cache has spent on entries referencing the table since their
+  last maintenance, compared to the estimated cost of merging.
+* **merge groups** — tables connected by matching dependencies are
+  recommended *together*, so the resulting merges are synchronized and the
+  post-merge tid ranges stay aligned (the Section 5.2 effect).
+
+``Database.auto_merge(advisor)`` applies the recommendation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..storage.catalog import Catalog
+
+
+@dataclass
+class MergeRecommendation:
+    """The advisor's verdict for one invocation."""
+
+    tables: List[str] = field(default_factory=list)
+    reasons: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def should_merge(self) -> bool:
+        """True when at least one table is recommended."""
+        return bool(self.tables)
+
+    def describe(self) -> str:
+        """One-line human-readable rendering."""
+        if not self.tables:
+            return "no merge recommended"
+        parts = [f"{name} ({self.reasons[name]})" for name in self.tables]
+        return "merge recommended: " + ", ".join(parts)
+
+
+@dataclass
+class MergeAdvisor:
+    """Threshold-based merge decision function.
+
+    ``delta_fill_threshold`` — recommend once this fraction of a table's
+    rows is in its delta partitions (HANA's classic auto-merge signal).
+    ``min_delta_rows`` — ignore tiny tables regardless of the ratio.
+    ``compensation_budget`` — seconds of cumulative delta-compensation time
+    across cache entries referencing a table before a merge pays for itself.
+    ``synchronize_md_groups`` — extend every recommendation to all tables
+    connected through matching dependencies (Section 5.2).
+    """
+
+    delta_fill_threshold: float = 0.10
+    min_delta_rows: int = 64
+    compensation_budget: float = 0.5
+    synchronize_md_groups: bool = True
+
+    # ------------------------------------------------------------------
+    def recommend(self, db) -> MergeRecommendation:
+        """Inspect ``db`` and produce a recommendation (no side effects)."""
+        recommendation = MergeRecommendation()
+        for name in db.catalog.table_names():
+            reason = self._table_reason(db, name)
+            if reason is not None:
+                recommendation.tables.append(name)
+                recommendation.reasons[name] = reason
+        if self.synchronize_md_groups and recommendation.tables:
+            self._extend_to_md_groups(db, recommendation)
+        return recommendation
+
+    def _table_reason(self, db, name: str) -> Optional[str]:
+        table = db.table(name)
+        delta_rows = sum(p.row_count for p in table.delta_partitions())
+        total_rows = table.row_count()
+        if delta_rows >= self.min_delta_rows and total_rows > 0:
+            fill = delta_rows / total_rows
+            if fill >= self.delta_fill_threshold:
+                return f"delta fill {fill:.1%} >= {self.delta_fill_threshold:.1%}"
+        compensation = self._compensation_pressure(db, name)
+        if compensation >= self.compensation_budget:
+            return (
+                f"delta-compensation time {compensation:.3f}s >= "
+                f"budget {self.compensation_budget:.3f}s"
+            )
+        return None
+
+    @staticmethod
+    def _compensation_pressure(db, name: str) -> float:
+        total = 0.0
+        for entry in db.cache.entries():
+            if any(
+                query_table == name
+                for query_table, _id in entry.key.table_ids
+            ):
+                total += entry.metrics.compensation_time_delta
+        return total
+
+    def _extend_to_md_groups(self, db, recommendation: MergeRecommendation) -> None:
+        """Pull MD-connected tables into the recommendation (merge sync)."""
+        adjacency: Dict[str, Set[str]] = {}
+        for md in db.enforcer.dependencies():
+            adjacency.setdefault(md.parent_table, set()).add(md.child_table)
+            adjacency.setdefault(md.child_table, set()).add(md.parent_table)
+        frontier = list(recommendation.tables)
+        seen = set(frontier)
+        while frontier:
+            current = frontier.pop()
+            for neighbor in adjacency.get(current, ()):
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    frontier.append(neighbor)
+                    recommendation.tables.append(neighbor)
+                    recommendation.reasons[neighbor] = (
+                        f"merge-synchronized with {current} (matching dependency)"
+                    )

@@ -1,0 +1,186 @@
+"""Dynamic join pruning and join predicate pushdown (Sections 5.1, 5.3, 5.4).
+
+Given one compensation subjoin — an assignment of a concrete partition to
+every table alias — the :class:`JoinPruner` decides whether the subjoin can
+be skipped, and if not, which pushdown filters can narrow it:
+
+1. **Empty-partition pruning**: a physically empty partition makes the whole
+   subjoin empty (the common case for dimension-table deltas).
+2. **Logical hot/cold pruning**: under a declared consistent aging, matching
+   tuples share a temperature, so a subjoin pairing a hot partition of one
+   table with a cold partition of the other is empty by definition
+   (Section 5.4).
+3. **Dynamic tid-range pruning** (Equation 5): for a join edge covered by a
+   matching dependency, matching tuples agree on the MD's tid column; if the
+   tid ranges of the two partitions' dictionaries are disjoint —
+   ``max(R1[tid]) < min(S2[tid]) ∨ min(R1[tid]) > max(S2[tid])`` — the
+   subjoin is empty.  Ranges come from the current dictionaries, which is
+   exactly the paper's runtime prefilter.
+4. **Join predicate pushdown** (Section 5.3): if the ranges overlap, tuples
+   can still only match inside the *intersection* of the ranges, so a local
+   tid-range predicate is pushed onto each side whose own range is wider.
+   With referential integrity enforced (the default), a NULL tid implies a
+   NULL or dangling foreign key — a row that cannot join — so the pushed
+   filter is a plain range pair evaluable in dictionary-code space.  When
+   the engine runs with RI enforcement off, matching dependencies are no
+   longer guaranteed to hold and the pruner must be constructed with
+   ``assume_md_integrity=False``, which keeps NULL-tid rows conservatively
+   (``NOT (tid < lo OR tid > hi)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..query.expr import Cmp, Col, Expr, Lit, Not, Or
+from ..query.query import AggregateQuery, JoinEdge
+from ..storage.aging import ConsistentAging
+from ..storage.partition import Partition
+from .matching_dependency import MatchingDependency
+from .strategies import ExecutionStrategy
+
+
+@dataclass
+class PruneReport:
+    """Per-query pruning outcome counters."""
+
+    combos_total: int = 0
+    pruned_empty: int = 0
+    pruned_logical: int = 0
+    pruned_dynamic: int = 0
+    pushdown_filters: int = 0
+    evaluated: int = 0
+
+    @property
+    def pruned_total(self) -> int:
+        """Total subjoins pruned across all mechanisms."""
+        return self.pruned_empty + self.pruned_logical + self.pruned_dynamic
+
+
+def partition_temperature(partition: Partition) -> Optional[str]:
+    """"hot"/"cold" for aged partitions, None for plain main/delta."""
+    prefix = partition.name.split("_", 1)[0]
+    return prefix if prefix in ("hot", "cold") else None
+
+
+@dataclass(frozen=True)
+class _EdgeInfo:
+    """A join edge annotated with its MD and consistent-aging coverage."""
+
+    edge: JoinEdge
+    md: Optional[MatchingDependency]
+    aged_consistently: bool
+
+
+class JoinPruner:
+    """Prune/pushdown decisions for one query's compensation subjoins."""
+
+    def __init__(
+        self,
+        query: AggregateQuery,
+        mds: Sequence[MatchingDependency],
+        consistent_agings: Sequence[ConsistentAging],
+        strategy: ExecutionStrategy,
+        predicate_pushdown: bool = False,
+        assume_md_integrity: bool = True,
+    ):
+        self._query = query
+        self._strategy = strategy
+        self._pushdown = predicate_pushdown and strategy.prunes_dynamic
+        self._assume_md_integrity = assume_md_integrity
+        self._edges: List[_EdgeInfo] = []
+        for edge in query.join_edges:
+            table_a = query.table_of(edge.left_alias)
+            table_b = query.table_of(edge.right_alias)
+            covering_md = next(
+                (
+                    md
+                    for md in mds
+                    if md.covers_join(table_a, edge.left_col, table_b, edge.right_col)
+                ),
+                None,
+            )
+            aged = any(decl.covers(table_a, table_b) for decl in consistent_agings)
+            self._edges.append(_EdgeInfo(edge, covering_md, aged))
+
+    # ------------------------------------------------------------------
+    def check(
+        self, assignment: Dict[str, Partition]
+    ) -> Tuple[Optional[str], Dict[str, List[Expr]]]:
+        """Decide the fate of one subjoin.
+
+        Returns ``(reason, extra_filters)``: ``reason`` is ``"empty"``,
+        ``"logical"``, or ``"dynamic"`` when the subjoin is pruned (then
+        ``extra_filters`` is empty), or ``None`` when it must be evaluated —
+        possibly with pushdown filters per alias.
+        """
+        if self._strategy.prunes_empty:
+            for partition in assignment.values():
+                if partition.row_count == 0:
+                    return "empty", {}
+        if not self._strategy.prunes_dynamic:
+            return None, {}
+        # Logical pruning first: a name comparison, cheaper than range checks.
+        for info in self._edges:
+            if not info.aged_consistently:
+                continue
+            temp_left = partition_temperature(assignment[info.edge.left_alias])
+            temp_right = partition_temperature(assignment[info.edge.right_alias])
+            if temp_left and temp_right and temp_left != temp_right:
+                return "logical", {}
+        pushdown: Dict[str, List[Expr]] = {}
+        for info in self._edges:
+            if info.md is None:
+                continue
+            left = assignment[info.edge.left_alias]
+            right = assignment[info.edge.right_alias]
+            tid = info.md.tid_column
+            left_range = (left.min_value(tid), left.max_value(tid))
+            right_range = (right.min_value(tid), right.max_value(tid))
+            if left_range[0] is None or right_range[0] is None:
+                # One side has no tid values at all: no tuple can satisfy the
+                # MD-implied equality, so the subjoin is empty ("for an empty
+                # partition we define min()/max() such that the prefilter is
+                # true").  NULL-tid rows cannot match an MD-covered edge
+                # either: their fk has no parent, hence no join partner.
+                return "dynamic", {}
+            if left_range[1] < right_range[0] or left_range[0] > right_range[1]:
+                return "dynamic", {}
+            if self._pushdown:
+                self._collect_pushdown(info, left_range, right_range, pushdown)
+        return None, pushdown
+
+    def _collect_pushdown(
+        self,
+        info: _EdgeInfo,
+        left_range: Tuple,
+        right_range: Tuple,
+        pushdown: Dict[str, List[Expr]],
+    ) -> None:
+        """Narrow each side to the intersection of the two tid ranges."""
+        tid = info.md.tid_column
+        lo = max(left_range[0], right_range[0])
+        hi = min(left_range[1], right_range[1])
+        for alias, own in (
+            (info.edge.left_alias, left_range),
+            (info.edge.right_alias, right_range),
+        ):
+            if own[0] >= lo and own[1] <= hi:
+                continue  # the side is already inside the intersection
+            filters = pushdown.setdefault(alias, [])
+            col = Col(tid, alias)
+            if self._assume_md_integrity:
+                # Plain range conjuncts: evaluable in code space; NULL-tid
+                # rows are dropped, which is safe because under enforced RI
+                # they cannot have a join partner on an MD-covered edge.
+                filters.append(Cmp(">=", col, Lit(lo)))
+                filters.append(Cmp("<=", col, Lit(hi)))
+            else:
+                filters.append(_null_safe_range(col, lo, hi))
+
+
+def _null_safe_range(col: Col, lo, hi) -> Expr:
+    """``NOT (col < lo OR col > hi)`` — true for values in [lo, hi] AND for
+    NULL (a NULL comparison is false, so the negation keeps the row)."""
+    return Not(Or([Cmp("<", col, Lit(lo)), Cmp(">", col, Lit(hi))]))

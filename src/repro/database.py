@@ -1,0 +1,422 @@
+"""The top-level database facade.
+
+Wires together the storage catalog, the transaction/visibility layer, the
+partition-aware executor, the matching-dependency enforcer, and the
+aggregate cache manager into the single object applications talk to:
+
+.. code-block:: python
+
+    from repro import Database, ExecutionStrategy
+
+    db = Database()
+    db.create_table("header", [("hid", "INT"), ("year", "INT")], primary_key="hid")
+    db.create_table("item", [("iid", "INT"), ("hid", "INT"), ("price", "FLOAT")],
+                    primary_key="iid")
+    db.add_matching_dependency("header", "hid", "item", "hid")
+
+    db.insert("header", {"hid": 1, "year": 2013})
+    db.insert("item", {"iid": 1, "hid": 1, "price": 10.0})
+    db.merge()
+
+    result = db.query(
+        "SELECT SUM(i.price) AS profit FROM header h, item i WHERE h.hid = i.hid",
+        strategy=ExecutionStrategy.CACHED_FULL_PRUNING,
+    )
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from .core.admission import AdmissionPolicy
+from .core.enforcement import MDEnforcer
+from .core.eviction import EvictionPolicy
+from .core.manager import AggregateCacheManager, CacheQueryReport
+from .core.matching_dependency import MatchingDependency
+from .core.strategies import CacheConfig, ExecutionStrategy
+from .errors import CatalogError, QueryError
+from .query.executor import QueryExecutor
+from .query.query import AggregateQuery
+from .query.result import QueryResult
+from .query.sql import parse_sql
+from .storage.aging import ConsistentAging
+from .storage.catalog import Catalog
+from .storage.merge import MergeStats, merge_table
+from .storage.schema import ColumnDef, Schema, SqlType, tid_column
+from .storage.table import AgingRule, Table
+from .txn.consistent_view import ConsistentViewManager
+from .txn.manager import SnapshotReader, Transaction, TransactionManager
+
+ColumnsSpec = Union[Schema, Sequence[ColumnDef], Sequence[Tuple[str, str]]]
+
+
+def _as_schema(columns: ColumnsSpec, primary_key: Optional[str]) -> Schema:
+    if isinstance(columns, Schema):
+        return columns
+    defs: List[ColumnDef] = []
+    for column in columns:
+        if isinstance(column, ColumnDef):
+            defs.append(column)
+        else:
+            name, type_name = column
+            defs.append(ColumnDef(name, SqlType(type_name.upper())))
+    return Schema(defs, primary_key=primary_key)
+
+
+class Database:
+    """An in-memory columnar database with an aggregate cache."""
+
+    def __init__(
+        self,
+        cache_config: Optional[CacheConfig] = None,
+        admission: Optional[AdmissionPolicy] = None,
+        eviction: Optional[EvictionPolicy] = None,
+    ):
+        self.catalog = Catalog()
+        self.transactions = TransactionManager()
+        self.views = ConsistentViewManager(self.transactions)
+        self.executor = QueryExecutor(self.catalog)
+        config = cache_config if cache_config is not None else CacheConfig()
+        self.cache = AggregateCacheManager(
+            self.catalog,
+            self.executor,
+            self.views,
+            config=config,
+            admission=admission,
+            eviction=eviction,
+        )
+        self.enforcer = MDEnforcer(
+            self.catalog,
+            enforce_referential_integrity=config.enforce_referential_integrity,
+        )
+        self.last_report: Optional[CacheQueryReport] = None
+        self._write_listeners: List[object] = []
+        self._merge_listeners: List[object] = []
+
+    # ------------------------------------------------------------------
+    # write listeners (used by the materialized-view baselines)
+    # ------------------------------------------------------------------
+    def register_write_listener(self, listener) -> None:
+        """Register an observer with ``on_insert(table, row, tid)``,
+        ``on_update(table, old_row, new_row, tid)``, and
+        ``on_delete(table, old_row, tid)`` callbacks.  The eager/lazy
+        materialized-view baselines of Section 6.1 subscribe here."""
+        self._write_listeners.append(listener)
+
+    def unregister_write_listener(self, listener) -> None:
+        """Remove a previously registered write listener."""
+        self._write_listeners.remove(listener)
+
+    def register_merge_listener(self, listener) -> None:
+        """Additional :class:`~repro.storage.merge.MergeListener`s notified
+        on every ``merge`` (the aggregate cache is always first)."""
+        self._merge_listeners.append(listener)
+
+    def unregister_merge_listener(self, listener) -> None:
+        """Remove a previously registered merge listener."""
+        self._merge_listeners.remove(listener)
+
+    # ------------------------------------------------------------------
+    # DDL
+    # ------------------------------------------------------------------
+    def create_table(
+        self,
+        name: str,
+        columns: ColumnsSpec,
+        primary_key: Optional[str] = None,
+        aging_rule: Optional[AgingRule] = None,
+        separate_update_delta: bool = False,
+    ) -> Table:
+        """Create a table.  ``columns`` may be a Schema, ColumnDefs, or
+        ``(name, "INT"|"FLOAT"|"TEXT"|"DATE")`` tuples.
+
+        ``separate_update_delta=True`` gives every partition group a third,
+        update-only delta partition (the paper's Section-8 "negative delta"
+        direction): updates no longer pollute the insert delta's tid ranges,
+        keeping main x insert-delta subjoins dynamically prunable under
+        update traffic.
+        """
+        schema = _as_schema(columns, primary_key)
+        return self.catalog.create_table(
+            name,
+            schema,
+            aging_rule=aging_rule,
+            separate_update_delta=separate_update_delta,
+        )
+
+    def drop_table(self, name: str) -> None:
+        """Drop a table and clear the aggregate cache (entries may reference it)."""
+        self.catalog.drop_table(name)
+        self.cache.clear()  # entries may reference the dropped table
+
+    def add_matching_dependency(
+        self,
+        parent_table: str,
+        parent_key: str,
+        child_table: str,
+        child_fk: str,
+        tid_column_name: Optional[str] = None,
+    ) -> MatchingDependency:
+        """Declare and enforce an MD (Equation 6); installs tid columns.
+
+        The tid column (default name ``tid_<parent_table>``) is appended to
+        both schemas if missing — which requires both tables to still be
+        empty.  From this call on every insert is stamped, so the MD holds
+        for all data, which is what keeps pruning sound.
+        """
+        name = tid_column_name or f"tid_{parent_table}"
+        md = MatchingDependency(parent_table, parent_key, child_table, child_fk, name)
+        for table_name in (parent_table, child_table):
+            table = self.catalog.table(table_name)
+            if not table.schema.has_column(name):
+                table.extend_schema([tid_column(name)])
+        self.enforcer.register(md)
+        self.cache.register_matching_dependency(md)
+        return md
+
+    def declare_consistent_aging(self, left_table: str, right_table: str) -> ConsistentAging:
+        """Promise that matching tuples of the two tables age together
+        (Section 5.4), enabling logical pruning of cross-temperature
+        subjoins."""
+        for name in (left_table, right_table):
+            self.catalog.table(name)  # existence check
+        declaration = ConsistentAging(left_table, right_table)
+        self.cache.register_consistent_aging(declaration)
+        return declaration
+
+    # ------------------------------------------------------------------
+    # transactions
+    # ------------------------------------------------------------------
+    def begin(self) -> Transaction:
+        """Start an explicit transaction (auto-commit otherwise)."""
+        return self.transactions.begin()
+
+    def _txn_or_begin(self, txn: Optional[Transaction]) -> Tuple[Transaction, bool]:
+        if txn is not None:
+            txn.require_active()
+            return txn, False
+        return self.transactions.begin(), True
+
+    # ------------------------------------------------------------------
+    # DML
+    # ------------------------------------------------------------------
+    def insert(
+        self,
+        table_name: str,
+        row: Dict[str, object],
+        txn: Optional[Transaction] = None,
+    ):
+        """Insert one row; stamps MD tid columns through the enforcer."""
+        transaction, own = self._txn_or_begin(txn)
+        table = self.catalog.table(table_name)
+        stamped = self.enforcer.stamp(table_name, row, transaction.tid)
+        locator = table.insert(stamped, transaction.tid)
+        if self._write_listeners:
+            inserted = table.partition(locator.partition).get_row(locator.row)
+            for listener in self._write_listeners:
+                listener.on_insert(table_name, inserted, transaction.tid)
+        if own:
+            transaction.commit()
+        return locator
+
+    def insert_many(
+        self,
+        table_name: str,
+        rows: Iterable[Dict[str, object]],
+        txn: Optional[Transaction] = None,
+    ) -> int:
+        """Insert several rows in one transaction; returns the count."""
+        transaction, own = self._txn_or_begin(txn)
+        count = 0
+        for row in rows:
+            self.insert(table_name, row, txn=transaction)
+            count += 1
+        if own:
+            transaction.commit()
+        return count
+
+    def insert_business_object(
+        self,
+        header_table: str,
+        header_row: Dict[str, object],
+        item_table: str,
+        item_rows: Iterable[Dict[str, object]],
+        txn: Optional[Transaction] = None,
+    ) -> int:
+        """Persist a header and its items in a single transaction — the
+        enterprise-application insert pattern of Section 3.2.  Returns the
+        number of item rows inserted."""
+        transaction, own = self._txn_or_begin(txn)
+        self.insert(header_table, header_row, txn=transaction)
+        count = 0
+        for item_row in item_rows:
+            self.insert(item_table, item_row, txn=transaction)
+            count += 1
+        if own:
+            transaction.commit()
+        return count
+
+    def update(
+        self,
+        table_name: str,
+        pk_value,
+        changes: Dict[str, object],
+        txn: Optional[Transaction] = None,
+    ) -> None:
+        """Update one row by primary key (new version goes to the delta)."""
+        transaction, own = self._txn_or_begin(txn)
+        table = self.catalog.table(table_name)
+        old_row = table.get_row(pk_value) if self._write_listeners else None
+        locator = table.update(pk_value, changes, transaction.tid)
+        if self._write_listeners:
+            new_row = table.partition(locator.partition).get_row(locator.row)
+            for listener in self._write_listeners:
+                listener.on_update(table_name, old_row, new_row, transaction.tid)
+        if own:
+            transaction.commit()
+
+    def delete(
+        self,
+        table_name: str,
+        pk_value,
+        txn: Optional[Transaction] = None,
+    ) -> None:
+        """Delete one row by primary key (invalidation only)."""
+        transaction, own = self._txn_or_begin(txn)
+        table = self.catalog.table(table_name)
+        old_row = table.get_row(pk_value) if self._write_listeners else None
+        table.delete(pk_value, transaction.tid)
+        if self._write_listeners:
+            for listener in self._write_listeners:
+                listener.on_delete(table_name, old_row, transaction.tid)
+        if own:
+            transaction.commit()
+
+    # ------------------------------------------------------------------
+    # merge
+    # ------------------------------------------------------------------
+    def merge(
+        self,
+        table_name: Optional[str] = None,
+        group_name: Optional[str] = None,
+        keep_history: bool = False,
+    ) -> List[MergeStats]:
+        """Run the delta merge — for one table or all of them — with the
+        aggregate cache attached as maintenance listener.
+
+        Merging related tables in one call is the merge-synchronization of
+        Section 5.2: their deltas empty together, maximizing pruning.
+        """
+        tables = (
+            [self.catalog.table(table_name)]
+            if table_name is not None
+            else self.catalog.tables()
+        )
+        snapshot = self.transactions.global_snapshot()
+        return [
+            merge_table(
+                table,
+                snapshot,
+                listeners=[self.cache] + self._merge_listeners,
+                group_name=group_name,
+                keep_history=keep_history,
+            )
+            for table in tables
+        ]
+
+    def auto_merge(self, advisor=None) -> List[MergeStats]:
+        """Consult a merge advisor and merge the recommended tables.
+
+        Tables connected by matching dependencies merge together, so the
+        merges are synchronized (Section 5.2).  Returns the merge stats
+        (empty list = nothing recommended).
+        """
+        from .core.merge_advisor import MergeAdvisor
+
+        advisor = advisor if advisor is not None else MergeAdvisor()
+        recommendation = advisor.recommend(self)
+        stats: List[MergeStats] = []
+        for name in recommendation.tables:
+            stats.extend(self.merge(name))
+        return stats
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def parse(self, sql: str) -> AggregateQuery:
+        """Parse SQL text into an :class:`AggregateQuery`."""
+        return parse_sql(sql)
+
+    def query(
+        self,
+        query: Union[str, AggregateQuery],
+        strategy: Optional[ExecutionStrategy] = None,
+        txn: Optional[Transaction] = None,
+        as_of: Optional[int] = None,
+    ) -> QueryResult:
+        """Answer an aggregate query (SQL text or query object).
+
+        ``as_of`` pins the read to a past transaction id (time travel); it
+        sees whatever that snapshot saw, provided history was retained
+        (``merge(keep_history=True)`` keeps invalidated rows).  The
+        per-query :class:`CacheQueryReport` is kept in ``last_report``.
+        """
+        if isinstance(query, str):
+            query = parse_sql(query)
+        if as_of is not None:
+            if txn is not None:
+                raise QueryError("pass either txn or as_of, not both")
+            reader = SnapshotReader(as_of)
+            grouped, report = self.cache.execute(query, reader, strategy=strategy)
+            self.last_report = report
+            return QueryResult.from_grouped(query, grouped)
+        transaction, own = self._txn_or_begin(txn)
+        grouped, report = self.cache.execute(query, transaction, strategy=strategy)
+        if own:
+            transaction.commit()
+        self.last_report = report
+        return QueryResult.from_grouped(query, grouped)
+
+    def explain(
+        self,
+        query: Union[str, AggregateQuery],
+        strategy: Optional[ExecutionStrategy] = None,
+    ) -> str:
+        """EXPLAIN: how the cache would answer the query, without running it.
+
+        Shows the cached all-main combinations (hit/miss) and the fate of
+        every delta-compensation subjoin — evaluated, or pruned by which
+        mechanism, with any derived pushdown filters.
+        """
+        if isinstance(query, str):
+            query = parse_sql(query)
+        return self.cache.explain(query, strategy).render()
+
+    def export_csv(self, table_name: str, path, include_tid_columns: bool = False) -> int:
+        """Write the table's visible rows to a CSV file; returns the count."""
+        from .storage.csvio import export_csv
+
+        return export_csv(self, table_name, path, include_tid_columns)
+
+    def import_csv(self, table_name: str, path, batch_size: int = 1000) -> int:
+        """Load rows from a CSV file through the normal insert path."""
+        from .storage.csvio import import_csv
+
+        return import_csv(self, table_name, path, batch_size=batch_size)
+
+    def statistics(self):
+        """A monitoring snapshot (storage / cache / enforcement); see
+        :mod:`repro.monitor`."""
+        from .monitor import collect_statistics
+
+        return collect_statistics(self)
+
+    def table(self, name: str) -> Table:
+        """The live :class:`Table` object by name."""
+        return self.catalog.table(name)
+
+    def __repr__(self) -> str:
+        return (
+            f"Database(tables={self.catalog.table_names()}, "
+            f"cache_entries={self.cache.entry_count()})"
+        )

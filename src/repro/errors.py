@@ -1,0 +1,75 @@
+"""Exception hierarchy for the repro engine.
+
+Every error raised by the library derives from :class:`ReproError` so that
+applications can catch engine failures with a single ``except`` clause while
+still being able to discriminate the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro engine."""
+
+
+class SchemaError(ReproError):
+    """A table schema is malformed or an operation violates it.
+
+    Raised for duplicate column names, unknown column references during
+    inserts, missing primary keys where one is required, and similar
+    definition-time problems.
+    """
+
+
+class CatalogError(ReproError):
+    """A table name could not be resolved or is already taken."""
+
+
+class StorageError(ReproError):
+    """Low-level storage invariant violation (partition/column/dictionary)."""
+
+
+class TransactionError(ReproError):
+    """Misuse of the transaction API (e.g. writing through a closed txn)."""
+
+
+class IntegrityError(ReproError):
+    """A data integrity constraint was violated.
+
+    Covers primary-key duplicates, referential-integrity failures, and
+    matching-dependency enforcement failures (a foreign key whose parent
+    tuple does not exist).
+    """
+
+
+class QueryError(ReproError):
+    """A query is semantically invalid for the current catalog.
+
+    Examples: unknown table alias, unknown column, disconnected join graph,
+    aggregate of a non-numeric column.
+    """
+
+
+class SqlSyntaxError(QueryError):
+    """The SQL text could not be parsed.
+
+    Carries the character ``position`` of the offending token so callers can
+    point at the error location.
+    """
+
+    def __init__(self, message: str, position: int = -1):
+        super().__init__(message)
+        self.position = position
+
+
+class CacheError(ReproError):
+    """The aggregate cache was asked to do something unsupported.
+
+    For example caching a query with non-self-maintainable aggregate
+    functions (MIN/MAX), or compensating an entry whose base tables have
+    been dropped.
+    """
+
+
+class UnsupportedQueryError(CacheError):
+    """The query does not qualify for the aggregate cache (Section 2.1)."""

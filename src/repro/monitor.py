@@ -1,0 +1,173 @@
+"""System monitoring views: storage, cache, and enforcement statistics.
+
+The equivalents of a DBMS's monitoring views (``M_CS_TABLES``-style), built
+from live engine state: per-partition row counts and byte sizes, aggregate
+cache occupancy and lifetime hit/miss/eviction counters, and matching-
+dependency enforcement activity.  ``Database.statistics()`` returns the
+structured snapshot; ``render()`` formats it for humans (the shell and the
+examples use it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from .database import Database
+
+
+@dataclass
+class PartitionStats:
+    """Snapshot of one partition: rows, visibility, bytes, invalidations."""
+
+    name: str
+    kind: str
+    rows: int
+    visible_rows: int
+    bytes: int
+    invalidation_epoch: int
+
+
+@dataclass
+class TableStats:
+    """Snapshot of one table across its partitions."""
+
+    name: str
+    table_id: int
+    aged: bool
+    partitions: List[PartitionStats] = field(default_factory=list)
+
+    @property
+    def total_rows(self) -> int:
+        """Physical rows across all partitions."""
+        return sum(p.rows for p in self.partitions)
+
+    @property
+    def total_bytes(self) -> int:
+        """Approximate bytes across all partitions."""
+        return sum(p.bytes for p in self.partitions)
+
+    @property
+    def delta_fill(self) -> float:
+        """Fraction of physical rows currently sitting in delta partitions —
+        the merge-urgency signal."""
+        delta_rows = sum(p.rows for p in self.partitions if p.kind == "delta")
+        total = self.total_rows
+        return delta_rows / total if total else 0.0
+
+
+@dataclass
+class CacheStats:
+    """Aggregate cache occupancy and lifetime counters."""
+
+    entries: int
+    total_value_bytes: int
+    total_hits: int
+    total_misses: int
+    total_evictions: int
+    total_maintenance_runs: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Lifetime hits / (hits + misses), 0.0 before any lookup."""
+        lookups = self.total_hits + self.total_misses
+        return self.total_hits / lookups if lookups else 0.0
+
+
+@dataclass
+class EnforcementSnapshot:
+    """Matching-dependency enforcement activity counters."""
+
+    matching_dependencies: int
+    parent_stamps: int
+    child_lookups: int
+    lookups_failed: int
+
+
+@dataclass
+class DatabaseStats:
+    """One consistent snapshot of engine statistics."""
+
+    snapshot_tid: int
+    tables: List[TableStats]
+    cache: CacheStats
+    enforcement: EnforcementSnapshot
+
+    def table(self, name: str) -> TableStats:
+        """The stats of one table by name (KeyError if absent)."""
+        for stats in self.tables:
+            if stats.name == name:
+                return stats
+        raise KeyError(name)
+
+    def render(self) -> str:
+        """Human-readable multi-line rendering of the snapshot."""
+        lines = [f"snapshot: tid {self.snapshot_tid}", "", "tables:"]
+        for table in self.tables:
+            lines.append(
+                f"  {table.name} (id {table.table_id}"
+                f"{', aged' if table.aged else ''}) — "
+                f"{table.total_rows} rows, ~{table.total_bytes} B, "
+                f"delta fill {table.delta_fill:.1%}"
+            )
+            for part in table.partitions:
+                lines.append(
+                    f"    {part.name:<12} {part.kind:<5} rows={part.rows} "
+                    f"visible={part.visible_rows} ~{part.bytes}B "
+                    f"invalidations={part.invalidation_epoch}"
+                )
+        cache = self.cache
+        lines += [
+            "",
+            "aggregate cache:",
+            f"  entries={cache.entries} value-bytes~{cache.total_value_bytes} "
+            f"hits={cache.total_hits} misses={cache.total_misses} "
+            f"hit-rate={cache.hit_rate:.1%} evictions={cache.total_evictions} "
+            f"maintenance-runs={cache.total_maintenance_runs}",
+            "",
+            "matching dependencies:",
+            f"  declared={self.enforcement.matching_dependencies} "
+            f"parent-stamps={self.enforcement.parent_stamps} "
+            f"child-lookups={self.enforcement.child_lookups} "
+            f"failed-lookups={self.enforcement.lookups_failed}",
+        ]
+        return "\n".join(lines)
+
+
+def collect_statistics(db: Database) -> DatabaseStats:
+    """Take a statistics snapshot of ``db``."""
+    snapshot = db.transactions.global_snapshot()
+    tables: List[TableStats] = []
+    for name in db.catalog.table_names():
+        table = db.table(name)
+        stats = TableStats(name=name, table_id=table.table_id, aged=table.is_aged())
+        for partition in table.partitions():
+            stats.partitions.append(
+                PartitionStats(
+                    name=partition.name,
+                    kind=partition.kind,
+                    rows=partition.row_count,
+                    visible_rows=partition.visible_count(snapshot),
+                    bytes=partition.nbytes(),
+                    invalidation_epoch=partition.invalidation_epoch,
+                )
+            )
+        tables.append(stats)
+    manager = db.cache
+    cache = CacheStats(
+        entries=manager.entry_count(),
+        total_value_bytes=sum(e.metrics.size_bytes for e in manager.entries()),
+        total_hits=manager.total_hits,
+        total_misses=manager.total_misses,
+        total_evictions=manager.total_evictions,
+        total_maintenance_runs=manager.total_maintenance_runs,
+    )
+    enforcement = EnforcementSnapshot(
+        matching_dependencies=len(db.enforcer.dependencies()),
+        parent_stamps=db.enforcer.stats.parent_stamps,
+        child_lookups=db.enforcer.stats.child_lookups,
+        lookups_failed=db.enforcer.stats.lookups_failed,
+    )
+    return DatabaseStats(
+        snapshot_tid=snapshot, tables=tables, cache=cache, enforcement=enforcement
+    )

@@ -1,0 +1,7 @@
+"""Classical materialized-view maintenance baselines (Section 6.1)."""
+
+from .eager import EagerIncrementalView
+from .lazy import LazyIncrementalView
+from .view import MaterializedView
+
+__all__ = ["EagerIncrementalView", "LazyIncrementalView", "MaterializedView"]

@@ -1,0 +1,145 @@
+"""Classical materialized views over main *and* delta (the Fig. 6 baselines).
+
+Unlike the aggregate cache — whose extent covers the main partitions only —
+a classical materialized view covers the full table state and therefore must
+be maintained for *every* base-data change.  The two maintenance timings the
+paper compares against (Section 6.1) are provided as subclasses:
+
+* :class:`~repro.mv.eager.EagerIncrementalView` — maintain on every
+  modification (Blakeley et al. [2]);
+* :class:`~repro.mv.lazy.LazyIncrementalView` — log modifications and apply
+  them right before the view is read (Zhou et al. [32]).
+
+The views support single-table aggregate queries with self-maintainable
+functions, which is the statement class of the Section 6.1 experiment
+("the statements in this workload reference a single table").
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..database import Database
+from ..errors import QueryError, UnsupportedQueryError
+from ..query.aggregates import GroupedAggregates
+from ..query.expr import Col
+from ..query.query import AggregateQuery
+from ..query.result import QueryResult
+from ..query.sql import parse_sql
+from .extent import InMemoryExtent, SummaryTableExtent
+
+
+class _RowProvider:
+    """Column provider over a single row dict (for per-change maintenance)."""
+
+    __slots__ = ("_row",)
+
+    def __init__(self, row: Dict[str, object]):
+        self._row = row
+
+    def get(self, alias: Optional[str], name: str) -> np.ndarray:
+        """The row's value for ``name`` as a length-1 array."""
+        out = np.empty(1, dtype=object)
+        try:
+            out[0] = self._row[name]
+        except KeyError:
+            raise QueryError(f"row has no column {name!r}") from None
+        return out
+
+    def row_count(self) -> int:
+        """Always 1 — maintenance processes one row change at a time."""
+        return 1
+
+
+class MaterializedView:
+    """Base class: full initial computation + per-row signed maintenance.
+
+    ``backing`` selects where the extent lives: ``"memory"`` keeps a grouped
+    hash map in process memory; ``"table"`` persists the extent as an engine
+    summary table whose maintenance is a transactional write per change —
+    the OLTP summary-table discipline the paper's Section 1 describes and
+    the Fig. 6 experiment compares against.
+    """
+
+    def __init__(self, db: Database, query, name: str = "view",
+                 backing: str = "memory"):
+        if isinstance(query, str):
+            query = parse_sql(query)
+        self.name = name
+        self._db = db
+        self._query: AggregateQuery = db.executor.bind(query)
+        if len(self._query.tables) != 1:
+            raise UnsupportedQueryError(
+                "materialized-view baselines support single-table queries "
+                "(the statement class of the Section 6.1 experiment)"
+            )
+        if not self._query.is_self_maintainable():
+            raise UnsupportedQueryError(
+                "incremental view maintenance requires self-maintainable "
+                "aggregates (SUM/COUNT/AVG)"
+            )
+        self.table_name = self._query.tables[0].table
+        initial: GroupedAggregates = db.executor.execute(
+            self._query, db.transactions.global_snapshot()
+        )
+        if backing == "memory":
+            self._extent = InMemoryExtent(self._query.aggregates, initial)
+        elif backing == "table":
+            self._extent = SummaryTableExtent(
+                db, self._query.aggregates, len(self._query.group_by),
+                f"_mv_{name}", initial,
+            )
+        else:
+            raise QueryError(f"unknown view backing {backing!r}")
+        self.backing = backing
+        self.maintenance_time = 0.0
+        self.maintenance_operations = 0
+
+    # ------------------------------------------------------------------
+    # maintenance primitives
+    # ------------------------------------------------------------------
+    def _apply_row(self, row: Dict[str, object], sign: int) -> None:
+        """Fold one row change into the view extent (the summary-delta step)."""
+        started = time.perf_counter()
+        provider = _RowProvider(row)
+        for expr in self._query.filters:
+            if not bool(expr.evaluate(provider)[0]):
+                self.maintenance_time += time.perf_counter() - started
+                return
+        key = tuple(col.evaluate(provider)[0] for col in self._query.group_by)
+        values: List[object] = []
+        for spec in self._query.aggregates:
+            if spec.arg is None:
+                values.append(None)
+            else:
+                values.append(spec.arg.evaluate(provider)[0])
+        self._extent.apply(key, values, sign)
+        self.maintenance_operations += 1
+        self.maintenance_time += time.perf_counter() - started
+
+    def refresh_full(self) -> None:
+        """Recompute the view from scratch (diagnostics / recovery path)."""
+        started = time.perf_counter()
+        grouped = self._db.executor.execute(
+            self._query, self._db.transactions.global_snapshot()
+        )
+        self._extent.replace(grouped)
+        self.maintenance_time += time.perf_counter() - started
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def read(self) -> QueryResult:
+        """The view contents (subclasses may maintain before serving)."""
+        return QueryResult.from_rows(self._query, self._extent.rows())
+
+    @property
+    def query(self) -> AggregateQuery:
+        """The bound query this view materializes."""
+        return self._query
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r} ON {self.table_name!r})"

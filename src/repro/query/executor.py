@@ -1,0 +1,378 @@
+"""Partition-aware query execution (Section 2.3.1).
+
+A query over partitioned tables is the union of its *subjoins*: one join per
+combination of partitions, one partition per referenced table.  The executor
+takes an explicit list of :class:`ComboSpec` combinations — the plain path
+evaluates all ``k1 × ... × kt`` of them, the aggregate cache passes the
+compensation subset (everything except the cached all-main combination),
+and the object-aware layer passes a pruned subset plus per-combination
+pushdown filters (Section 5.3).
+
+Work that repeats across combinations referencing the same partition —
+visible-row scans with local filters and join-side hash tables — is memoized
+per ``execute`` call, which mirrors how a real engine would share scans
+across union branches.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import QueryError
+from ..storage.catalog import Catalog
+from ..storage.partition import Partition
+from .aggregates import GroupedAggregates
+from .expr import Col, Expr
+from .operators import (
+    JoinedProvider,
+    aggregate_into,
+    build_hash_table,
+    probe_hash_join,
+    scan_partition,
+)
+from .query import AggregateQuery, JoinEdge
+
+
+@dataclass
+class ComboSpec:
+    """One subjoin: a partition per alias, plus per-alias pushdown filters.
+
+    ``extra_filters`` carries combination-specific local predicates — the
+    join-predicate-pushdown ranges derived from matching dependencies — that
+    must be applied to that alias' scan *for this subjoin only*.
+
+    ``fixed_rows`` pins an alias to an explicit row-index set *instead of*
+    the snapshot-visibility scan.  The aggregate cache uses this for main
+    compensation: the "invalidated rows" side and the "rows visible at entry
+    creation" sides of the subtraction are both fixed sets that no current
+    snapshot describes.  Local and extra filters still apply on top.
+    """
+
+    partitions: Dict[str, Partition]
+    extra_filters: Dict[str, List[Expr]] = field(default_factory=dict)
+    fixed_rows: Dict[str, np.ndarray] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        """Compact '(alias:partition, ...)' rendering for stats/plans."""
+        inner = ", ".join(
+            f"{alias}:{part.name}" for alias, part in sorted(self.partitions.items())
+        )
+        return f"({inner})"
+
+
+@dataclass
+class ExecutionStats:
+    """Counters filled during one ``execute`` call."""
+
+    combos_evaluated: int = 0
+    combos_empty: int = 0
+    rows_aggregated: int = 0
+    subjoins: List[str] = field(default_factory=list)
+
+
+def all_partition_combos(
+    query: AggregateQuery, catalog: Catalog
+) -> List[Dict[str, Partition]]:
+    """The full cartesian product of partitions per referenced table."""
+    per_alias: List[List[Tuple[str, Partition]]] = []
+    for ref in query.tables:
+        table = catalog.table(ref.table)
+        per_alias.append([(ref.alias, p) for p in table.partitions()])
+    return [dict(chosen) for chosen in itertools.product(*per_alias)]
+
+
+def main_only_combos(
+    query: AggregateQuery, catalog: Catalog
+) -> List[Dict[str, Partition]]:
+    """Combinations in which every alias reads a main partition.
+
+    A plain table contributes its one main; an aged table contributes its
+    hot and cold mains, so a query over aged tables has several all-main
+    combinations (one aggregate cache entry each, Section 5.4).
+    """
+    return [
+        combo
+        for combo in all_partition_combos(query, catalog)
+        if all(p.kind == "main" for p in combo.values())
+    ]
+
+
+def _filter_fixed_rows(
+    alias: str,
+    partition: Partition,
+    rows: np.ndarray,
+    filters: Sequence[Expr],
+) -> np.ndarray:
+    """Apply local filters to an explicitly pinned row set."""
+    from .operators import PartitionProvider
+
+    rows = np.asarray(rows, dtype=np.int64)
+    if not filters or not len(rows):
+        return rows
+    provider = PartitionProvider(alias, partition, rows)
+    keep = np.ones(len(rows), dtype=bool)
+    for expr in filters:
+        keep &= expr.evaluate(provider).astype(bool)
+    return rows[keep]
+
+
+class _JoinStep:
+    """One step of the left-deep join plan: the alias to add and its edges."""
+
+    __slots__ = ("alias", "edges")
+
+    def __init__(self, alias: str, edges: List[JoinEdge]):
+        self.alias = alias
+        self.edges = edges
+
+
+class QueryExecutor:
+    """Evaluates aggregate queries over explicit partition combinations."""
+
+    def __init__(self, catalog: Catalog):
+        self._catalog = catalog
+
+    # ------------------------------------------------------------------
+    # binding
+    # ------------------------------------------------------------------
+    def bind(self, query: AggregateQuery) -> AggregateQuery:
+        """Resolve unqualified column references and validate columns.
+
+        Returns a new query in which every ``Col`` carries the alias of the
+        unique table that owns the column; raises ``QueryError`` for unknown
+        or ambiguous names.  Binding is idempotent: a query produced by this
+        method is returned unchanged, so hot paths may re-bind freely.
+        """
+        if getattr(query, "_bound_by", None) is self._catalog:
+            return query
+        schemas = {
+            ref.alias: self._catalog.table(ref.table).schema for ref in query.tables
+        }
+
+        def resolve(col: Col) -> Col:
+            if col.alias is not None:
+                schema = schemas.get(col.alias)
+                if schema is None:
+                    raise QueryError(f"unknown alias {col.alias!r}")
+                if not schema.has_column(col.name):
+                    raise QueryError(
+                        f"table alias {col.alias!r} has no column {col.name!r}"
+                    )
+                return col
+            owners = [
+                alias for alias, schema in schemas.items() if schema.has_column(col.name)
+            ]
+            if not owners:
+                raise QueryError(f"unknown column {col.name!r}")
+            if len(owners) > 1:
+                raise QueryError(
+                    f"ambiguous column {col.name!r} (owned by {sorted(owners)})"
+                )
+            return Col(col.name, owners[0])
+
+        for edge in query.join_edges:
+            for alias, col in (
+                (edge.left_alias, edge.left_col),
+                (edge.right_alias, edge.right_col),
+            ):
+                if not schemas[alias].has_column(col):
+                    raise QueryError(
+                        f"join edge references missing column {alias}.{col}"
+                    )
+        bound = AggregateQuery(
+            tables=query.tables,
+            aggregates=[
+                spec if spec.arg is None else type(spec)(
+                    spec.func, spec.arg.map_columns(resolve), spec.output,
+                    spec.distinct,
+                )
+                for spec in query.aggregates
+            ],
+            group_by=[resolve(col) for col in query.group_by],
+            join_edges=query.join_edges,
+            filters=[f.map_columns(resolve) for f in query.filters],
+            order_by=query.order_by,
+            limit=query.limit,
+            group_labels=query.group_labels,
+            having=query.having,
+        )
+        bound._bound_by = self._catalog
+        return bound
+
+    # ------------------------------------------------------------------
+    # planning
+    # ------------------------------------------------------------------
+    def _join_plan(self, query: AggregateQuery) -> Tuple[str, List[_JoinStep]]:
+        """Left-deep join order following the (connected) join graph."""
+        remaining = [ref.alias for ref in query.tables]
+        first = remaining.pop(0)
+        joined = {first}
+        steps: List[_JoinStep] = []
+        while remaining:
+            progressed = False
+            for alias in list(remaining):
+                edges = [
+                    edge
+                    for edge in query.join_edges
+                    if alias in edge.aliases() and edge.other(alias)[0] in joined
+                ]
+                if edges:
+                    steps.append(_JoinStep(alias, edges))
+                    joined.add(alias)
+                    remaining.remove(alias)
+                    progressed = True
+            if not progressed:  # pragma: no cover - guarded by query validation
+                raise QueryError(f"disconnected join graph at {remaining}")
+        return first, steps
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        query: AggregateQuery,
+        snapshot: int,
+        combos: Optional[Sequence[ComboSpec]] = None,
+        into: Optional[GroupedAggregates] = None,
+        sign: int = 1,
+        stats: Optional[ExecutionStats] = None,
+    ) -> GroupedAggregates:
+        """Evaluate the union of the given subjoins into a grouped state.
+
+        ``combos`` defaults to the full partition product.  ``into`` lets
+        the aggregate cache fold compensation contributions into (a copy of)
+        a cached value; ``sign=-1`` subtracts, for main compensation.
+        """
+        bound = self.bind(query)
+        if combos is None:
+            combos = [
+                ComboSpec(partitions)
+                for partitions in all_partition_combos(bound, self._catalog)
+            ]
+        grouped = into if into is not None else GroupedAggregates(bound.aggregates)
+        first, steps = self._join_plan(bound)
+        residuals = bound.residual_filters()
+        local_filters = {ref.alias: bound.local_filters(ref.alias) for ref in bound.tables}
+        scan_memo: Dict[Tuple, np.ndarray] = {}
+        hash_memo: Dict[Tuple, Dict] = {}
+        for combo in combos:
+            self._execute_combo(
+                bound,
+                first,
+                steps,
+                residuals,
+                local_filters,
+                snapshot,
+                combo,
+                grouped,
+                sign,
+                scan_memo,
+                hash_memo,
+                stats,
+            )
+        return grouped
+
+    def _scan(
+        self,
+        alias: str,
+        combo: ComboSpec,
+        local_filters: Dict[str, List[Expr]],
+        snapshot: int,
+        scan_memo: Dict[Tuple, np.ndarray],
+    ) -> np.ndarray:
+        partition = combo.partitions[alias]
+        extra = combo.extra_filters.get(alias, [])
+        fixed = combo.fixed_rows.get(alias)
+        key = (
+            alias,
+            id(partition),
+            tuple(sorted(e.canonical() for e in extra)),
+            id(fixed) if fixed is not None else None,
+        )
+        rows = scan_memo.get(key)
+        if rows is None:
+            if fixed is not None:
+                rows = _filter_fixed_rows(
+                    alias, partition, fixed, local_filters[alias] + extra
+                )
+            else:
+                rows = scan_partition(
+                    alias, partition, snapshot, local_filters[alias] + extra
+                )
+            scan_memo[key] = rows
+        return rows
+
+    def _execute_combo(
+        self,
+        query: AggregateQuery,
+        first: str,
+        steps: List[_JoinStep],
+        residuals: List[Expr],
+        local_filters: Dict[str, List[Expr]],
+        snapshot: int,
+        combo: ComboSpec,
+        grouped: GroupedAggregates,
+        sign: int,
+        scan_memo: Dict[Tuple, np.ndarray],
+        hash_memo: Dict[Tuple, Dict],
+        stats: Optional[ExecutionStats],
+    ) -> None:
+        missing = {ref.alias for ref in query.tables} - set(combo.partitions)
+        if missing:
+            raise QueryError(f"combo misses partitions for aliases {sorted(missing)}")
+        if stats is not None:
+            stats.combos_evaluated += 1
+            stats.subjoins.append(combo.describe())
+        rows = self._scan(first, combo, local_filters, snapshot, scan_memo)
+        provider = JoinedProvider(
+            {first: combo.partitions[first]}, {first: rows}
+        )
+        if provider.row_count() == 0:
+            if stats is not None:
+                stats.combos_empty += 1
+            return
+        for step in steps:
+            partition = combo.partitions[step.alias]
+            key_columns = tuple(edge.side_for(step.alias) for edge in step.edges)
+            extra = combo.extra_filters.get(step.alias, [])
+            fixed = combo.fixed_rows.get(step.alias)
+            hash_key = (
+                step.alias,
+                id(partition),
+                key_columns,
+                tuple(sorted(e.canonical() for e in extra)),
+                id(fixed) if fixed is not None else None,
+            )
+            table = hash_memo.get(hash_key)
+            if table is None:
+                hashed_rows = self._scan(
+                    step.alias, combo, local_filters, snapshot, scan_memo
+                )
+                table = build_hash_table(partition, hashed_rows, key_columns)
+                hash_memo[hash_key] = table
+            if not table:
+                if stats is not None:
+                    stats.combos_empty += 1
+                return
+            probe_columns = [edge.other(step.alias) for edge in step.edges]
+            provider = probe_hash_join(
+                provider, probe_columns, step.alias, partition, table
+            )
+            if provider.row_count() == 0:
+                if stats is not None:
+                    stats.combos_empty += 1
+                return
+        for residual in residuals:
+            mask = residual.evaluate(provider).astype(bool)
+            provider = provider.select(mask)
+            if provider.row_count() == 0:
+                if stats is not None:
+                    stats.combos_empty += 1
+                return
+        n = aggregate_into(grouped, provider, query.group_by, query.aggregates, sign)
+        if stats is not None:
+            stats.rows_aggregated += n

@@ -1,0 +1,423 @@
+"""Expression trees for filters, join residuals, and aggregate arguments.
+
+Expressions evaluate vectorized over a *column provider* — anything exposing
+``get(alias, column) -> numpy object array`` for the current row set (a
+filtered partition scan or a joined tuple set).  SQL three-valued logic is
+approximated the way aggregate queries need it: any comparison involving
+NULL is false, and arithmetic with NULL yields NULL.
+
+Every expression can render a canonical string (``canonical()``), which the
+aggregate-cache key uses so that textually different but structurally equal
+queries share a cache entry.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import QueryError
+
+ColumnRefs = FrozenSet[Tuple[Optional[str], str]]
+
+
+def _nulls(values: np.ndarray) -> np.ndarray:
+    """Boolean mask of None entries in an object array."""
+    return np.frompyfunc(lambda v: v is None, 1, 1)(values).astype(bool)
+
+
+def _cmp_arrays(op: str, left: np.ndarray, right: np.ndarray) -> np.ndarray:
+    """Elementwise comparison with NULL-is-false semantics."""
+    null_mask = _nulls(left) | _nulls(right)
+    safe_left = left.copy()
+    safe_right = right.copy()
+    # Replace NULLs pairwise with a self-comparable sentinel so the vectorized
+    # comparison cannot raise; the null mask zeroes those slots afterwards.
+    safe_left[null_mask] = 0
+    safe_right[null_mask] = 0
+    if op == "=":
+        out = safe_left == safe_right
+    elif op == "!=":
+        out = safe_left != safe_right
+    elif op == "<":
+        out = safe_left < safe_right
+    elif op == "<=":
+        out = safe_left <= safe_right
+    elif op == ">":
+        out = safe_left > safe_right
+    elif op == ">=":
+        out = safe_left >= safe_right
+    else:  # pragma: no cover - guarded by Cmp.__init__
+        raise QueryError(f"unknown comparison operator {op!r}")
+    out = np.asarray(out, dtype=bool)
+    out[null_mask] = False
+    return out
+
+
+class Expr:
+    """Base class of all expression nodes."""
+
+    def evaluate(self, provider) -> np.ndarray:
+        """Evaluate over the provider's row set; returns an object/bool array."""
+        raise NotImplementedError
+
+    def column_refs(self) -> ColumnRefs:
+        """All (alias, column) pairs referenced by this expression."""
+        raise NotImplementedError
+
+    def canonical(self) -> str:
+        """Stable textual form used in cache keys."""
+        raise NotImplementedError
+
+    def map_columns(self, fn) -> "Expr":
+        """Return a copy with every :class:`Col` leaf replaced by ``fn(col)``."""
+        raise NotImplementedError
+
+    def rebind(self, alias_map) -> "Expr":
+        """Return a copy with aliases substituted per ``alias_map``."""
+        return self.map_columns(
+            lambda col: Col(col.name, alias_map.get(col.alias, col.alias))
+        )
+
+    # Convenience combinators -------------------------------------------------
+    def __and__(self, other: "Expr") -> "Expr":
+        return And([self, other])
+
+    def __or__(self, other: "Expr") -> "Expr":
+        return Or([self, other])
+
+    def __invert__(self) -> "Expr":
+        return Not(self)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Expr) and self.canonical() == other.canonical()
+
+    def __hash__(self) -> int:
+        return hash(self.canonical())
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.canonical()})"
+
+
+class Col(Expr):
+    """Reference to a column, optionally qualified with a table alias."""
+
+    __slots__ = ("alias", "name")
+
+    def __init__(self, name: str, alias: Optional[str] = None):
+        self.alias = alias
+        self.name = name
+
+    def evaluate(self, provider) -> np.ndarray:
+        """Evaluate over the provider's rows (see :meth:`Expr.evaluate`)."""
+        return provider.get(self.alias, self.name)
+
+    def column_refs(self) -> ColumnRefs:
+        """The (alias, column) pairs this node references."""
+        return frozenset({(self.alias, self.name)})
+
+    def canonical(self) -> str:
+        """Stable textual form used in cache keys."""
+        return f"{self.alias}.{self.name}" if self.alias else self.name
+
+    def map_columns(self, fn) -> "Expr":
+        """Copy of this node with every Col leaf mapped through ``fn``."""
+        return fn(self)
+
+
+class Lit(Expr):
+    """A literal constant (int, float, str, or None)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+    def evaluate(self, provider) -> np.ndarray:
+        """Evaluate over the provider's rows (see :meth:`Expr.evaluate`)."""
+        n = provider.row_count()
+        out = np.empty(n, dtype=object)
+        out[:] = self.value
+        return out
+
+    def column_refs(self) -> ColumnRefs:
+        """The (alias, column) pairs this node references."""
+        return frozenset()
+
+    def canonical(self) -> str:
+        """Stable textual form used in cache keys."""
+        if isinstance(self.value, str):
+            return "'" + self.value.replace("'", "''") + "'"
+        return repr(self.value)
+
+    def map_columns(self, fn) -> "Lit":
+        """Copy of this node with every Col leaf mapped through ``fn``."""
+        return self
+
+
+_CMP_OPS = ("=", "!=", "<", "<=", ">", ">=")
+
+
+class Cmp(Expr):
+    """Binary comparison with NULL-is-false semantics."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Expr, right: Expr):
+        if op not in _CMP_OPS:
+            raise QueryError(f"unknown comparison operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def evaluate(self, provider) -> np.ndarray:
+        """Evaluate over the provider's rows (see :meth:`Expr.evaluate`)."""
+        return _cmp_arrays(self.op, self.left.evaluate(provider), self.right.evaluate(provider))
+
+    def column_refs(self) -> ColumnRefs:
+        """The (alias, column) pairs this node references."""
+        return self.left.column_refs() | self.right.column_refs()
+
+    def canonical(self) -> str:
+        """Stable textual form used in cache keys."""
+        return f"({self.left.canonical()} {self.op} {self.right.canonical()})"
+
+    def map_columns(self, fn) -> "Cmp":
+        """Copy of this node with every Col leaf mapped through ``fn``."""
+        return Cmp(self.op, self.left.map_columns(fn), self.right.map_columns(fn))
+
+    def is_equi_join(self) -> bool:
+        """True if this is ``a.x = b.y`` across two distinct aliases."""
+        return (
+            self.op == "="
+            and isinstance(self.left, Col)
+            and isinstance(self.right, Col)
+            and self.left.alias is not None
+            and self.right.alias is not None
+            and self.left.alias != self.right.alias
+        )
+
+
+class And(Expr):
+    """Conjunction of one or more boolean expressions."""
+
+    __slots__ = ("items",)
+
+    def __init__(self, items: Sequence[Expr]):
+        if not items:
+            raise QueryError("AND of zero expressions")
+        self.items: List[Expr] = list(items)
+
+    def evaluate(self, provider) -> np.ndarray:
+        """Evaluate over the provider's rows (see :meth:`Expr.evaluate`)."""
+        out = self.items[0].evaluate(provider).astype(bool)
+        for item in self.items[1:]:
+            out &= item.evaluate(provider).astype(bool)
+        return out
+
+    def column_refs(self) -> ColumnRefs:
+        """The (alias, column) pairs this node references."""
+        refs: ColumnRefs = frozenset()
+        for item in self.items:
+            refs |= item.column_refs()
+        return refs
+
+    def canonical(self) -> str:
+        """Stable textual form used in cache keys."""
+        return "(" + " AND ".join(sorted(i.canonical() for i in self.items)) + ")"
+
+    def map_columns(self, fn) -> "And":
+        """Copy of this node with every Col leaf mapped through ``fn``."""
+        return And([i.map_columns(fn) for i in self.items])
+
+    def conjuncts(self) -> List[Expr]:
+        """Flatten nested ANDs into a conjunct list."""
+        out: List[Expr] = []
+        for item in self.items:
+            if isinstance(item, And):
+                out.extend(item.conjuncts())
+            else:
+                out.append(item)
+        return out
+
+
+class Or(Expr):
+    """Disjunction of one or more boolean expressions."""
+
+    __slots__ = ("items",)
+
+    def __init__(self, items: Sequence[Expr]):
+        if not items:
+            raise QueryError("OR of zero expressions")
+        self.items: List[Expr] = list(items)
+
+    def evaluate(self, provider) -> np.ndarray:
+        """Evaluate over the provider's rows (see :meth:`Expr.evaluate`)."""
+        out = self.items[0].evaluate(provider).astype(bool)
+        for item in self.items[1:]:
+            out |= item.evaluate(provider).astype(bool)
+        return out
+
+    def column_refs(self) -> ColumnRefs:
+        """The (alias, column) pairs this node references."""
+        refs: ColumnRefs = frozenset()
+        for item in self.items:
+            refs |= item.column_refs()
+        return refs
+
+    def canonical(self) -> str:
+        """Stable textual form used in cache keys."""
+        return "(" + " OR ".join(sorted(i.canonical() for i in self.items)) + ")"
+
+    def map_columns(self, fn) -> "Or":
+        """Copy of this node with every Col leaf mapped through ``fn``."""
+        return Or([i.map_columns(fn) for i in self.items])
+
+
+class Not(Expr):
+    """Boolean negation."""
+
+    __slots__ = ("item",)
+
+    def __init__(self, item: Expr):
+        self.item = item
+
+    def evaluate(self, provider) -> np.ndarray:
+        """Evaluate over the provider's rows (see :meth:`Expr.evaluate`)."""
+        return ~self.item.evaluate(provider).astype(bool)
+
+    def column_refs(self) -> ColumnRefs:
+        """The (alias, column) pairs this node references."""
+        return self.item.column_refs()
+
+    def canonical(self) -> str:
+        """Stable textual form used in cache keys."""
+        return f"(NOT {self.item.canonical()})"
+
+    def map_columns(self, fn) -> "Not":
+        """Copy of this node with every Col leaf mapped through ``fn``."""
+        return Not(self.item.map_columns(fn))
+
+
+class InList(Expr):
+    """``expr IN (v1, v2, ...)`` over literal values; NULL never matches."""
+
+    __slots__ = ("item", "values")
+
+    def __init__(self, item: Expr, values: Iterable[object]):
+        self.item = item
+        self.values = frozenset(values)
+
+    def evaluate(self, provider) -> np.ndarray:
+        """Evaluate over the provider's rows (see :meth:`Expr.evaluate`)."""
+        values = self.item.evaluate(provider)
+        members = self.values
+        return np.frompyfunc(
+            lambda v: v is not None and v in members, 1, 1
+        )(values).astype(bool)
+
+    def column_refs(self) -> ColumnRefs:
+        """The (alias, column) pairs this node references."""
+        return self.item.column_refs()
+
+    def canonical(self) -> str:
+        """Stable textual form used in cache keys."""
+        body = ", ".join(sorted(Lit(v).canonical() for v in self.values))
+        return f"({self.item.canonical()} IN ({body}))"
+
+    def map_columns(self, fn) -> "InList":
+        """Copy of this node with every Col leaf mapped through ``fn``."""
+        return InList(self.item.map_columns(fn), self.values)
+
+
+class IsNull(Expr):
+    """``expr IS [NOT] NULL``."""
+
+    __slots__ = ("item", "negated")
+
+    def __init__(self, item: Expr, negated: bool = False):
+        self.item = item
+        self.negated = negated
+
+    def evaluate(self, provider) -> np.ndarray:
+        """Evaluate over the provider's rows (see :meth:`Expr.evaluate`)."""
+        mask = _nulls(self.item.evaluate(provider))
+        return ~mask if self.negated else mask
+
+    def column_refs(self) -> ColumnRefs:
+        """The (alias, column) pairs this node references."""
+        return self.item.column_refs()
+
+    def canonical(self) -> str:
+        """Stable textual form used in cache keys."""
+        middle = "IS NOT NULL" if self.negated else "IS NULL"
+        return f"({self.item.canonical()} {middle})"
+
+    def map_columns(self, fn) -> "IsNull":
+        """Copy of this node with every Col leaf mapped through ``fn``."""
+        return IsNull(self.item.map_columns(fn), self.negated)
+
+
+_ARITH_OPS = ("+", "-", "*", "/")
+
+
+class Arith(Expr):
+    """Binary arithmetic; NULL operands propagate to a NULL result."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Expr, right: Expr):
+        if op not in _ARITH_OPS:
+            raise QueryError(f"unknown arithmetic operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def evaluate(self, provider) -> np.ndarray:
+        """Evaluate over the provider's rows (see :meth:`Expr.evaluate`)."""
+        left = self.left.evaluate(provider)
+        right = self.right.evaluate(provider)
+        null_mask = _nulls(left) | _nulls(right)
+        safe_left = left.copy()
+        safe_right = right.copy()
+        safe_left[null_mask] = 0
+        safe_right[null_mask] = 1 if self.op == "/" else 0
+        if self.op == "+":
+            out = safe_left + safe_right
+        elif self.op == "-":
+            out = safe_left - safe_right
+        elif self.op == "*":
+            out = safe_left * safe_right
+        else:
+            out = safe_left / safe_right
+        out = np.asarray(out, dtype=object)
+        out[null_mask] = None
+        return out
+
+    def column_refs(self) -> ColumnRefs:
+        """The (alias, column) pairs this node references."""
+        return self.left.column_refs() | self.right.column_refs()
+
+    def canonical(self) -> str:
+        """Stable textual form used in cache keys."""
+        return f"({self.left.canonical()} {self.op} {self.right.canonical()})"
+
+    def map_columns(self, fn) -> "Arith":
+        """Copy of this node with every Col leaf mapped through ``fn``."""
+        return Arith(self.op, self.left.map_columns(fn), self.right.map_columns(fn))
+
+
+def conjuncts_of(expr: Expr) -> List[Expr]:
+    """Split a boolean expression into its top-level AND conjuncts."""
+    if isinstance(expr, And):
+        return expr.conjuncts()
+    return [expr]
+
+
+def single_alias_of(expr: Expr) -> Optional[str]:
+    """The one alias an expression touches, or None if zero or several."""
+    aliases = {alias for alias, _ in expr.column_refs()}
+    if len(aliases) == 1:
+        return next(iter(aliases))
+    return None

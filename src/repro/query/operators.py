@@ -1,0 +1,299 @@
+"""Physical operators: partition scans, hash joins, grouped aggregation.
+
+The operators work on *row-index sets* rather than materialized tuples:
+an intermediate join result is a dict ``alias -> int array`` of parallel row
+indices into each alias' partition.  Values are decoded through the column
+dictionaries only where an expression or join key needs them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import QueryError
+from ..storage.partition import Partition
+from .aggregates import AggregateSpec, GroupedAggregates
+from .expr import Col, Expr
+
+
+class PartitionProvider:
+    """Column provider over selected rows of a single partition."""
+
+    __slots__ = ("alias", "partition", "rows")
+
+    def __init__(self, alias: str, partition: Partition, rows: np.ndarray):
+        self.alias = alias
+        self.partition = partition
+        self.rows = rows
+
+    def get(self, alias: Optional[str], name: str) -> np.ndarray:
+        """Decoded values of a column over the selected rows."""
+        if alias is not None and alias != self.alias:
+            raise QueryError(
+                f"expression references alias {alias!r} inside a scan of {self.alias!r}"
+            )
+        return self.partition.column(name).decode_rows(self.rows)
+
+    def row_count(self) -> int:
+        """Number of selected rows."""
+        return len(self.rows)
+
+
+class JoinedProvider:
+    """Column provider over a joined tuple set.
+
+    ``indices`` maps each alias to a row-index array; all arrays have equal
+    length — position ``i`` across them is one joined tuple.
+    """
+
+    __slots__ = ("partitions", "indices", "_length")
+
+    def __init__(
+        self,
+        partitions: Dict[str, Partition],
+        indices: Dict[str, np.ndarray],
+    ):
+        self.partitions = partitions
+        self.indices = indices
+        lengths = {len(v) for v in indices.values()}
+        if len(lengths) > 1:
+            raise QueryError(f"unaligned joined index arrays: {lengths}")
+        self._length = lengths.pop() if lengths else 0
+
+    def get(self, alias: Optional[str], name: str) -> np.ndarray:
+        """Decoded values of ``alias.name`` over the joined tuples."""
+        if alias is None:
+            alias = self._resolve_unqualified(name)
+        partition = self.partitions[alias]
+        return partition.column(name).decode_rows(self.indices[alias])
+
+    def codes(self, alias: str, name: str):
+        """Dictionary codes of a column over the tuple set, plus the fragment.
+
+        The vectorized group-by path groups on codes (dense small integers)
+        instead of decoded values — the standard column-store optimization.
+        """
+        fragment = self.partitions[alias].column(name)
+        return fragment.codes()[self.indices[alias]], fragment
+
+    def _resolve_unqualified(self, name: str) -> str:
+        owners = [
+            alias
+            for alias, partition in self.partitions.items()
+            if name in partition.column_names()
+        ]
+        if len(owners) != 1:
+            raise QueryError(
+                f"column {name!r} is {'ambiguous' if owners else 'unknown'} "
+                f"across aliases {sorted(self.partitions)}"
+            )
+        return owners[0]
+
+    def row_count(self) -> int:
+        """Number of joined tuples."""
+        return self._length
+
+    def select(self, mask: np.ndarray) -> "JoinedProvider":
+        """Restrict the tuple set to rows where ``mask`` is true."""
+        return JoinedProvider(
+            self.partitions,
+            {alias: rows[mask] for alias, rows in self.indices.items()},
+        )
+
+
+def scan_partition(
+    alias: str,
+    partition: Partition,
+    snapshot: int,
+    filters: Sequence[Expr] = (),
+) -> np.ndarray:
+    """Visible row indices of ``partition`` that pass all local ``filters``.
+
+    Simple comparisons are evaluated in dictionary-code space (see
+    ``repro.query.fastpath``) before any row is decoded; only the remaining
+    predicates touch decoded values, and only for rows that survived.
+    """
+    from .fastpath import fast_filter_mask
+
+    mask = partition.visible_mask(snapshot)
+    slow_filters: List[Expr] = []
+    for expr in filters:
+        if not mask.any():
+            return np.flatnonzero(mask)
+        fast = fast_filter_mask(expr, partition, alias)
+        if fast is not None:
+            mask &= fast
+        else:
+            slow_filters.append(expr)
+    if slow_filters and mask.any():
+        provider = PartitionProvider(alias, partition, np.flatnonzero(mask))
+        keep = np.ones(provider.row_count(), dtype=bool)
+        for expr in slow_filters:
+            keep &= expr.evaluate(provider).astype(bool)
+        return provider.rows[keep]
+    return np.flatnonzero(mask)
+
+
+def build_hash_table(
+    partition: Partition, rows: np.ndarray, key_columns: Sequence[str]
+) -> Dict[Tuple, List[int]]:
+    """Hash the given rows of ``partition`` on the composite key columns.
+
+    Rows with a NULL in any key column never join and are dropped here.
+    """
+    arrays = [partition.column(col).decode_rows(rows) for col in key_columns]
+    table: Dict[Tuple, List[int]] = {}
+    for i in range(len(rows)):
+        key = tuple(arr[i] for arr in arrays)
+        if any(part is None for part in key):
+            continue
+        table.setdefault(key, []).append(int(rows[i]))
+    return table
+
+
+def probe_hash_join(
+    current: JoinedProvider,
+    probe_columns: Sequence[Tuple[str, str]],
+    new_alias: str,
+    new_partition: Partition,
+    hash_table: Dict[Tuple, List[int]],
+) -> JoinedProvider:
+    """Join the current tuple set against a hashed partition.
+
+    ``probe_columns`` lists the (alias, column) pairs on the *current* side,
+    in the same order as the hash table's key columns.  Produces the expanded
+    tuple set including ``new_alias``.
+    """
+    probe_arrays = [current.get(alias, col) for alias, col in probe_columns]
+    n = current.row_count()
+    keep_positions: List[int] = []
+    matched_rows: List[int] = []
+    for i in range(n):
+        key = tuple(arr[i] for arr in probe_arrays)
+        if any(part is None for part in key):
+            continue
+        matches = hash_table.get(key)
+        if not matches:
+            continue
+        for row in matches:
+            keep_positions.append(i)
+            matched_rows.append(row)
+    positions = np.asarray(keep_positions, dtype=np.int64)
+    indices = {
+        alias: rows[positions] for alias, rows in current.indices.items()
+    }
+    indices[new_alias] = np.asarray(matched_rows, dtype=np.int64)
+    partitions = dict(current.partitions)
+    partitions[new_alias] = new_partition
+    return JoinedProvider(partitions, indices)
+
+
+_VECTORIZE_THRESHOLD = 48  # below this the plain row loop is cheaper
+
+
+def aggregate_into(
+    grouped: GroupedAggregates,
+    provider: JoinedProvider,
+    group_by: Sequence[Col],
+    specs: Sequence[AggregateSpec],
+    sign: int = 1,
+) -> int:
+    """Fold the provider's tuples into ``grouped``; returns rows aggregated.
+
+    Large self-maintainable aggregations take a vectorized path: rows are
+    grouped on dictionary *codes* (mixed-radix combined across the group-by
+    columns) and reduced per group with ``numpy.bincount`` before the grouped
+    state is touched once per group — the column-store way.  Small inputs
+    and MIN/MAX aggregations use the straightforward row loop.
+    """
+    n = provider.row_count()
+    if n == 0:
+        return 0
+    vectorizable = (
+        n >= _VECTORIZE_THRESHOLD
+        and all(spec.self_maintainable for spec in specs)
+        and all(col.alias is not None for col in group_by)
+    )
+    if vectorizable:
+        _aggregate_vectorized(grouped, provider, group_by, specs, sign, n)
+        return n
+    if group_by:
+        key_arrays = [col.evaluate(provider) for col in group_by]
+        keys = list(zip(*key_arrays))
+    else:
+        keys = [()] * n
+    agg_columns: List[np.ndarray] = []
+    empty = np.empty(0, dtype=object)
+    for spec in specs:
+        if spec.arg is None:
+            agg_columns.append(empty)  # COUNT(*) ignores its value column
+        else:
+            agg_columns.append(spec.arg.evaluate(provider))
+    grouped.accumulate(keys, agg_columns, sign=sign)
+    return n
+
+
+def _null_mask(values: np.ndarray) -> np.ndarray:
+    return np.frompyfunc(lambda v: v is None, 1, 1)(values).astype(bool)
+
+
+def _aggregate_vectorized(
+    grouped: GroupedAggregates,
+    provider: JoinedProvider,
+    group_by: Sequence[Col],
+    specs: Sequence[AggregateSpec],
+    sign: int,
+    n: int,
+) -> None:
+    from .aggregates import AggFunc
+
+    # ------------------------------------------------------------- grouping
+    if group_by:
+        combined = np.zeros(n, dtype=np.int64)
+        fragments = []
+        radices = []
+        for col in group_by:
+            codes, fragment = provider.codes(col.alias, col.name)
+            fragments.append(fragment)
+            radix = len(fragment.dictionary) + 1
+            radices.append(radix)
+            combined = combined * radix + (codes + 1)
+        unique_codes, group_idx = np.unique(combined, return_inverse=True)
+        n_groups = len(unique_codes)
+        keys = []
+        for code in unique_codes:
+            parts: List[object] = []
+            remaining = int(code)
+            for fragment, radix in zip(reversed(fragments), reversed(radices)):
+                part_code = remaining % radix - 1
+                remaining //= radix
+                parts.append(fragment.dictionary.decode(part_code) if part_code >= 0 else None)
+            keys.append(tuple(reversed(parts)))
+    else:
+        group_idx = np.zeros(n, dtype=np.int64)
+        n_groups = 1
+        keys = [()]
+    count_star = np.bincount(group_idx, minlength=n_groups)
+    # ----------------------------------------------------------- reductions
+    spec_states: List[object] = []
+    for spec in specs:
+        if spec.func is AggFunc.COUNT and spec.arg is None:
+            spec_states.append(count_star)
+            continue
+        values = spec.arg.evaluate(provider)
+        nulls = _null_mask(values)
+        nonnull = np.bincount(
+            group_idx, weights=(~nulls).astype(np.float64), minlength=n_groups
+        ).astype(np.int64)
+        if spec.func is AggFunc.COUNT:
+            spec_states.append(nonnull)
+            continue
+        safe = values.copy()
+        safe[nulls] = 0.0
+        sums = np.bincount(
+            group_idx, weights=safe.astype(np.float64), minlength=n_groups
+        )
+        spec_states.append(list(zip(sums, nonnull)))
+    grouped.accumulate_groups(keys, spec_states, count_star, sign=sign)

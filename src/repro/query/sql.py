@@ -1,0 +1,453 @@
+"""A small SQL SELECT parser producing :class:`AggregateQuery` objects.
+
+Supports the aggregate-query dialect the paper's workloads use (e.g. the
+Listing-1 profit-and-loss query and the adapted CH-benCHmark queries):
+
+.. code-block:: sql
+
+    SELECT D.Name AS Category, SUM(I.Price) AS Profit
+    FROM Header AS H, Item AS I, ProductCategory AS D
+    WHERE I.HeaderID = H.HeaderID
+      AND I.CategoryID = D.CategoryID
+      AND D.Language = 'ENG'
+      AND H.FiscalYear = 2013
+    GROUP BY D.Name
+    ORDER BY Profit DESC
+    LIMIT 10
+
+Grammar (informal): ``SELECT`` items are either plain column references
+(which must also appear in ``GROUP BY``) or aggregate calls ``SUM | COUNT |
+AVG | MIN | MAX`` over an expression or ``*``; ``FROM`` accepts a comma list
+with optional ``AS`` aliases and ``[INNER] JOIN ... ON`` clauses; ``WHERE``
+is split into equi-join edges and filters; expressions support comparisons,
+``AND``/``OR``/``NOT``, ``IN``, ``BETWEEN``, ``IS [NOT] NULL``, and ``+ - *
+/`` arithmetic.  Keywords are case-insensitive, identifiers are preserved.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from ..errors import SqlSyntaxError
+from .aggregates import AggFunc, AggregateSpec
+from .expr import (
+    And,
+    Arith,
+    Cmp,
+    Col,
+    Expr,
+    InList,
+    IsNull,
+    Lit,
+    Not,
+    Or,
+    conjuncts_of,
+)
+from .query import AggregateQuery, JoinEdge, OrderItem, TableRef
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<number>\d+\.\d+(?:[eE][+-]?\d+)?|\d+(?:[eE][+-]?\d+)?)
+  | (?P<string>'(?:[^']|'')*')
+  | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<op><=|>=|!=|<>|=|<|>|\(|\)|,|\.|\*|\+|-|/)
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "ORDER", "LIMIT", "AS", "AND",
+    "OR", "NOT", "IN", "IS", "NULL", "BETWEEN", "ASC", "DESC", "JOIN",
+    "INNER", "ON", "HAVING",
+}
+
+_AGG_FUNCS = {f.value for f in AggFunc}
+
+
+class _Token:
+    __slots__ = ("kind", "text", "pos")
+
+    def __init__(self, kind: str, text: str, pos: int):
+        self.kind = kind  # "number" | "string" | "ident" | "op" | "kw" | "eof"
+        self.text = text
+        self.pos = pos
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r})"
+
+
+def _tokenize(sql: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    pos = 0
+    while pos < len(sql):
+        match = _TOKEN_RE.match(sql, pos)
+        if match is None:
+            raise SqlSyntaxError(f"unexpected character {sql[pos]!r}", pos)
+        if match.lastgroup != "ws":
+            text = match.group()
+            kind = match.lastgroup
+            if kind == "ident" and text.upper() in _KEYWORDS:
+                kind, text = "kw", text.upper()
+            tokens.append(_Token(kind, text, pos))
+        pos = match.end()
+    tokens.append(_Token("eof", "", pos))
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, sql: str):
+        self._sql = sql
+        self._tokens = _tokenize(sql)
+        self._index = 0
+        self._agg_counter = 0
+
+    # ------------------------------------------------------------------
+    # token helpers
+    # ------------------------------------------------------------------
+    def _peek(self) -> _Token:
+        return self._tokens[self._index]
+
+    def _next(self) -> _Token:
+        token = self._tokens[self._index]
+        self._index += 1
+        return token
+
+    def _accept(self, kind: str, text: Optional[str] = None) -> Optional[_Token]:
+        token = self._peek()
+        if token.kind == kind and (text is None or token.text == text):
+            return self._next()
+        return None
+
+    def _expect(self, kind: str, text: Optional[str] = None) -> _Token:
+        token = self._accept(kind, text)
+        if token is None:
+            found = self._peek()
+            wanted = text or kind
+            raise SqlSyntaxError(
+                f"expected {wanted!r}, found {found.text or 'end of input'!r}",
+                found.pos,
+            )
+        return token
+
+    def _error(self, message: str) -> SqlSyntaxError:
+        return SqlSyntaxError(message, self._peek().pos)
+
+    # ------------------------------------------------------------------
+    # entry point
+    # ------------------------------------------------------------------
+    def parse(self) -> AggregateQuery:
+        """Parse the statement into an AggregateQuery."""
+        self._expect("kw", "SELECT")
+        select_items = self._select_list()
+        self._expect("kw", "FROM")
+        tables, join_conditions = self._from_clause()
+        where: Optional[Expr] = None
+        if self._accept("kw", "WHERE"):
+            where = self._expression()
+        group_by: List[Col] = []
+        if self._accept("kw", "GROUP"):
+            self._expect("kw", "BY")
+            group_by = self._column_list()
+        having: Optional[Expr] = None
+        if self._accept("kw", "HAVING"):
+            having = self._expression()
+        order_by: List[OrderItem] = []
+        if self._accept("kw", "ORDER"):
+            self._expect("kw", "BY")
+            order_by = self._order_list()
+        limit: Optional[int] = None
+        if self._accept("kw", "LIMIT"):
+            token = self._expect("number")
+            try:
+                limit = int(token.text)
+            except ValueError:
+                raise SqlSyntaxError("LIMIT requires an integer", token.pos) from None
+        self._expect("eof")
+
+        join_edges, filters = self._split_where(where, join_conditions)
+        aggregates, plain_cols = [], []
+        for item in select_items:
+            if isinstance(item, AggregateSpec):
+                aggregates.append(item)
+            else:
+                plain_cols.append(item)
+        if not group_by:
+            group_by = [col for col, _label in plain_cols]
+        self._check_plain_columns([c for c, _l in plain_cols], group_by)
+        labels = self._group_labels(group_by, plain_cols)
+        return AggregateQuery(
+            tables=tables,
+            aggregates=aggregates,
+            group_by=group_by,
+            join_edges=join_edges,
+            filters=filters,
+            order_by=order_by,
+            limit=limit,
+            group_labels=labels,
+            having=having,
+        )
+
+    @staticmethod
+    def _group_labels(group_by, plain_cols) -> List[str]:
+        """Output labels for group columns: the SELECT-list AS alias when a
+        select item references the same column, the column name otherwise."""
+        by_canonical = {col.canonical(): label for col, label in plain_cols}
+        by_name = {col.name: label for col, label in plain_cols}
+        labels = []
+        for col in group_by:
+            label = by_canonical.get(col.canonical()) or by_name.get(col.name)
+            labels.append(label if label is not None else col.name)
+        return labels
+
+    def _check_plain_columns(self, plain: List[Col], group_by: List[Col]) -> None:
+        group_keys = {c.canonical() for c in group_by}
+        group_names = {c.name for c in group_by}
+        for col in plain:
+            if col.canonical() not in group_keys and col.name not in group_names:
+                raise SqlSyntaxError(
+                    f"non-aggregated column {col.canonical()!r} "
+                    "must appear in GROUP BY",
+                )
+
+    # ------------------------------------------------------------------
+    # clauses
+    # ------------------------------------------------------------------
+    def _select_list(self):
+        items = [self._select_item()]
+        while self._accept("op", ","):
+            items.append(self._select_item())
+        return items
+
+    def _select_item(self):
+        token = self._peek()
+        if token.kind == "ident" and token.text.upper() in _AGG_FUNCS:
+            after = self._tokens[self._index + 1]
+            if after.kind == "op" and after.text == "(":
+                return self._aggregate_call()
+        col = self._column_ref()
+        label = col.name
+        if self._accept("kw", "AS"):
+            label = self._expect("ident").text
+        return (col, label)
+
+    def _aggregate_call(self) -> AggregateSpec:
+        func_token = self._next()
+        func = AggFunc(func_token.text.upper())
+        self._expect("op", "(")
+        distinct = False
+        arg: Optional[Expr]
+        if self._accept("op", "*"):
+            if func is not AggFunc.COUNT:
+                raise self._error(f"{func.value}(*) is not valid")
+            arg = None
+        else:
+            if (
+                self._peek().kind == "ident"
+                and self._peek().text.upper() == "DISTINCT"
+            ):
+                if func is not AggFunc.COUNT:
+                    raise self._error("DISTINCT is only supported in COUNT")
+                self._next()
+                distinct = True
+            arg = self._expression()
+        self._expect("op", ")")
+        if self._accept("kw", "AS"):
+            output = self._expect("ident").text
+        else:
+            self._agg_counter += 1
+            output = f"{func.value.lower()}_{self._agg_counter}"
+        return AggregateSpec(func, arg, output, distinct)
+
+    def _from_clause(self) -> Tuple[List[TableRef], List[Expr]]:
+        tables = [self._table_ref()]
+        join_conditions: List[Expr] = []
+        while True:
+            if self._accept("op", ","):
+                tables.append(self._table_ref())
+                continue
+            if self._peek().kind == "kw" and self._peek().text in ("JOIN", "INNER"):
+                if self._accept("kw", "INNER"):
+                    self._expect("kw", "JOIN")
+                else:
+                    self._expect("kw", "JOIN")
+                tables.append(self._table_ref())
+                self._expect("kw", "ON")
+                join_conditions.append(self._expression())
+                continue
+            break
+        return tables, join_conditions
+
+    def _table_ref(self) -> TableRef:
+        name = self._expect("ident").text
+        alias = name
+        if self._accept("kw", "AS"):
+            alias = self._expect("ident").text
+        elif self._peek().kind == "ident":
+            alias = self._next().text
+        return TableRef(name, alias)
+
+    def _column_list(self) -> List[Col]:
+        cols = [self._column_ref()]
+        while self._accept("op", ","):
+            cols.append(self._column_ref())
+        return cols
+
+    def _column_ref(self) -> Col:
+        first = self._expect("ident").text
+        if self._accept("op", "."):
+            second = self._expect("ident").text
+            return Col(second, first)
+        return Col(first)
+
+    def _order_list(self) -> List[OrderItem]:
+        items = [self._order_item()]
+        while self._accept("op", ","):
+            items.append(self._order_item())
+        return items
+
+    def _order_item(self) -> OrderItem:
+        name = self._expect("ident").text
+        descending = False
+        if self._accept("kw", "DESC"):
+            descending = True
+        else:
+            self._accept("kw", "ASC")
+        return OrderItem(name, descending)
+
+    # ------------------------------------------------------------------
+    # expressions (precedence: OR < AND < NOT < predicate < add < mul < unary)
+    # ------------------------------------------------------------------
+    def _expression(self) -> Expr:
+        return self._or_expr()
+
+    def _or_expr(self) -> Expr:
+        items = [self._and_expr()]
+        while self._accept("kw", "OR"):
+            items.append(self._and_expr())
+        return items[0] if len(items) == 1 else Or(items)
+
+    def _and_expr(self) -> Expr:
+        items = [self._not_expr()]
+        while self._accept("kw", "AND"):
+            items.append(self._not_expr())
+        return items[0] if len(items) == 1 else And(items)
+
+    def _not_expr(self) -> Expr:
+        if self._accept("kw", "NOT"):
+            return Not(self._not_expr())
+        return self._predicate()
+
+    def _predicate(self) -> Expr:
+        left = self._additive()
+        token = self._peek()
+        if token.kind == "op" and token.text in ("=", "!=", "<>", "<", "<=", ">", ">="):
+            self._next()
+            op = "!=" if token.text == "<>" else token.text
+            right = self._additive()
+            return Cmp(op, left, right)
+        if token.kind == "kw" and token.text == "IS":
+            self._next()
+            negated = self._accept("kw", "NOT") is not None
+            self._expect("kw", "NULL")
+            return IsNull(left, negated)
+        if token.kind == "kw" and token.text == "IN":
+            self._next()
+            self._expect("op", "(")
+            values = [self._literal_value()]
+            while self._accept("op", ","):
+                values.append(self._literal_value())
+            self._expect("op", ")")
+            return InList(left, values)
+        if token.kind == "kw" and token.text == "BETWEEN":
+            self._next()
+            low = self._additive()
+            self._expect("kw", "AND")
+            high = self._additive()
+            return And([Cmp(">=", left, low), Cmp("<=", left, high)])
+        return left
+
+    def _additive(self) -> Expr:
+        left = self._multiplicative()
+        while True:
+            token = self._peek()
+            if token.kind == "op" and token.text in ("+", "-"):
+                self._next()
+                left = Arith(token.text, left, self._multiplicative())
+            else:
+                return left
+
+    def _multiplicative(self) -> Expr:
+        left = self._unary()
+        while True:
+            token = self._peek()
+            if token.kind == "op" and token.text in ("*", "/"):
+                self._next()
+                left = Arith(token.text, left, self._unary())
+            else:
+                return left
+
+    def _unary(self) -> Expr:
+        if self._accept("op", "-"):
+            return Arith("-", Lit(0), self._unary())
+        return self._primary()
+
+    def _primary(self) -> Expr:
+        token = self._peek()
+        if token.kind == "number":
+            self._next()
+            is_float = "." in token.text or "e" in token.text or "E" in token.text
+            return Lit(float(token.text) if is_float else int(token.text))
+        if token.kind == "string":
+            self._next()
+            return Lit(token.text[1:-1].replace("''", "'"))
+        if token.kind == "kw" and token.text == "NULL":
+            self._next()
+            return Lit(None)
+        if token.kind == "op" and token.text == "(":
+            self._next()
+            inner = self._expression()
+            self._expect("op", ")")
+            return inner
+        if token.kind == "ident":
+            return self._column_ref()
+        raise self._error(f"unexpected token {token.text!r} in expression")
+
+    def _literal_value(self):
+        expr = self._primary()
+        if not isinstance(expr, Lit):
+            raise self._error("IN list elements must be literals")
+        return expr.value
+
+    # ------------------------------------------------------------------
+    # WHERE splitting
+    # ------------------------------------------------------------------
+    def _split_where(
+        self, where: Optional[Expr], join_conditions: List[Expr]
+    ) -> Tuple[List[JoinEdge], List[Expr]]:
+        """Split conjuncts into equi-join edges and plain filters."""
+        conjuncts: List[Expr] = []
+        for condition in join_conditions:
+            conjuncts.extend(conjuncts_of(condition))
+        if where is not None:
+            conjuncts.extend(conjuncts_of(where))
+        edges: List[JoinEdge] = []
+        filters: List[Expr] = []
+        for conjunct in conjuncts:
+            if isinstance(conjunct, Cmp) and conjunct.is_equi_join():
+                left: Col = conjunct.left  # type: ignore[assignment]
+                right: Col = conjunct.right  # type: ignore[assignment]
+                edges.append(
+                    JoinEdge(left.alias, left.name, right.alias, right.name)
+                )
+            else:
+                filters.append(conjunct)
+        return edges, filters
+
+
+def parse_sql(sql: str) -> AggregateQuery:
+    """Parse a SELECT statement into an :class:`AggregateQuery`."""
+    return _Parser(sql).parse()

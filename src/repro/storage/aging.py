@@ -1,0 +1,80 @@
+"""Hot/cold data-aging rules for multi-partitioned tables (Section 5.4).
+
+The paper considers a *static* hot/cold partitioning: tuples are routed by
+age (e.g. fiscal year) into a hot group that receives all new business and a
+cold group that is effectively read-only.  The aging rule is a plain callable
+``row -> "hot" | "cold"`` attached to the table; this module provides the
+rule constructors used by the benchmarks plus the *consistent-aging*
+declaration that makes logical pruning of cross-temperature subjoins sound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from ..errors import SchemaError
+
+HOT = "hot"
+COLD = "cold"
+
+
+def threshold_aging(column: str, hot_if_at_least) -> Callable[[Dict[str, object]], str]:
+    """Age rows by comparing ``column`` against a threshold.
+
+    Rows whose value is ``>= hot_if_at_least`` are hot; everything else
+    (including NULL, which belongs to no recent business transaction) is
+    cold.  Works for INT, DATE-as-ISO-string, and any totally ordered type.
+    """
+
+    def rule(row: Dict[str, object]) -> str:
+        value = row.get(column)
+        if value is None:
+            return COLD
+        return HOT if value >= hot_if_at_least else COLD
+
+    return rule
+
+
+def ratio_aging(column: str, values, hot_fraction: float) -> Callable[[Dict[str, object]], str]:
+    """Age rows so that approximately ``hot_fraction`` of the given value
+    domain is hot — e.g. the paper's 1:3 hot/cold ratio (Fig. 11) uses
+    ``hot_fraction=0.25``.
+
+    ``values`` is the sorted domain of ``column``; the threshold is the value
+    at the (1 - hot_fraction) quantile.
+    """
+    ordered = sorted(values)
+    if not ordered:
+        raise SchemaError("ratio_aging needs a non-empty value domain")
+    if not 0.0 < hot_fraction <= 1.0:
+        raise SchemaError("hot_fraction must be in (0, 1]")
+    cut = int(len(ordered) * (1.0 - hot_fraction))
+    cut = min(cut, len(ordered) - 1)
+    return threshold_aging(column, ordered[cut])
+
+
+@dataclass(frozen=True)
+class ConsistentAging:
+    """Declares that two tables are aged consistently on matching tuples.
+
+    If a header row is hot then all its item rows are hot (and vice versa
+    for cold), which is what licenses the *logical* pruning of all subjoins
+    between a cold partition of one table and a hot partition of the other
+    (Section 5.4: "always empty, given a consistent aging definition").
+
+    The declaration is a promise made by the application; the engine uses it
+    for logical pruning and the test-suite checks that the workload
+    generators honour it.
+    """
+
+    left_table: str
+    right_table: str
+
+    def tables(self):
+        """The two related table names."""
+        return (self.left_table, self.right_table)
+
+    def covers(self, table_a: str, table_b: str) -> bool:
+        """True if this declaration relates the two given tables."""
+        return {table_a, table_b} == {self.left_table, self.right_table}

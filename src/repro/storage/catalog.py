@@ -1,0 +1,74 @@
+"""Table catalog: name -> table registry with stable table ids.
+
+Table ids participate in the aggregate-cache key (Fig. 2: "Table Name &
+Id"), so a dropped-and-recreated table of the same name never matches stale
+cache entries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..errors import CatalogError
+from .schema import Schema
+from .table import AgingRule, Table
+
+
+class Catalog:
+    """Registry of the tables known to one :class:`~repro.database.Database`."""
+
+    def __init__(self):
+        self._tables: Dict[str, Table] = {}
+        self._next_table_id = 1
+
+    def create_table(
+        self,
+        name: str,
+        schema: Schema,
+        aging_rule: Optional[AgingRule] = None,
+        separate_update_delta: bool = False,
+    ) -> Table:
+        """Create and register a table; raises if the name is taken."""
+        if name in self._tables:
+            raise CatalogError(f"table {name!r} already exists")
+        table = Table(
+            name,
+            schema,
+            table_id=self._next_table_id,
+            aging_rule=aging_rule,
+            separate_update_delta=separate_update_delta,
+        )
+        self._next_table_id += 1
+        self._tables[name] = table
+        return table
+
+    def drop_table(self, name: str) -> None:
+        """Unregister a table (CatalogError if absent)."""
+        if name not in self._tables:
+            raise CatalogError(f"table {name!r} does not exist")
+        del self._tables[name]
+
+    def table(self, name: str) -> Table:
+        """Look up a table by name (CatalogError if absent)."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise CatalogError(f"table {name!r} does not exist") from None
+
+    def has_table(self, name: str) -> bool:
+        """True if the name is registered."""
+        return name in self._tables
+
+    def table_names(self) -> List[str]:
+        """Registered table names in creation order."""
+        return list(self._tables)
+
+    def tables(self) -> List[Table]:
+        """The registered Table objects."""
+        return list(self._tables.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def __repr__(self) -> str:
+        return f"Catalog(tables={list(self._tables)})"

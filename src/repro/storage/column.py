@@ -1,0 +1,134 @@
+"""Dictionary-encoded column fragments.
+
+A *column fragment* is the physical storage of one column inside one
+horizontal partition: a dictionary (delta- or main-flavoured) plus an
+``int64`` code vector with one entry per row.  NULLs are encoded as
+``NULL_CODE``.
+
+The fragment also answers the two questions the object-aware optimizations
+ask at run time (Section 5.1): the current ``min``/``max`` of the column's
+dictionary (for the dynamic-pruning prefilter of Equation 5) and fast
+decoded access to row ranges (for join/aggregation processing).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from .dictionary import NULL_CODE, DeltaDictionary, MainDictionary
+from .vector import IntVector
+
+Dictionary = Union[DeltaDictionary, MainDictionary]
+
+
+class ColumnFragment:
+    """One column of one partition: dictionary + code vector."""
+
+    __slots__ = ("name", "dictionary", "_codes")
+
+    def __init__(self, name: str, dictionary: Optional[Dictionary] = None):
+        self.name = name
+        self.dictionary: Dictionary = dictionary if dictionary is not None else DeltaDictionary()
+        self._codes = IntVector()
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+    def append(self, value) -> None:
+        """Append one value (requires a writable :class:`DeltaDictionary`)."""
+        if not isinstance(self.dictionary, DeltaDictionary):
+            raise TypeError(
+                f"column {self.name!r} uses a read-only main dictionary; "
+                "appends are only valid on delta fragments"
+            )
+        self._codes.append(self.dictionary.encode(value))
+
+    @classmethod
+    def build_main(cls, name: str, values: Sequence[object]) -> "ColumnFragment":
+        """Bulk-build a read-optimized fragment from raw ``values``.
+
+        Used by the delta merge: the sorted main dictionary is created from
+        the distinct values and every row re-encoded against it.
+        """
+        dictionary = MainDictionary(values)
+        fragment = cls(name, dictionary)
+        codes = np.fromiter(
+            (NULL_CODE if v is None else dictionary.lookup(v) for v in values),
+            dtype=np.int64,
+            count=len(values),
+        )
+        fragment._codes.extend(codes)
+        return fragment
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._codes)
+
+    def codes(self) -> np.ndarray:
+        """Zero-copy view of the code vector (do not hold across appends)."""
+        return self._codes.view()
+
+    def value_at(self, row: int):
+        """Decoded value of one row."""
+        return self.dictionary.decode(self._codes[row])
+
+    def decode_rows(self, rows) -> np.ndarray:
+        """Decoded values for the given row indices as an object array.
+
+        ``rows`` may be a list or a numpy integer array.  Decoding goes
+        through a dense dictionary-materialization so repeated values are
+        decoded once, which is the usual column-store trick.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        codes = self._codes.view()[rows]
+        dict_values = self.dictionary.values()
+        # Dense lookup table with NULL in the extra last slot (code -1 wraps).
+        lut = np.empty(len(dict_values) + 1, dtype=object)
+        for i, v in enumerate(dict_values):
+            lut[i] = v
+        lut[-1] = None
+        return lut[codes]
+
+    def decode_all(self) -> List[object]:
+        """All row values in row order (used by the merge to rebuild mains)."""
+        return list(self.decode_rows(np.arange(len(self._codes), dtype=np.int64)))
+
+    def equality_mask(self, value) -> np.ndarray:
+        """Boolean mask over all rows where the column equals ``value``.
+
+        Comparison happens in *code space*: the value is looked up once in
+        the dictionary; absence means an all-false mask without touching the
+        rows.  NULL never matches.
+        """
+        code = self.dictionary.lookup(value)
+        if code is None:
+            return np.zeros(len(self._codes), dtype=bool)
+        return self._codes.view() == code
+
+    def min_value(self):
+        """Dictionary minimum (the pruning prefilter input), None if empty."""
+        return self.dictionary.min_value()
+
+    def max_value(self):
+        """Dictionary maximum (the pruning prefilter input), None if empty."""
+        return self.dictionary.max_value()
+
+    def nbytes(self) -> int:
+        """Approximate bytes: packed code vector + dictionary payload.
+
+        Codes are counted at the bit-packed width a column store would use
+        (``ceil(log2(|dict|+1))`` bits per row), which is what makes the main
+        store's better compression visible in the Section 6.2 experiment.
+        """
+        n_rows = len(self._codes)
+        n_distinct = len(self.dictionary)
+        bits = max(1, int(np.ceil(np.log2(n_distinct + 2))))
+        return (n_rows * bits + 7) // 8 + self.dictionary.nbytes()
+
+    def __repr__(self) -> str:
+        kind = "main" if isinstance(self.dictionary, MainDictionary) else "delta"
+        return f"ColumnFragment({self.name!r}, kind={kind}, rows={len(self._codes)})"

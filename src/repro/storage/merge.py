@@ -1,0 +1,150 @@
+"""The delta-merge operation.
+
+Periodically the rows accumulated in a delta partition are propagated into a
+freshly rebuilt, read-optimized main partition (Krueger et al. [17], cited
+as the merge mechanism in Section 2).  The aggregate cache piggy-backs its
+incremental maintenance on this event (Sections 5.2 and 6.1): listeners are
+notified *before* the physical swap — while the pre-merge state is still
+queryable, so compensation deltas can be computed — and *after* it, so
+stored visibility snapshots can be re-anchored to the new main.
+
+``merge_table`` merges every partition group of a table (or a selected one),
+so hot and cold groups can be merged independently, and related tables can
+be merge-synchronized by the caller to maximize the pruning success rate
+(Section 5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Protocol, Sequence
+
+from ..errors import StorageError
+from .partition import LIVE, Partition
+from .table import PartitionGroup, Table
+
+
+@dataclass
+class MergeEvent:
+    """Description of one group merge, passed to listeners.
+
+    ``snapshot`` is the transaction id whose visible rows are folded into the
+    new main.  Rows invalidated at or before the snapshot are dropped unless
+    the merge keeps history.
+    """
+
+    table: Table
+    group_name: str
+    main_name: str
+    delta_name: str
+    snapshot: int
+    keep_history: bool
+    merged_delta_rows: int = 0
+    update_delta_name: Optional[str] = None  # set when the group keeps one
+
+
+class MergeListener(Protocol):
+    """Two-phase observer of delta merges (the aggregate cache implements it)."""
+
+    def before_merge(self, event: MergeEvent) -> None:
+        """Called while the pre-merge partitions are still in place."""
+
+    def after_merge(self, event: MergeEvent) -> None:
+        """Called after the new main/delta pair has been swapped in."""
+
+
+@dataclass
+class MergeStats:
+    """Summary of one ``merge_table`` call."""
+
+    table: str
+    groups_merged: int = 0
+    rows_moved: int = 0
+    rows_dropped: int = 0
+
+
+def merge_table(
+    table: Table,
+    snapshot: int,
+    listeners: Sequence[MergeListener] = (),
+    group_name: Optional[str] = None,
+    keep_history: bool = False,
+) -> MergeStats:
+    """Merge the delta(s) of ``table`` into rebuilt main partition(s).
+
+    Parameters
+    ----------
+    snapshot:
+        The current global transaction id.  All rows created at or before it
+        participate; newer rows cannot exist in the single-writer model, and
+        encountering one raises ``StorageError`` to surface the bug.
+    listeners:
+        Merge observers; see :class:`MergeListener`.
+    group_name:
+        Merge only the named partition group ("default"/"hot"/"cold").
+        Merging groups separately models the unsynchronized-merge scenario
+        of Fig. 5.
+    keep_history:
+        Keep invalidated rows (with their ``dts`` stamps) in the new main so
+        temporal queries on historical data remain possible (Section 2).
+        The default drops them, which is what retires main-compensation
+        debt — maintenance listeners account for the dropped contributions.
+    """
+    stats = MergeStats(table=table.name)
+    groups = [table.group(group_name)] if group_name else table.groups()
+    for group in groups:
+        event = MergeEvent(
+            table=table,
+            group_name=group.name,
+            main_name=group.main.name,
+            delta_name=group.delta.name,
+            snapshot=snapshot,
+            keep_history=keep_history,
+            merged_delta_rows=sum(p.row_count for p in group.delta_partitions()),
+            update_delta_name=(
+                group.update_delta.name if group.update_delta is not None else None
+            ),
+        )
+        for listener in listeners:
+            listener.before_merge(event)
+        moved, dropped = _merge_group(table, group, snapshot, keep_history)
+        stats.groups_merged += 1
+        stats.rows_moved += moved
+        stats.rows_dropped += dropped
+        for listener in listeners:
+            listener.after_merge(event)
+    table.rebuild_pk_index()
+    return stats
+
+
+def _merge_group(
+    table: Table, group: PartitionGroup, snapshot: int, keep_history: bool
+) -> tuple:
+    """Rebuild one (main, delta) pair; returns (rows moved, rows dropped)."""
+    rows: List[Dict[str, object]] = []
+    cts: List[int] = []
+    dts: List[int] = []
+    moved = 0
+    dropped = 0
+    for partition in group.partitions():
+        cts_arr = partition.cts_array()
+        dts_arr = partition.dts_array()
+        for row in range(partition.row_count):
+            if cts_arr[row] > snapshot:
+                raise StorageError(
+                    f"row created by future transaction {int(cts_arr[row])} "
+                    f"found during merge at snapshot {snapshot}"
+                )
+            invalidated = dts_arr[row] != LIVE and dts_arr[row] <= snapshot
+            if invalidated and not keep_history:
+                dropped += 1
+                continue
+            rows.append(partition.get_row(row))
+            cts.append(int(cts_arr[row]))
+            dts.append(int(dts_arr[row]))
+            if partition.kind == "delta":
+                moved += 1
+    new_main = Partition.build_main(group.main.name, table.schema, rows, cts, dts)
+    new_delta = Partition(group.delta.name, "delta", table.schema)
+    table.replace_group(group.name, new_main, new_delta)
+    return moved, dropped

@@ -1,0 +1,6 @@
+"""Transaction management and the consistent view manager."""
+
+from .consistent_view import ConsistentViewManager
+from .manager import SnapshotReader, Transaction, TransactionManager
+
+__all__ = ["ConsistentViewManager", "SnapshotReader", "Transaction", "TransactionManager"]

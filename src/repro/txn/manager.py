@@ -1,0 +1,155 @@
+"""Transaction management.
+
+The engine models the single-writer, auto-committing transaction stream of
+the paper's benchmarks: every transaction receives a monotonically
+increasing transaction id (*tid*) at begin, stamps the rows it creates or
+invalidates with that tid, and is immediately durable on commit.  The tid
+doubles as the *temporal attribute* of the matching dependencies (Section
+5): "an auto-incremented transaction identifier (generally available in an
+IMDB)".
+
+Snapshot semantics: a transaction sees every row created by transactions
+with ``tid <= own tid`` that was not invalidated by such a transaction —
+i.e. its snapshot *is* its tid, and the latest issued tid is the global
+read snapshot.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import TransactionError
+
+
+class Transaction:
+    """A lightweight transaction handle.
+
+    The handle's ``tid`` is both its write stamp and its read snapshot.
+    ``commit``/``abort`` only toggle state used for misuse detection —
+    single-writer execution needs no undo log (an aborting workload is out
+    of scope for the paper's experiments, which replay committed inserts).
+    """
+
+    __slots__ = ("tid", "_manager", "_state")
+
+    def __init__(self, tid: int, manager: "TransactionManager"):
+        self.tid = tid
+        self._manager = manager
+        self._state = "active"
+
+    @property
+    def snapshot(self) -> int:
+        """The read snapshot of this transaction (its own tid)."""
+        return self.tid
+
+    @property
+    def is_active(self) -> bool:
+        """True until commit or abort."""
+        return self._state == "active"
+
+    def commit(self) -> None:
+        """Mark the transaction committed (single-writer: instantly durable)."""
+        if self._state != "active":
+            raise TransactionError(f"cannot commit a {self._state} transaction")
+        self._state = "committed"
+        self._manager._on_finish(self)
+
+    def abort(self) -> None:
+        """Mark the transaction aborted (misuse detection; no undo needed)."""
+        if self._state != "active":
+            raise TransactionError(f"cannot abort a {self._state} transaction")
+        self._state = "aborted"
+        self._manager._on_finish(self)
+
+    def require_active(self) -> None:
+        """Raise TransactionError unless the transaction is still active."""
+        if self._state != "active":
+            raise TransactionError(
+                f"operation on {self._state} transaction {self.tid}"
+            )
+
+    def __enter__(self) -> "Transaction":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._state == "active":
+            if exc_type is None:
+                self.commit()
+            else:
+                self.abort()
+
+    def __repr__(self) -> str:
+        return f"Transaction(tid={self.tid}, state={self._state})"
+
+
+class SnapshotReader:
+    """A read-only stand-in for a transaction pinned to a past snapshot.
+
+    Supports time-travel queries ("AS OF transaction N"): the aggregate
+    cache and executor only consult ``snapshot``/``tid``, so a reader shim
+    is all that is needed.  Meaningful for data retained via
+    ``merge(keep_history=True)`` (Section 2: invalidated records can be
+    kept "so that temporal query processing on historical data can be
+    supported").
+    """
+
+    __slots__ = ("tid",)
+
+    def __init__(self, snapshot: int):
+        self.tid = snapshot
+
+    @property
+    def snapshot(self) -> int:
+        """The pinned read snapshot."""
+        return self.tid
+
+    @property
+    def is_active(self) -> bool:
+        """Always True — a reader shim never closes."""
+        return True
+
+    def require_active(self) -> None:
+        """No-op (reader shims are always usable)."""
+        return None
+
+    def __repr__(self) -> str:
+        return f"SnapshotReader(snapshot={self.tid})"
+
+
+class TransactionManager:
+    """Issues transaction ids and tracks the global snapshot."""
+
+    def __init__(self):
+        self._next_tid = 1
+        self._latest_tid = 0
+
+    def begin(self) -> Transaction:
+        """Start a new transaction with the next tid."""
+        txn = Transaction(self._next_tid, self)
+        self._latest_tid = self._next_tid
+        self._next_tid += 1
+        return txn
+
+    @property
+    def latest_tid(self) -> int:
+        """The most recently issued tid — the global read snapshot."""
+        return self._latest_tid
+
+    def advance_to(self, tid: int) -> None:
+        """Fast-forward past ``tid`` (snapshot restore): future transactions
+        receive ids strictly greater than everything already stamped."""
+        if tid > self._latest_tid:
+            self._latest_tid = tid
+            self._next_tid = tid + 1
+
+    def global_snapshot(self) -> int:
+        """Snapshot covering everything committed so far."""
+        return self._latest_tid
+
+    def _on_finish(self, txn: Transaction) -> None:
+        # Single-writer auto-commit: nothing to clean up; hook kept for
+        # symmetry and future multi-writer extensions.
+        pass
+
+    def __repr__(self) -> str:
+        return f"TransactionManager(latest_tid={self._latest_tid})"

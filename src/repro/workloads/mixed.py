@@ -1,0 +1,185 @@
+"""Mixed insert/aggregate workload driver (Fig. 6 and Fig. 8).
+
+Runs an interleaved stream of insert and aggregate-read operations against
+one of three "systems" — eager materialized view, lazy materialized view,
+or the aggregate cache — and accounts insert-side and read-side time
+separately, which is exactly the comparison of Section 6.1: classical view
+maintenance pays on the write (eager) or at read-after-write (lazy), the
+aggregate cache pays a bounded delta-compensation cost per read.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Protocol, Tuple
+
+from ..core.strategies import ExecutionStrategy
+from ..database import Database
+from ..mv.eager import EagerIncrementalView
+from ..mv.lazy import LazyIncrementalView
+from ..query.result import QueryResult
+from ..query.sql import parse_sql
+from .rng import make_rng
+
+
+class WorkloadSystem(Protocol):
+    """One competitor in the mixed-workload comparison."""
+
+    name: str
+
+    def insert(self, table: str, row: Dict[str, object]) -> None:
+        """Apply one row insert to this system."""
+        ...
+
+    def read(self) -> QueryResult:
+        """Serve one consistent aggregate read."""
+        ...
+
+
+class AggregateCacheSystem:
+    """Answers reads through the aggregate cache (delta compensation)."""
+
+    def __init__(
+        self,
+        db: Database,
+        sql: str,
+        strategy: ExecutionStrategy = ExecutionStrategy.CACHED_FULL_PRUNING,
+    ):
+        self.name = f"aggregate_cache[{strategy.value}]"
+        self._db = db
+        self._query = parse_sql(sql) if isinstance(sql, str) else sql
+        self._strategy = strategy
+
+    def insert(self, table: str, row: Dict[str, object]) -> None:
+        """Plain engine insert; the cache needs no write-side work."""
+        self._db.insert(table, row)
+
+    def read(self) -> QueryResult:
+        """Answer through the aggregate cache (compensated)."""
+        return self._db.query(self._query, strategy=self._strategy)
+
+
+class UncachedSystem:
+    """Answers reads by full on-the-fly aggregation."""
+
+    def __init__(self, db: Database, sql: str):
+        self.name = "uncached"
+        self._db = db
+        self._query = parse_sql(sql) if isinstance(sql, str) else sql
+
+    def insert(self, table: str, row: Dict[str, object]) -> None:
+        """Plain engine insert."""
+        self._db.insert(table, row)
+
+    def read(self) -> QueryResult:
+        """Aggregate on the fly over all partitions."""
+        return self._db.query(self._query, strategy=ExecutionStrategy.UNCACHED)
+
+
+class EagerViewSystem:
+    """Classical eager incremental view maintenance."""
+
+    def __init__(self, db: Database, sql: str, backing: str = "table"):
+        self.name = "eager_view"
+        self._db = db
+        self._view = EagerIncrementalView(db, sql, backing=backing)
+
+    def insert(self, table: str, row: Dict[str, object]) -> None:
+        """Engine insert; the eager view maintains inline via its listener."""
+        self._db.insert(table, row)  # the view listener maintains inline
+
+    def read(self) -> QueryResult:
+        """Serve from the always-fresh view extent."""
+        return self._view.read()
+
+    def close(self) -> None:
+        """Detach the view from the database's write path."""
+        self._view.close()
+
+
+class LazyViewSystem:
+    """Classical lazy (log + apply-before-read) view maintenance."""
+
+    def __init__(self, db: Database, sql: str, backing: str = "table"):
+        self.name = "lazy_view"
+        self._db = db
+        self._view = LazyIncrementalView(db, sql, backing=backing)
+
+    def insert(self, table: str, row: Dict[str, object]) -> None:
+        """Engine insert; the change lands in the view's log."""
+        self._db.insert(table, row)
+
+    def read(self) -> QueryResult:
+        """Drain the change log, then serve from the extent."""
+        return self._view.read()
+
+    def close(self) -> None:
+        """Detach the view from the database's write path."""
+        self._view.close()
+
+
+@dataclass
+class MixedWorkloadResult:
+    """Outcome of one mixed-workload run."""
+
+    system: str
+    operations: int
+    inserts: int
+    reads: int
+    insert_time: float = 0.0
+    read_time: float = 0.0
+    read_times: List[float] = field(default_factory=list)
+
+    @property
+    def total_time(self) -> float:
+        """Insert-side plus read-side seconds."""
+        return self.insert_time + self.read_time
+
+
+def run_mixed_workload(
+    system: WorkloadSystem,
+    row_stream: Iterator[Tuple[str, Dict[str, object]]],
+    operations: int,
+    insert_ratio: float,
+    seed: int = 1,
+    read_callback: Optional[Callable[[QueryResult], None]] = None,
+) -> MixedWorkloadResult:
+    """Interleave inserts and reads at the given ratio.
+
+    ``row_stream`` yields ``(table, row_or_rows)`` per insert *operation*;
+    a list of rows models the paper's enterprise insert transactions, which
+    persist whole business objects (a header and its items) in one statement
+    burst.  ``insert_ratio`` is the fraction of the ``operations`` that are
+    inserts (the x-axis of Fig. 6).  Operation order is a deterministic
+    shuffle per ``seed``.
+    """
+    if not 0.0 <= insert_ratio <= 1.0:
+        raise ValueError("insert_ratio must be within [0, 1]")
+    rng = make_rng(seed)
+    n_inserts = round(operations * insert_ratio)
+    plan = ["insert"] * n_inserts + ["read"] * (operations - n_inserts)
+    rng.shuffle(plan)
+    result = MixedWorkloadResult(
+        system=system.name,
+        operations=operations,
+        inserts=n_inserts,
+        reads=operations - n_inserts,
+    )
+    for op in plan:
+        if op == "insert":
+            table, payload = next(row_stream)
+            rows = payload if isinstance(payload, list) else [payload]
+            started = time.perf_counter()
+            for row in rows:
+                system.insert(table, row)
+            result.insert_time += time.perf_counter() - started
+        else:
+            started = time.perf_counter()
+            data = system.read()
+            elapsed = time.perf_counter() - started
+            result.read_time += elapsed
+            result.read_times.append(elapsed)
+            if read_callback is not None:
+                read_callback(data)
+    return result

@@ -1,0 +1,139 @@
+"""Workload traces: record DML + merges, replay them elsewhere.
+
+The paper's ERP benchmark replays customer inserts "by using the timestamps
+in the base data"; this module provides the generic machinery: a
+:class:`TraceRecorder` attached to a live database captures every insert,
+update, delete, and merge as one JSON line, and a :class:`TraceReplayer`
+applies a trace to another database with the same schema — reproducing the
+exact partition topology (what is in which delta when) that the pruning
+experiments depend on.
+
+The trace records *state changes* only; queries are read-only and do not
+belong in it.  Schemas are not recorded either — replay targets are created
+by the same application code that created the original.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from ..errors import ReproError
+from ..storage.merge import MergeEvent
+
+
+class TraceRecorder:
+    """Write/merge listener serializing operations to a JSONL file."""
+
+    def __init__(self, db, path):
+        self._db = db
+        self._path = Path(path)
+        self._handle = self._path.open("w")
+        self.operations = 0
+        db.register_write_listener(self)
+        db.register_merge_listener(self)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Detach from the database and flush the trace file."""
+        self._db.unregister_write_listener(self)
+        self._db.unregister_merge_listener(self)
+        self._handle.close()
+
+    def __enter__(self) -> "TraceRecorder":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def _emit(self, record: Dict) -> None:
+        self._handle.write(json.dumps(record) + "\n")
+        self.operations += 1
+
+    # ------------------------------------------------------------------
+    # write-listener protocol
+    # ------------------------------------------------------------------
+    def on_insert(self, table: str, row: Dict[str, object], tid: int) -> None:
+        """Record an insert (business columns only; tids are re-stamped on replay)."""
+        business = {
+            name: row[name]
+            for name in self._db.table(table).schema.business_column_names()
+        }
+        self._emit({"op": "insert", "table": table, "row": business})
+
+    def on_update(self, table: str, old_row, new_row, tid: int) -> None:
+        """Record an update as (pk, changed business columns)."""
+        schema = self._db.table(table).schema
+        pk = schema.primary_key
+        if pk is None:
+            raise ReproError(f"cannot trace updates on keyless table {table!r}")
+        changes = {
+            name: new_row[name]
+            for name in schema.business_column_names()
+            if new_row[name] != old_row[name]
+        }
+        self._emit(
+            {"op": "update", "table": table, "pk": old_row[pk], "changes": changes}
+        )
+
+    def on_delete(self, table: str, old_row, tid: int) -> None:
+        """Record a delete by primary key."""
+        pk = self._db.table(table).schema.primary_key
+        if pk is None:
+            raise ReproError(f"cannot trace deletes on keyless table {table!r}")
+        self._emit({"op": "delete", "table": table, "pk": old_row[pk]})
+
+    # ------------------------------------------------------------------
+    # merge-listener protocol (one trace record per merged table)
+    # ------------------------------------------------------------------
+    def before_merge(self, event: MergeEvent) -> None:
+        """Merge-listener hook (state captured after the merge instead)."""
+        return None
+
+    def after_merge(self, event: MergeEvent) -> None:
+        """Record a completed group merge."""
+        key = (event.table.name, event.group_name)
+        self._emit(
+            {
+                "op": "merge",
+                "table": event.table.name,
+                "group": event.group_name,
+                "keep_history": event.keep_history,
+            }
+        )
+
+
+class TraceReplayer:
+    """Applies a recorded trace to a database with the same schema."""
+
+    def __init__(self, db):
+        self._db = db
+
+    def replay(self, path) -> Dict[str, int]:
+        """Apply every operation in file order; returns per-op counts."""
+        counts: Dict[str, int] = {"insert": 0, "update": 0, "delete": 0, "merge": 0}
+        merged_groups_this_round: set = set()
+        with Path(path).open() as handle:
+            for line_no, line in enumerate(handle, start=1):
+                record = json.loads(line)
+                op = record.get("op")
+                if op == "insert":
+                    self._db.insert(record["table"], record["row"])
+                elif op == "update":
+                    self._db.update(record["table"], record["pk"], record["changes"])
+                elif op == "delete":
+                    self._db.delete(record["table"], record["pk"])
+                elif op == "merge":
+                    group = record["group"]
+                    self._db.merge(
+                        record["table"],
+                        group_name=None if group == "default" else group,
+                        keep_history=record["keep_history"],
+                    )
+                else:
+                    raise ReproError(
+                        f"unknown trace operation {op!r} at line {line_no}"
+                    )
+                counts[op] += 1
+        return counts

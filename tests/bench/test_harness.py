@@ -1,0 +1,86 @@
+"""Unit tests for the benchmark harness utilities."""
+
+import pytest
+
+from repro import Database, ExecutionStrategy
+from repro.bench import (
+    STRATEGY_LABELS,
+    FigureCollector,
+    normalize,
+    strategy_sweep,
+    time_call,
+    time_query,
+)
+
+
+def make_db():
+    db = Database()
+    db.create_table("t", [("k", "INT"), ("v", "FLOAT")], primary_key="k")
+    for k in range(50):
+        db.insert("t", {"k": k, "v": float(k)})
+    db.merge()
+    return db
+
+
+class TestTiming:
+    def test_time_call_positive_and_best_of_n(self):
+        calls = []
+        elapsed = time_call(lambda: calls.append(1), repeats=3)
+        assert elapsed >= 0.0
+        assert len(calls) == 3
+
+    def test_time_call_at_least_one_repeat(self):
+        calls = []
+        time_call(lambda: calls.append(1), repeats=0)
+        assert len(calls) == 1
+
+    def test_time_query_runs_warmup(self):
+        db = make_db()
+        sql = "SELECT k, SUM(v) AS s FROM t GROUP BY k"
+        time_query(db, sql, ExecutionStrategy.CACHED_FULL_PRUNING, repeats=1)
+        assert db.cache.entry_count() == 1
+
+    def test_strategy_sweep_covers_all(self):
+        db = make_db()
+        sql = "SELECT COUNT(*) AS n FROM t"
+        sweep = strategy_sweep(
+            db, sql, list(ExecutionStrategy), repeats=1
+        )
+        assert set(sweep) == set(ExecutionStrategy)
+        assert all(v > 0 for v in sweep.values())
+
+
+class TestNormalize:
+    def test_by_max(self):
+        assert normalize([1.0, 2.0, 4.0]) == [0.25, 0.5, 1.0]
+
+    def test_by_reference(self):
+        assert normalize([1.0, 2.0], reference=2.0) == [0.5, 1.0]
+
+    def test_zero_reference(self):
+        assert normalize([0.0, 0.0]) == [0.0, 0.0]
+
+
+class TestFigureCollector:
+    def test_report_accumulates_and_renders(self):
+        collector = FigureCollector()
+        report = collector.report("Fig. X", "demo", "claim", ["a", "b"])
+        report.add_row("x", 1.234567)
+        report.note("scaled down")
+        same = collector.report("Fig. X", "demo", "claim", ["a", "b"])
+        assert same is report
+        rendered = collector.render_all()
+        assert "Fig. X" in rendered
+        assert "1.235" in rendered
+        assert "note: scaled down" in rendered
+
+    def test_empty_collector_renders_nothing(self):
+        assert FigureCollector().render_all() == ""
+
+    def test_empty_reports_skipped(self):
+        collector = FigureCollector()
+        collector.report("Fig. Y", "empty", "claim", ["a"])
+        assert collector.render_all() == ""
+
+    def test_strategy_labels_cover_all(self):
+        assert set(STRATEGY_LABELS) == set(ExecutionStrategy)

@@ -1,0 +1,185 @@
+"""Unit tests for cache keys, entries, metrics, admission, and eviction."""
+
+import pytest
+
+from repro import Database, ExecutionStrategy
+from repro.core import (
+    AlwaysAdmit,
+    CacheKey,
+    CacheMetrics,
+    EntryStatus,
+    LruEviction,
+    ProfitAdmission,
+    ProfitEviction,
+    cache_key_for,
+)
+from repro.core.admission import AdmissionRequest
+from repro.errors import CacheError
+from repro.query import AggFunc, AggregateSpec, GroupedAggregates
+from repro.query.executor import main_only_combos
+
+from ..conftest import HEADER_ITEM_SQL, load_erp, make_erp_db
+
+
+def build_db():
+    db = make_erp_db()
+    load_erp(db, n_headers=3, merge=True)
+    return db
+
+
+class TestCacheKey:
+    def test_same_query_same_key(self):
+        db = build_db()
+        bound = db.executor.bind(db.parse(HEADER_ITEM_SQL))
+        combo = main_only_combos(bound, db.catalog)[0]
+        k1 = cache_key_for(bound, db.catalog, combo)
+        k2 = cache_key_for(bound, db.catalog, combo)
+        assert k1 == k2
+        assert hash(k1) == hash(k2)
+
+    def test_key_includes_table_id(self):
+        db = build_db()
+        bound = db.executor.bind(db.parse("SELECT COUNT(*) AS n FROM item"))
+        combo = main_only_combos(bound, db.catalog)[0]
+        key_before = cache_key_for(bound, db.catalog, combo)
+        db.drop_table("item")
+        db.create_table(
+            "item",
+            [("iid", "INT"), ("hid", "INT"), ("cid", "INT"), ("price", "FLOAT")],
+            primary_key="iid",
+        )
+        bound2 = db.executor.bind(db.parse("SELECT COUNT(*) AS n FROM item"))
+        combo2 = main_only_combos(bound2, db.catalog)[0]
+        key_after = cache_key_for(bound2, db.catalog, combo2)
+        assert key_before != key_after  # recreated table gets a new id
+
+    def test_key_distinguishes_combos(self):
+        assert CacheKey("q", (("t", 1),), (("a", "hot_main"),)) != CacheKey(
+            "q", (("t", 1),), (("a", "cold_main"),)
+        )
+
+    def test_str_rendering(self):
+        key = CacheKey("Q", (("t", 1),), (("a", "main"),))
+        assert "a:main" in str(key)
+
+
+class TestEntryInvariants:
+    def test_entry_visibility_must_cover_aliases(self):
+        db = build_db()
+        db.query(HEADER_ITEM_SQL, strategy=ExecutionStrategy.CACHED_FULL_PRUNING)
+        (entry,) = db.cache.entries_for(db.parse(HEADER_ITEM_SQL))
+        from repro.core.cache_entry import AggregateCacheEntry
+
+        with pytest.raises(CacheError):
+            AggregateCacheEntry(
+                key=entry.key,
+                query=entry.query,
+                value=entry.value,
+                tables=entry.tables,
+                main_partitions=entry.main_partitions,
+                visibility={},  # missing aliases
+                snapshot=entry.snapshot,
+            )
+
+    def test_invalidate_flips_status(self):
+        db = build_db()
+        db.query(HEADER_ITEM_SQL, strategy=ExecutionStrategy.CACHED_FULL_PRUNING)
+        (entry,) = db.cache.entries_for(db.parse(HEADER_ITEM_SQL))
+        assert entry.is_active
+        entry.invalidate()
+        assert not entry.is_active
+        assert entry.metrics.status is EntryStatus.INVALIDATED
+
+
+class TestMetrics:
+    def test_profit_increases_with_reuse(self):
+        cheap = CacheMetrics(size_bytes=100, creation_time_main=1.0)
+        cheap.record_use(1)
+        reused = CacheMetrics(size_bytes=100, creation_time_main=1.0)
+        for clock in range(1, 11):
+            reused.record_use(clock)
+        assert reused.profit() > cheap.profit()
+
+    def test_profit_decreases_with_compensation_cost(self):
+        light = CacheMetrics(size_bytes=100, creation_time_main=1.0)
+        light.record_use(1)
+        heavy = CacheMetrics(
+            size_bytes=100, creation_time_main=1.0, compensation_time_delta=5.0
+        )
+        heavy.record_use(1)
+        assert light.profit() > heavy.profit()
+
+    def test_average_delta_compensation(self):
+        metrics = CacheMetrics()
+        assert metrics.average_delta_compensation() == 0.0
+        metrics.record_use(1)
+        metrics.record_use(2)
+        metrics.compensation_time_delta = 4.0
+        assert metrics.average_delta_compensation() == 2.0
+
+
+class TestAdmissionPolicies:
+    def request(self, creation_time, records, groups=1):
+        grouped = GroupedAggregates([AggregateSpec(AggFunc.COUNT, None, "n")])
+        import numpy as np
+
+        keys = [(g,) for g in range(groups) for _ in range(records // max(1, groups))]
+        grouped.accumulate(keys, [np.empty(0, dtype=object)])
+        bound = None
+        return AdmissionRequest(bound, grouped, creation_time, records)
+
+    def test_always_admit(self):
+        assert AlwaysAdmit().admit(self.request(0.0, 0))
+
+    def test_time_gate(self):
+        policy = ProfitAdmission(min_creation_time=1.0)
+        assert not policy.admit(self.request(0.5, 100))
+        assert policy.admit(self.request(2.0, 100))
+
+    def test_compression_gate(self):
+        policy = ProfitAdmission(min_compression=50.0)
+        assert policy.admit(self.request(0.0, 100, groups=1))
+        assert not policy.admit(self.request(0.0, 100, groups=100))
+
+
+class TestEvictionPolicies:
+    def make_entries(self, count):
+        db = make_erp_db()
+        load_erp(db, n_headers=3, merge=True)
+        for p in range(count):
+            db.query(
+                f"SELECT cid, COUNT(*) AS n FROM item WHERE price > {p} GROUP BY cid",
+                strategy=ExecutionStrategy.CACHED_FULL_PRUNING,
+            )
+        return {e.key: e for e in db.cache.entries()}
+
+    def test_no_eviction_within_budget(self):
+        entries = self.make_entries(3)
+        assert LruEviction().select_victims(entries, max_entries=5, max_bytes=None) == []
+        assert (
+            ProfitEviction().select_victims(entries, max_entries=None, max_bytes=None)
+            == []
+        )
+
+    def test_lru_selects_oldest(self):
+        entries = self.make_entries(3)
+        victims = LruEviction().select_victims(entries, max_entries=2, max_bytes=None)
+        assert len(victims) == 1
+        clocks = {k: e.metrics.last_access_clock for k, e in entries.items()}
+        assert victims[0] == min(clocks, key=clocks.get)
+
+    def test_bytes_budget(self):
+        entries = self.make_entries(3)
+        total = sum(e.metrics.size_bytes for e in entries.values())
+        victims = ProfitEviction().select_victims(
+            entries, max_entries=None, max_bytes=total - 1
+        )
+        assert len(victims) >= 1
+
+    def test_profit_eviction_prefers_low_profit(self):
+        entries = self.make_entries(2)
+        entry_list = list(entries.values())
+        entry_list[0].metrics.creation_time_main = 100.0  # very profitable
+        entry_list[1].metrics.creation_time_main = 0.0
+        victims = ProfitEviction().select_victims(entries, max_entries=1, max_bytes=None)
+        assert victims == [entry_list[1].key]

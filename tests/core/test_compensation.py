@@ -1,0 +1,151 @@
+"""Tests for main compensation (Section 2.2) including join entries."""
+
+import pytest
+
+from repro import Database, ExecutionStrategy
+from repro.core import StaleEntryError, apply_main_compensation
+from repro.core.main_compensation import apply_main_compensation as amc
+
+from ..conftest import HEADER_ITEM_SQL, PROFIT_SQL, make_erp_db, load_erp
+
+FULL = ExecutionStrategy.CACHED_FULL_PRUNING
+UNCACHED = ExecutionStrategy.UNCACHED
+
+
+def entry_for(db, sql):
+    entries = db.cache.entries_for(db.parse(sql))
+    assert len(entries) == 1
+    return entries[0]
+
+
+class TestSingleTableCompensation:
+    SQL = "SELECT cid, SUM(price) AS s, COUNT(*) AS n FROM item GROUP BY cid"
+
+    def make(self):
+        db = make_erp_db()
+        load_erp(db, n_headers=4, merge=True)
+        db.query(self.SQL, strategy=FULL)  # create the entry
+        return db
+
+    def test_update_subtracted_and_new_version_added(self):
+        db = self.make()
+        before = db.query(self.SQL, strategy=UNCACHED)
+        db.update("item", 0, {"price": 999.0})
+        cached = db.query(self.SQL, strategy=FULL)
+        uncached = db.query(self.SQL, strategy=UNCACHED)
+        assert cached == uncached
+        assert cached != before
+        assert db.last_report is not None
+
+    def test_delete_compensated(self):
+        db = self.make()
+        db.delete("item", 1)
+        cached = db.query(self.SQL, strategy=FULL)
+        assert cached == db.query(self.SQL, strategy=UNCACHED)
+
+    def test_group_disappears_when_all_rows_deleted(self):
+        db = make_erp_db()
+        db.insert("category", {"cid": 0, "name": "c", "lang": "ENG"})
+        db.insert("header", {"hid": 1, "year": 2013})
+        db.insert("item", {"iid": 1, "hid": 1, "cid": 0, "price": 5.0})
+        db.merge()
+        db.query(self.SQL, strategy=FULL)
+        db.delete("item", 1)
+        cached = db.query(self.SQL, strategy=FULL)
+        assert len(cached) == 0
+
+    def test_compensation_counts_rows(self):
+        db = self.make()
+        db.update("item", 0, {"price": 1.5})
+        db.update("item", 2, {"price": 2.5})
+        db.query(self.SQL, strategy=FULL)
+        assert db.last_report.invalidated_rows_compensated == 2
+
+    def test_clean_entry_no_compensation(self):
+        db = self.make()
+        db.query(self.SQL, strategy=FULL)
+        assert db.last_report.invalidated_rows_compensated == 0
+        assert db.last_report.cache_hits == 1
+
+
+class TestJoinEntryCompensation:
+    def make(self):
+        db = make_erp_db()
+        load_erp(db, n_headers=5, merge=True)
+        db.query(HEADER_ITEM_SQL, strategy=FULL)
+        return db
+
+    def test_item_update(self):
+        db = self.make()
+        db.update("item", 0, {"price": 500.0})
+        assert db.query(HEADER_ITEM_SQL, strategy=FULL) == db.query(
+            HEADER_ITEM_SQL, strategy=UNCACHED
+        )
+
+    def test_header_delete_removes_joined_items(self):
+        db = self.make()
+        # Deleting a header invalidates its main row; its items no longer join.
+        db.delete("header", 2)
+        cached = db.query(HEADER_ITEM_SQL, strategy=FULL)
+        assert cached == db.query(HEADER_ITEM_SQL, strategy=UNCACHED)
+
+    def test_invalidations_in_both_tables_inclusion_exclusion(self):
+        db = self.make()
+        # One header and two items invalidated: the 2^k-1 expansion must not
+        # double-subtract the (header x item) doubly-invalidated tuples.
+        db.update("item", 1, {"price": 123.0})
+        db.delete("item", 2)
+        db.delete("header", 1)
+        cached = db.query(HEADER_ITEM_SQL, strategy=FULL)
+        assert cached == db.query(HEADER_ITEM_SQL, strategy=UNCACHED)
+
+    def test_three_table_join_with_dimension_update(self):
+        db = make_erp_db()
+        load_erp(db, n_headers=5, merge=True)
+        db.query(PROFIT_SQL, strategy=FULL)
+        db.update("category", 0, {"name": "renamed"})
+        cached = db.query(PROFIT_SQL, strategy=FULL)
+        assert cached == db.query(PROFIT_SQL, strategy=UNCACHED)
+        assert "renamed" in cached.column_values("category")
+
+    def test_update_of_updated_row_in_delta_is_transparent(self):
+        """Updates of rows living in the delta never touch main compensation
+        (Section 2.2: handled transparently)."""
+        db = self.make()
+        db.insert("header", {"hid": 900, "year": 2013})
+        db.insert("item", {"iid": 900, "hid": 900, "cid": 0, "price": 10.0})
+        db.update("item", 900, {"price": 20.0})  # old version is in the delta
+        db.query(HEADER_ITEM_SQL, strategy=FULL)
+        assert db.last_report.invalidated_rows_compensated == 0
+        assert db.query(HEADER_ITEM_SQL, strategy=FULL) == db.query(
+            HEADER_ITEM_SQL, strategy=UNCACHED
+        )
+
+
+class TestStaleEntries:
+    def test_direct_api_raises_on_stale_entry(self):
+        db = make_erp_db()
+        load_erp(db, n_headers=3, merge=True)
+        db.query(HEADER_ITEM_SQL, strategy=FULL)
+        entry = entry_for(db, HEADER_ITEM_SQL)
+        # Merge WITHOUT the cache listener: the entry goes stale.
+        from repro.storage import merge_table
+
+        load_erp(db, n_headers=1, start_hid=300, merge=False)
+        merge_table(db.table("item"), db.transactions.global_snapshot())
+        grouped = entry.value.copy()
+        with pytest.raises(StaleEntryError):
+            amc(entry, db.executor, db.transactions.global_snapshot(), grouped)
+
+    def test_manager_recovers_from_stale_entry(self):
+        db = make_erp_db()
+        load_erp(db, n_headers=3, merge=True)
+        db.query(HEADER_ITEM_SQL, strategy=FULL)
+        from repro.storage import merge_table
+
+        load_erp(db, n_headers=1, start_hid=300, merge=False)
+        merge_table(db.table("item"), db.transactions.global_snapshot())
+        db.table("item").rebuild_pk_index()
+        result = db.query(HEADER_ITEM_SQL, strategy=FULL)
+        assert db.last_report.entries_recomputed == 1
+        assert result == db.query(HEADER_ITEM_SQL, strategy=UNCACHED)

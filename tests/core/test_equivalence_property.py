@@ -1,0 +1,139 @@
+"""Property-based end-to-end correctness: for arbitrary interleavings of
+inserts, updates, deletes, merges, and queries, every cached strategy must
+return exactly the uncached result.
+
+This is the paper's central correctness claim ("the join pruning using these
+MDs will be correct" whether or not the temporal soft-constraint holds, and
+compensation reconstructs the consistent result), exercised under hypothesis
+with operation sequences that include temporal-locality violations (late
+items), unsynchronized merges, and main invalidations.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import Database, ExecutionStrategy
+
+from ..conftest import HEADER_ITEM_SQL, PROFIT_SQL, make_erp_db
+
+STRATEGIES = [
+    ExecutionStrategy.CACHED_NO_PRUNING,
+    ExecutionStrategy.CACHED_EMPTY_DELTA,
+    ExecutionStrategy.CACHED_FULL_PRUNING,
+]
+
+# One workload step: (op, argument)
+operation = st.one_of(
+    st.tuples(st.just("insert_object"), st.integers(0, 3)),  # items per object
+    st.tuples(st.just("late_item"), st.integers(0, 999)),  # header selector
+    st.tuples(st.just("update_item"), st.integers(0, 999)),
+    st.tuples(st.just("delete_item"), st.integers(0, 999)),
+    st.tuples(st.just("delete_header"), st.integers(0, 999)),
+    st.tuples(st.just("merge_all"), st.just(0)),
+    st.tuples(st.just("merge_item_only"), st.just(0)),
+    st.tuples(st.just("query"), st.just(0)),
+)
+
+
+class WorkloadRunner:
+    """Applies an operation sequence, tracking live keys for determinism."""
+
+    def __init__(self, separate_update_delta: bool = False):
+        self.db = make_erp_db(separate_update_delta=separate_update_delta)
+        self.db.insert("category", {"cid": 0, "name": "c0", "lang": "ENG"})
+        self.db.insert("category", {"cid": 1, "name": "c1", "lang": "ENG"})
+        self.next_hid = 0
+        self.next_iid = 0
+        self.live_headers = []
+        self.live_items = []
+
+    def apply(self, op, arg):
+        db = self.db
+        if op == "insert_object":
+            hid = self.next_hid
+            self.next_hid += 1
+            items = []
+            for k in range(arg):
+                items.append(
+                    {
+                        "iid": self.next_iid,
+                        "hid": hid,
+                        "cid": (hid + k) % 2,
+                        "price": float(k + 1),
+                    }
+                )
+                self.live_items.append(self.next_iid)
+                self.next_iid += 1
+            db.insert_business_object(
+                "header", {"hid": hid, "year": 2013}, "item", items
+            )
+            self.live_headers.append(hid)
+        elif op == "late_item":
+            if not self.live_headers:
+                return
+            hid = self.live_headers[arg % len(self.live_headers)]
+            db.insert(
+                "item",
+                {"iid": self.next_iid, "hid": hid, "cid": 0, "price": 9.0},
+            )
+            self.live_items.append(self.next_iid)
+            self.next_iid += 1
+        elif op == "update_item":
+            if not self.live_items:
+                return
+            iid = self.live_items[arg % len(self.live_items)]
+            db.update("item", iid, {"price": float(arg % 7) + 0.5})
+        elif op == "delete_item":
+            if not self.live_items:
+                return
+            iid = self.live_items.pop(arg % len(self.live_items))
+            db.delete("item", iid)
+        elif op == "delete_header":
+            if not self.live_headers:
+                return
+            hid = self.live_headers.pop(arg % len(self.live_headers))
+            db.delete("header", hid)
+        elif op == "merge_all":
+            db.merge()
+        elif op == "merge_item_only":
+            db.merge("item")
+        elif op == "query":
+            self.check()
+
+    def check(self):
+        for sql in (HEADER_ITEM_SQL, PROFIT_SQL):
+            reference = self.db.query(sql, strategy=ExecutionStrategy.UNCACHED)
+            for strategy in STRATEGIES:
+                got = self.db.query(sql, strategy=strategy)
+                assert got == reference, (
+                    f"{strategy} diverged: {got.rows} != {reference.rows}"
+                )
+
+
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(st.lists(operation, min_size=1, max_size=25), st.booleans())
+def test_all_strategies_equal_uncached(ops, separate_update_delta):
+    runner = WorkloadRunner(separate_update_delta=separate_update_delta)
+    for op, arg in ops:
+        runner.apply(op, arg)
+    runner.check()
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(st.lists(operation, min_size=1, max_size=15), st.integers(0, 2))
+def test_entry_reuse_across_workload(ops, extra_queries):
+    """Interleaved queries keep entries warm; results stay exact even when
+    the same entries are compensated repeatedly."""
+    runner = WorkloadRunner()
+    runner.apply("insert_object", 2)
+    runner.check()  # create entries early so later ops hit the maintained path
+    for op, arg in ops:
+        runner.apply(op, arg)
+    for _ in range(extra_queries):
+        runner.check()
+    runner.check()

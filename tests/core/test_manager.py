@@ -1,0 +1,213 @@
+"""Tests for the aggregate cache manager's query path (Fig. 3)."""
+
+import pytest
+
+from repro import (
+    AlwaysAdmit,
+    CacheConfig,
+    Database,
+    ExecutionStrategy,
+    LruEviction,
+    ProfitAdmission,
+)
+from repro.core import EntryStatus
+
+from ..conftest import HEADER_ITEM_SQL, PROFIT_SQL, load_erp, make_erp_db
+
+FULL = ExecutionStrategy.CACHED_FULL_PRUNING
+NO_PRUNE = ExecutionStrategy.CACHED_NO_PRUNING
+EMPTY = ExecutionStrategy.CACHED_EMPTY_DELTA
+UNCACHED = ExecutionStrategy.UNCACHED
+
+
+class TestCacheLifecycle:
+    def test_miss_creates_entry_then_hits(self, erp_db):
+        erp_db.query(PROFIT_SQL, strategy=FULL)
+        assert erp_db.last_report.entries_created == 1
+        assert erp_db.last_report.cache_hits == 0
+        erp_db.query(PROFIT_SQL, strategy=FULL)
+        assert erp_db.last_report.entries_created == 0
+        assert erp_db.last_report.cache_hits == 1
+        assert erp_db.cache.entry_count() == 1
+
+    def test_entry_value_covers_main_only(self, erp_db):
+        erp_db.query(HEADER_ITEM_SQL, strategy=FULL)
+        (entry,) = erp_db.cache.entries_for(erp_db.parse(HEADER_ITEM_SQL))
+        # 6 objects x 3 items in the mains; the 2 delta objects are excluded.
+        assert entry.metrics.aggregated_records_main == 18
+
+    def test_structurally_equal_queries_share_entries(self, erp_db):
+        erp_db.query(HEADER_ITEM_SQL, strategy=FULL)
+        reordered = (
+            "SELECT i.cid AS cid, SUM(i.price) AS profit, COUNT(*) AS n "
+            "FROM item i, header h WHERE i.hid = h.hid GROUP BY i.cid"
+        )
+        erp_db.query(reordered, strategy=FULL)
+        assert erp_db.last_report.cache_hits == 1
+        assert erp_db.cache.entry_count() == 1
+
+    def test_different_filters_get_distinct_entries(self, erp_db):
+        erp_db.query(HEADER_ITEM_SQL, strategy=FULL)
+        filtered = HEADER_ITEM_SQL.replace(
+            "WHERE h.hid = i.hid", "WHERE h.hid = i.hid AND h.year = 2013"
+        )
+        erp_db.query(filtered, strategy=FULL)
+        assert erp_db.cache.entry_count() == 2
+
+    def test_uncached_strategy_creates_no_entries(self, erp_db):
+        erp_db.query(PROFIT_SQL, strategy=UNCACHED)
+        assert erp_db.cache.entry_count() == 0
+        assert erp_db.last_report.strategy is UNCACHED
+
+    def test_min_max_falls_back_uncached(self, erp_db):
+        sql = "SELECT cid, MAX(price) AS m FROM item GROUP BY cid"
+        result = erp_db.query(sql, strategy=FULL)
+        assert erp_db.last_report.fallback_uncached
+        assert erp_db.cache.entry_count() == 0
+        assert result == erp_db.query(sql, strategy=UNCACHED)
+
+    def test_clear(self, erp_db):
+        erp_db.query(PROFIT_SQL, strategy=FULL)
+        erp_db.cache.clear()
+        assert erp_db.cache.entry_count() == 0
+
+
+class TestStrategyEquivalence:
+    """All four strategies must return identical results (Section 5.1:
+    'the join pruning using these MDs will be correct' in both cases)."""
+
+    @pytest.mark.parametrize("sql", [PROFIT_SQL, HEADER_ITEM_SQL])
+    def test_fresh_deltas(self, erp_db, sql):
+        reference = erp_db.query(sql, strategy=UNCACHED)
+        for strategy in (NO_PRUNE, EMPTY, FULL):
+            assert erp_db.query(sql, strategy=strategy) == reference, strategy
+
+    def test_after_merge(self, erp_db):
+        erp_db.merge()
+        reference = erp_db.query(PROFIT_SQL, strategy=UNCACHED)
+        for strategy in (NO_PRUNE, EMPTY, FULL):
+            assert erp_db.query(PROFIT_SQL, strategy=strategy) == reference
+
+    def test_with_temporal_violations(self):
+        """Late items break the soft constraint but never correctness."""
+        db = make_erp_db()
+        load_erp(db, n_headers=4, merge=True)
+        db.insert("item", {"iid": 7777, "hid": 0, "cid": 0, "price": 77.0})
+        load_erp(db, n_headers=2, start_hid=40, merge=False)
+        reference = db.query(HEADER_ITEM_SQL, strategy=UNCACHED)
+        for strategy in (NO_PRUNE, EMPTY, FULL):
+            assert db.query(HEADER_ITEM_SQL, strategy=strategy) == reference
+        # The Hmain x Idelta subjoin carrying the late item must have been
+        # evaluated under full pruning, not pruned away.
+        db.query(HEADER_ITEM_SQL, strategy=FULL)
+        assert db.last_report.prune.evaluated >= 2
+
+    def test_empty_database(self):
+        db = make_erp_db()
+        sql = "SELECT COUNT(*) AS n FROM item"
+        for strategy in (UNCACHED, NO_PRUNE, EMPTY, FULL):
+            assert db.query(sql, strategy=strategy).rows == []
+
+
+class TestPruningCounters:
+    def test_full_pruning_prunes_cross_subjoins(self, erp_db):
+        erp_db.query(PROFIT_SQL, strategy=FULL)
+        report = erp_db.last_report
+        # 3 tables -> 2^3 - 1 = 7 compensation subjoins.
+        assert report.prune.combos_total == 7
+        # category delta is empty -> empty pruning; header/item main x delta
+        # crosses -> dynamic pruning; only (Hd, Id, Dm) survives.
+        assert report.prune.evaluated == 1
+        assert report.prune.pruned_total == 6
+
+    def test_no_pruning_evaluates_everything(self, erp_db):
+        erp_db.query(PROFIT_SQL, strategy=NO_PRUNE)
+        report = erp_db.last_report
+        assert report.prune.combos_total == 7
+        assert report.prune.evaluated == 7
+        assert report.prune.pruned_total == 0
+
+    def test_empty_delta_pruning_only(self, erp_db):
+        erp_db.query(PROFIT_SQL, strategy=EMPTY)
+        report = erp_db.last_report
+        # The 4 subjoins touching the (empty) category delta are pruned;
+        # dynamic crosses still evaluated.
+        assert report.prune.pruned_empty == 4
+        assert report.prune.pruned_dynamic == 0
+        assert report.prune.evaluated == 3
+
+    def test_two_table_counts(self, erp_db):
+        erp_db.query(HEADER_ITEM_SQL, strategy=FULL)
+        report = erp_db.last_report
+        assert report.prune.combos_total == 3
+        assert report.prune.pruned_dynamic == 2
+        assert report.prune.evaluated == 1
+
+
+class TestAdmission:
+    def test_profit_admission_rejects_cheap_queries(self):
+        db = make_erp_db(admission=ProfitAdmission(min_creation_time=999.0))
+        load_erp(db, n_headers=4, merge=True)
+        result = db.query(HEADER_ITEM_SQL, strategy=FULL)
+        assert db.last_report.admission_rejected == 1
+        assert db.cache.entry_count() == 0
+        # Result must still be correct without an entry.
+        assert result == db.query(HEADER_ITEM_SQL, strategy=UNCACHED)
+
+    def test_compression_gate(self):
+        admitting = ProfitAdmission(min_compression=1.0)
+        rejecting = ProfitAdmission(min_compression=10_000.0)
+        db = make_erp_db(admission=admitting)
+        load_erp(db, n_headers=4, merge=True)
+        db.query(HEADER_ITEM_SQL, strategy=FULL)
+        assert db.cache.entry_count() == 1
+        db2 = make_erp_db(admission=rejecting)
+        load_erp(db2, n_headers=4, merge=True)
+        db2.query(HEADER_ITEM_SQL, strategy=FULL)
+        assert db2.cache.entry_count() == 0
+
+
+class TestEviction:
+    def test_max_entries_enforced_lru(self):
+        db = make_erp_db(
+            cache_config=CacheConfig(max_entries=2), eviction=LruEviction()
+        )
+        load_erp(db, n_headers=4, merge=True)
+        queries = [
+            f"SELECT cid, COUNT(*) AS n FROM item WHERE price > {p} GROUP BY cid"
+            for p in (0, 1, 2)
+        ]
+        for sql in queries:
+            db.query(sql, strategy=FULL)
+        assert db.cache.entry_count() == 2
+        # The first (least recently used) entry was evicted.
+        db.query(queries[0], strategy=FULL)
+        assert db.last_report.cache_hits == 0
+
+    def test_max_bytes_enforced(self):
+        db = make_erp_db(cache_config=CacheConfig(max_bytes=1))
+        load_erp(db, n_headers=4, merge=True)
+        db.query(HEADER_ITEM_SQL, strategy=FULL)
+        # Even the fresh entry cannot fit a 1-byte cache.
+        assert db.cache.entry_count() == 0
+        # Correctness unaffected.
+        assert db.query(HEADER_ITEM_SQL, strategy=FULL) == db.query(
+            HEADER_ITEM_SQL, strategy=UNCACHED
+        )
+
+
+class TestMetrics:
+    def test_usage_metrics_updated(self, erp_db):
+        erp_db.query(HEADER_ITEM_SQL, strategy=FULL)
+        erp_db.query(HEADER_ITEM_SQL, strategy=FULL)
+        (entry,) = erp_db.cache.entries_for(erp_db.parse(HEADER_ITEM_SQL))
+        assert entry.metrics.reference_count == 2
+        assert entry.metrics.status is EntryStatus.ACTIVE
+        assert entry.metrics.size_bytes > 0
+        assert entry.metrics.creation_time_main > 0
+
+    def test_report_timings_populated(self, erp_db):
+        erp_db.query(PROFIT_SQL, strategy=NO_PRUNE)
+        report = erp_db.last_report
+        assert report.time_total > 0
+        assert report.time_delta_compensation > 0

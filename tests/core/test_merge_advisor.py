@@ -1,0 +1,117 @@
+"""Tests for the merge decision function."""
+
+import pytest
+
+from repro import Database, ExecutionStrategy
+from repro.core import MergeAdvisor
+
+from ..conftest import HEADER_ITEM_SQL, load_erp, make_erp_db
+
+FULL = ExecutionStrategy.CACHED_FULL_PRUNING
+
+
+class TestDeltaFillSignal:
+    def test_no_recommendation_when_delta_small(self):
+        db = make_erp_db()
+        load_erp(db, n_headers=20, merge=True)
+        load_erp(db, n_headers=1, start_hid=900, merge=False)
+        advisor = MergeAdvisor(delta_fill_threshold=0.5, min_delta_rows=64)
+        assert not advisor.recommend(db).should_merge
+
+    def test_fill_threshold_triggers(self):
+        db = make_erp_db()
+        load_erp(db, n_headers=10, merge=True)
+        load_erp(db, n_headers=10, start_hid=100, merge=False)  # ~50% fill
+        advisor = MergeAdvisor(delta_fill_threshold=0.25, min_delta_rows=10)
+        recommendation = advisor.recommend(db)
+        assert "item" in recommendation.tables
+        assert "delta fill" in recommendation.reasons["item"]
+
+    def test_min_rows_guard(self):
+        db = make_erp_db()
+        load_erp(db, n_headers=2, merge=False)  # 100% fill but tiny
+        advisor = MergeAdvisor(delta_fill_threshold=0.1, min_delta_rows=1000)
+        assert not advisor.recommend(db).should_merge
+
+
+class TestCompensationSignal:
+    def test_compensation_budget_triggers(self):
+        db = make_erp_db()
+        load_erp(db, n_headers=5, merge=True)
+        load_erp(db, n_headers=1, start_hid=100, merge=False)
+        db.query(HEADER_ITEM_SQL, strategy=FULL)
+        db.query(HEADER_ITEM_SQL, strategy=FULL)
+        (entry,) = db.cache.entries_for(db.parse(HEADER_ITEM_SQL))
+        entry.metrics.compensation_time_delta = 10.0  # pretend it got expensive
+        advisor = MergeAdvisor(
+            delta_fill_threshold=2.0, min_delta_rows=10**9, compensation_budget=1.0
+        )
+        recommendation = advisor.recommend(db)
+        assert "item" in recommendation.tables
+        assert "compensation" in recommendation.reasons["item"]
+
+
+class TestMdSynchronization:
+    def make_unbalanced(self):
+        """Item delta full, header delta empty."""
+        db = make_erp_db()
+        load_erp(db, n_headers=10, merge=True)
+        for k in range(40):
+            db.insert(
+                "item", {"iid": 5000 + k, "hid": k % 10, "cid": 0, "price": 1.0}
+            )
+        return db
+
+    def test_md_group_pulled_in(self):
+        db = self.make_unbalanced()
+        advisor = MergeAdvisor(delta_fill_threshold=0.2, min_delta_rows=10)
+        recommendation = advisor.recommend(db)
+        assert "item" in recommendation.tables
+        assert "header" in recommendation.tables  # synchronized via the MD
+        assert "matching dependency" in recommendation.reasons["header"]
+        assert "category" in recommendation.tables  # item's other parent
+
+    def test_synchronization_can_be_disabled(self):
+        db = self.make_unbalanced()
+        advisor = MergeAdvisor(
+            delta_fill_threshold=0.2, min_delta_rows=10, synchronize_md_groups=False
+        )
+        recommendation = advisor.recommend(db)
+        assert recommendation.tables == ["item"]
+
+    def test_describe(self):
+        db = self.make_unbalanced()
+        advisor = MergeAdvisor(delta_fill_threshold=0.2, min_delta_rows=10)
+        text = advisor.recommend(db).describe()
+        assert "merge recommended" in text
+        empty = MergeAdvisor(delta_fill_threshold=5.0, min_delta_rows=10**9)
+        fresh = make_erp_db()
+        assert empty.recommend(fresh).describe() == "no merge recommended"
+
+
+class TestAutoMerge:
+    def test_auto_merge_applies_recommendation(self):
+        db = make_erp_db()
+        load_erp(db, n_headers=10, merge=True)
+        load_erp(db, n_headers=10, start_hid=100, merge=False)
+        stats = db.auto_merge(MergeAdvisor(delta_fill_threshold=0.2, min_delta_rows=10))
+        assert sum(s.rows_moved for s in stats) > 0
+        assert db.table("item").partition("delta").row_count == 0
+        assert db.table("header").partition("delta").row_count == 0
+
+    def test_auto_merge_noop_when_not_recommended(self):
+        db = make_erp_db()
+        load_erp(db, n_headers=5, merge=True)
+        assert db.auto_merge() == []
+
+    def test_auto_merge_keeps_cache_consistent(self):
+        db = make_erp_db()
+        load_erp(db, n_headers=10, merge=True)
+        db.query(HEADER_ITEM_SQL, strategy=FULL)
+        load_erp(db, n_headers=10, start_hid=200, merge=False)
+        db.auto_merge(MergeAdvisor(delta_fill_threshold=0.2, min_delta_rows=10))
+        result = db.query(HEADER_ITEM_SQL, strategy=FULL)
+        assert db.last_report.cache_hits == 1
+        assert result == db.query(
+            HEADER_ITEM_SQL, strategy=ExecutionStrategy.UNCACHED
+        )

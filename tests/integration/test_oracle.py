@@ -1,0 +1,144 @@
+"""Oracle tests: the engine against a brute-force reference implementation.
+
+The reference decodes every visible row into plain dicts, joins with nested
+loops, filters and groups in pure Python — no dictionaries, no partitions,
+no cache.  Hypothesis generates datasets and query parameters; every
+execution strategy must match the oracle exactly.
+"""
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import Database, ExecutionStrategy
+
+STRATEGIES = list(ExecutionStrategy)
+
+
+def visible_rows(db, table_name):
+    table = db.table(table_name)
+    snapshot = db.transactions.global_snapshot()
+    rows = []
+    for partition in table.partitions():
+        for idx in partition.visible_rows(snapshot):
+            rows.append(partition.get_row(int(idx)))
+    return rows
+
+
+def oracle_join_aggregate(db, year_filter, min_price):
+    """Reference result for the parametrized header/item query."""
+    headers = {row["hid"]: row for row in visible_rows(db, "header")}
+    groups = {}
+    for item in visible_rows(db, "item"):
+        header = headers.get(item["hid"])
+        if header is None or item["hid"] is None:
+            continue
+        if year_filter is not None and header["year"] != year_filter:
+            continue
+        if min_price is not None and not (
+            item["price"] is not None and item["price"] > min_price
+        ):
+            continue
+        key = item["cid"]
+        entry = groups.setdefault(key, [0.0, 0, 0])  # sum, nonnull, count(*)
+        if item["price"] is not None:
+            entry[0] += item["price"]
+            entry[1] += 1
+        entry[2] += 1
+    out = {}
+    for key, (total, nonnull, count) in groups.items():
+        out[key] = (total if nonnull else None, count)
+    return out
+
+
+def build_sql(year_filter, min_price):
+    where = ["h.hid = i.hid"]
+    if year_filter is not None:
+        where.append(f"h.year = {year_filter}")
+    if min_price is not None:
+        where.append(f"i.price > {min_price}")
+    return (
+        "SELECT i.cid AS cid, SUM(i.price) AS s, COUNT(*) AS n "
+        f"FROM header h, item i WHERE {' AND '.join(where)} GROUP BY i.cid"
+    )
+
+
+row_strategy = st.tuples(
+    st.integers(0, 8),                       # header selector
+    st.one_of(st.none(), st.integers(0, 3)), # cid (None allowed)
+    st.one_of(st.none(), st.floats(0, 100, allow_nan=False)),  # price
+)
+
+
+@settings(
+    max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+@given(
+    items=st.lists(row_strategy, max_size=50),
+    merge_at=st.integers(0, 50),
+    year_filter=st.one_of(st.none(), st.sampled_from([2012, 2013])),
+    min_price=st.one_of(st.none(), st.floats(0, 50, allow_nan=False)),
+)
+def test_strategies_match_bruteforce_oracle(items, merge_at, year_filter, min_price):
+    db = Database()
+    db.create_table("header", [("hid", "INT"), ("year", "INT")], primary_key="hid")
+    db.create_table(
+        "item",
+        [("iid", "INT"), ("hid", "INT"), ("cid", "INT"), ("price", "FLOAT")],
+        primary_key="iid",
+    )
+    db.add_matching_dependency("header", "hid", "item", "hid")
+    for hid in range(9):
+        db.insert("header", {"hid": hid, "year": 2012 + hid % 2})
+    for iid, (hid, cid, price) in enumerate(items):
+        db.insert("item", {"iid": iid, "hid": hid, "cid": cid, "price": price})
+        if iid + 1 == merge_at:
+            db.merge()
+    expected = oracle_join_aggregate(db, year_filter, min_price)
+    sql = build_sql(year_filter, min_price)
+    for strategy in STRATEGIES:
+        result = db.query(sql, strategy=strategy)
+        got = {row[0]: (row[1], row[2]) for row in result.rows}
+        assert set(got) == set(expected), strategy
+        for key in expected:
+            exp_sum, exp_n = expected[key]
+            got_sum, got_n = got[key]
+            assert got_n == exp_n, (strategy, key)
+            if exp_sum is None:
+                assert got_sum is None
+            else:
+                assert math.isclose(got_sum, exp_sum, rel_tol=1e-9, abs_tol=1e-9)
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    values=st.lists(
+        st.tuples(st.sampled_from("abc"), st.one_of(st.none(), st.integers(-50, 50))),
+        max_size=40,
+    ),
+    merge=st.booleans(),
+)
+def test_single_table_min_max_avg_oracle(values, merge):
+    db = Database()
+    db.create_table("t", [("k", "INT"), ("g", "TEXT"), ("v", "INT")], primary_key="k")
+    for k, (g, v) in enumerate(values):
+        db.insert("t", {"k": k, "g": g, "v": v})
+    if merge:
+        db.merge()
+    result = db.query(
+        "SELECT g, MIN(v) AS lo, MAX(v) AS hi, AVG(v) AS mean FROM t GROUP BY g"
+    )
+    expected = {}
+    for g, v in values:
+        expected.setdefault(g, []).append(v)
+    assert len(result) == len(expected)
+    for g, lo, hi, mean in result.rows:
+        non_null = [v for v in expected[g] if v is not None]
+        if non_null:
+            assert lo == min(non_null)
+            assert hi == max(non_null)
+            assert math.isclose(mean, sum(non_null) / len(non_null))
+        else:
+            assert lo is None and hi is None and mean is None

@@ -1,0 +1,103 @@
+"""Tests for COUNT(DISTINCT expr)."""
+
+import pytest
+
+from repro import Database, ExecutionStrategy, QueryError, parse_sql
+from repro.errors import SqlSyntaxError
+from repro.query import AggFunc, AggregateSpec, Col
+
+FULL = ExecutionStrategy.CACHED_FULL_PRUNING
+UNCACHED = ExecutionStrategy.UNCACHED
+
+
+def make_db():
+    db = Database()
+    db.create_table(
+        "orders",
+        [("oid", "INT"), ("customer", "TEXT"), ("region", "TEXT"), ("amount", "FLOAT")],
+        primary_key="oid",
+    )
+    rows = [
+        (1, "alice", "eu", 10.0),
+        (2, "alice", "eu", 20.0),
+        (3, "bob", "eu", 30.0),
+        (4, "carol", "us", 40.0),
+        (5, None, "us", 50.0),
+    ]
+    for oid, customer, region, amount in rows:
+        db.insert(
+            "orders",
+            {"oid": oid, "customer": customer, "region": region, "amount": amount},
+        )
+    db.merge()
+    return db
+
+
+class TestParsing:
+    def test_count_distinct_parses(self):
+        query = parse_sql("SELECT COUNT(DISTINCT customer) AS c FROM orders")
+        spec = query.aggregates[0]
+        assert spec.distinct
+        assert spec.canonical() == "COUNT(DISTINCT customer)"
+        assert not spec.self_maintainable
+
+    def test_distinct_only_for_count(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_sql("SELECT SUM(DISTINCT x) FROM t")
+
+    def test_spec_validation(self):
+        with pytest.raises(QueryError):
+            AggregateSpec(AggFunc.SUM, Col("x"), "s", distinct=True)
+        with pytest.raises(QueryError):
+            AggregateSpec(AggFunc.COUNT, None, "c", distinct=True)
+
+
+class TestExecution:
+    def test_counts_distinct_non_null(self):
+        db = make_db()
+        result = db.query(
+            "SELECT region, COUNT(DISTINCT customer) AS c, COUNT(*) AS n "
+            "FROM orders GROUP BY region"
+        )
+        assert result.to_dicts() == [
+            {"region": "eu", "c": 2, "n": 3},
+            {"region": "us", "c": 1, "n": 2},  # the NULL customer not counted
+        ]
+
+    def test_spans_main_and_delta(self):
+        db = make_db()
+        db.insert("orders", {"oid": 6, "customer": "alice", "region": "eu", "amount": 1.0})
+        db.insert("orders", {"oid": 7, "customer": "dave", "region": "eu", "amount": 1.0})
+        result = db.query(
+            "SELECT region, COUNT(DISTINCT customer) AS c FROM orders GROUP BY region"
+        )
+        rows = dict(result.rows)
+        assert rows["eu"] == 3  # alice counted once across partitions
+
+    def test_falls_back_uncached(self):
+        db = make_db()
+        db.query(
+            "SELECT region, COUNT(DISTINCT customer) AS c FROM orders GROUP BY region",
+            strategy=FULL,
+        )
+        assert db.last_report.fallback_uncached
+        assert db.cache.entry_count() == 0
+
+    def test_mixed_with_other_aggregates(self):
+        db = make_db()
+        result = db.query(
+            "SELECT COUNT(DISTINCT region) AS r, SUM(amount) AS s, "
+            "MIN(amount) AS lo FROM orders"
+        )
+        assert result.rows == [(2, 150.0, 10.0)]
+
+    def test_after_update_and_delete(self):
+        db = make_db()
+        db.update("orders", 3, {"customer": "alice"})  # bob -> alice
+        db.delete("orders", 4)  # carol gone
+        result = db.query(
+            "SELECT region, COUNT(DISTINCT customer) AS c FROM orders GROUP BY region"
+        )
+        rows = dict(result.rows)
+        assert rows["eu"] == 1
+        assert rows["us"] == 0  # only the NULL-customer order remains

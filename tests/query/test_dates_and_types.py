@@ -1,0 +1,115 @@
+"""Behavioral tests for DATE handling and type interplay across the stack."""
+
+import pytest
+
+from repro import Database, ExecutionStrategy
+
+FULL = ExecutionStrategy.CACHED_FULL_PRUNING
+UNCACHED = ExecutionStrategy.UNCACHED
+
+
+def make_db():
+    db = Database()
+    db.create_table(
+        "events",
+        [("eid", "INT"), ("day", "DATE"), ("kind", "TEXT"), ("value", "FLOAT")],
+        primary_key="eid",
+    )
+    rows = [
+        (1, "2013-01-15", "a", 1.0),
+        (2, "2013-06-30", "a", 2.0),
+        (3, "2013-12-31", "b", 3.0),
+        (4, "2014-01-01", "b", 4.0),
+        (5, None, "a", 5.0),
+    ]
+    for eid, day, kind, value in rows:
+        db.insert("events", {"eid": eid, "day": day, "kind": kind, "value": value})
+    db.merge()
+    return db
+
+
+class TestDateFilters:
+    def test_date_range_filter(self):
+        db = make_db()
+        result = db.query(
+            "SELECT kind, COUNT(*) AS n FROM events "
+            "WHERE day >= '2013-06-01' AND day < '2014-01-01' GROUP BY kind"
+        )
+        assert dict(result.rows) == {"a": 1, "b": 1}
+
+    def test_date_between(self):
+        db = make_db()
+        result = db.query(
+            "SELECT COUNT(*) AS n FROM events "
+            "WHERE day BETWEEN '2013-01-01' AND '2013-12-31'"
+        )
+        assert result.rows == [(3,)]
+
+    def test_null_dates_excluded_from_comparisons(self):
+        db = make_db()
+        low = db.query("SELECT COUNT(*) AS n FROM events WHERE day < '2099-01-01'")
+        assert low.rows == [(4,)]  # the NULL-day row never matches
+        nulls = db.query("SELECT COUNT(*) AS n FROM events WHERE day IS NULL")
+        assert nulls.rows == [(1,)]
+
+    def test_date_group_by(self):
+        db = make_db()
+        result = db.query(
+            "SELECT day, SUM(value) AS s FROM events WHERE day IS NOT NULL GROUP BY day"
+        )
+        assert result.column_values("day") == sorted(result.column_values("day"))
+        assert len(result) == 4
+
+    def test_min_max_over_dates(self):
+        db = make_db()
+        result = db.query("SELECT MIN(day) AS lo, MAX(day) AS hi FROM events")
+        assert result.rows == [("2013-01-15", "2014-01-01")]
+
+    def test_date_filter_with_cache(self):
+        db = make_db()
+        sql = (
+            "SELECT kind, SUM(value) AS s FROM events "
+            "WHERE day >= '2013-06-01' GROUP BY kind"
+        )
+        db.query(sql, strategy=FULL)
+        db.insert("events", {"eid": 9, "day": "2014-06-01", "kind": "a", "value": 9.0})
+        assert db.query(sql, strategy=FULL) == db.query(sql, strategy=UNCACHED)
+
+
+class TestTypeCoercionAcrossStack:
+    def test_int_literal_filters_float_column(self):
+        db = make_db()
+        result = db.query("SELECT COUNT(*) AS n FROM events WHERE value > 3")
+        assert result.rows == [(2,)]
+
+    def test_sum_of_int_column_through_cache(self):
+        db = Database()
+        db.create_table("t", [("k", "INT"), ("v", "INT")], primary_key="k")
+        for k in range(5):
+            db.insert("t", {"k": k, "v": k})
+        db.merge()
+        sql = "SELECT SUM(v) AS s, AVG(v) AS a FROM t"
+        db.query(sql, strategy=FULL)
+        db.insert("t", {"k": 10, "v": 10})
+        result = db.query(sql, strategy=FULL)
+        assert result.rows[0][0] == pytest.approx(20.0)
+        assert result.rows[0][1] == pytest.approx(20.0 / 6)
+
+    def test_text_group_keys_with_quotes(self):
+        db = Database()
+        db.create_table("t", [("k", "INT"), ("name", "TEXT")], primary_key="k")
+        db.insert("t", {"k": 1, "name": "O'Brien"})
+        db.insert("t", {"k": 2, "name": "O'Brien"})
+        result = db.query(
+            "SELECT name, COUNT(*) AS n FROM t WHERE name = 'O''Brien' GROUP BY name"
+        )
+        assert result.rows == [("O'Brien", 2)]
+
+    def test_arithmetic_in_aggregate_argument(self):
+        db = make_db()
+        result = db.query(
+            "SELECT kind, SUM(value * 2 + 1) AS s FROM events GROUP BY kind"
+        )
+        rows = dict(result.rows)
+        assert rows["a"] == pytest.approx((1.0 + 2.0 + 5.0) * 2 + 3)
+        assert rows["b"] == pytest.approx((3.0 + 4.0) * 2 + 2)

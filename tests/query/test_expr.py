@@ -1,0 +1,167 @@
+"""Unit tests for expression trees and their evaluation semantics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import QueryError
+from repro.query import And, Arith, Cmp, Col, InList, IsNull, Lit, Not, Or
+from repro.query.expr import conjuncts_of, single_alias_of
+
+
+class ArrayProvider:
+    """Column provider backed by plain dict-of-arrays, for expression tests."""
+
+    def __init__(self, columns, n):
+        self._columns = {
+            key: np.array(values, dtype=object) for key, values in columns.items()
+        }
+        self._n = n
+
+    def get(self, alias, name):
+        return self._columns[(alias, name)]
+
+    def row_count(self):
+        return self._n
+
+
+def provider(**cols):
+    n = len(next(iter(cols.values())))
+    return ArrayProvider({("t", name): values for name, values in cols.items()}, n)
+
+
+class TestComparison:
+    def test_all_operators(self):
+        p = provider(x=[1, 2, 3])
+        col = Col("x", "t")
+        assert Cmp("=", col, Lit(2)).evaluate(p).tolist() == [False, True, False]
+        assert Cmp("!=", col, Lit(2)).evaluate(p).tolist() == [True, False, True]
+        assert Cmp("<", col, Lit(2)).evaluate(p).tolist() == [True, False, False]
+        assert Cmp("<=", col, Lit(2)).evaluate(p).tolist() == [True, True, False]
+        assert Cmp(">", col, Lit(2)).evaluate(p).tolist() == [False, False, True]
+        assert Cmp(">=", col, Lit(2)).evaluate(p).tolist() == [False, True, True]
+
+    def test_null_is_false(self):
+        p = provider(x=[None, 5, None])
+        col = Col("x", "t")
+        for op in ("=", "!=", "<", "<=", ">", ">="):
+            result = Cmp(op, col, Lit(5)).evaluate(p)
+            assert not result[0] and not result[2]
+
+    def test_string_comparison(self):
+        p = provider(s=["abc", "xyz"])
+        assert Cmp("=", Col("s", "t"), Lit("abc")).evaluate(p).tolist() == [True, False]
+
+    def test_column_vs_column(self):
+        p = ArrayProvider(
+            {("t", "a"): np.array([1, 2], dtype=object), ("t", "b"): np.array([1, 3], dtype=object)},
+            2,
+        )
+        assert Cmp("=", Col("a", "t"), Col("b", "t")).evaluate(p).tolist() == [True, False]
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(QueryError):
+            Cmp("~", Col("x"), Lit(1))
+
+    def test_is_equi_join(self):
+        assert Cmp("=", Col("a", "h"), Col("b", "i")).is_equi_join()
+        assert not Cmp("=", Col("a", "h"), Col("b", "h")).is_equi_join()
+        assert not Cmp("=", Col("a", "h"), Lit(1)).is_equi_join()
+        assert not Cmp("<", Col("a", "h"), Col("b", "i")).is_equi_join()
+
+
+class TestBoolean:
+    def test_and_or_not(self):
+        p = provider(x=[1, 2, 3, 4])
+        col = Col("x", "t")
+        gt1 = Cmp(">", col, Lit(1))
+        lt4 = Cmp("<", col, Lit(4))
+        assert And([gt1, lt4]).evaluate(p).tolist() == [False, True, True, False]
+        assert Or([Not(gt1), Not(lt4)]).evaluate(p).tolist() == [True, False, False, True]
+
+    def test_empty_boolean_rejected(self):
+        with pytest.raises(QueryError):
+            And([])
+        with pytest.raises(QueryError):
+            Or([])
+
+    def test_conjunct_flattening(self):
+        a, b, c = (Cmp("=", Col("x", "t"), Lit(i)) for i in range(3))
+        nested = And([a, And([b, c])])
+        assert nested.conjuncts() == [a, b, c]
+        assert conjuncts_of(nested) == [a, b, c]
+        assert conjuncts_of(a) == [a]
+
+    def test_operator_sugar(self):
+        a = Cmp("=", Col("x", "t"), Lit(1))
+        b = Cmp("=", Col("x", "t"), Lit(2))
+        assert isinstance(a & b, And)
+        assert isinstance(a | b, Or)
+        assert isinstance(~a, Not)
+
+
+class TestOtherPredicates:
+    def test_in_list(self):
+        p = provider(x=[1, 2, None, 4])
+        result = InList(Col("x", "t"), [1, 4]).evaluate(p)
+        assert result.tolist() == [True, False, False, True]
+
+    def test_is_null(self):
+        p = provider(x=[None, 1])
+        assert IsNull(Col("x", "t")).evaluate(p).tolist() == [True, False]
+        assert IsNull(Col("x", "t"), negated=True).evaluate(p).tolist() == [False, True]
+
+
+class TestArithmetic:
+    def test_basic_ops(self):
+        p = provider(x=[10, 20])
+        col = Col("x", "t")
+        assert Arith("+", col, Lit(1)).evaluate(p).tolist() == [11, 21]
+        assert Arith("-", col, Lit(1)).evaluate(p).tolist() == [9, 19]
+        assert Arith("*", col, Lit(2)).evaluate(p).tolist() == [20, 40]
+        assert Arith("/", col, Lit(2)).evaluate(p).tolist() == [5, 10]
+
+    def test_null_propagates(self):
+        p = provider(x=[None, 3])
+        out = Arith("*", Col("x", "t"), Lit(2)).evaluate(p)
+        assert out.tolist() == [None, 6]
+
+    def test_unknown_op(self):
+        with pytest.raises(QueryError):
+            Arith("%", Col("x"), Lit(1))
+
+
+class TestCanonicalAndBinding:
+    def test_canonical_stable_under_operand_order(self):
+        a = Cmp("=", Col("x", "t"), Lit(1))
+        b = Cmp("=", Col("y", "t"), Lit(2))
+        assert And([a, b]).canonical() == And([b, a]).canonical()
+
+    def test_literal_quoting(self):
+        assert Lit("o'brien").canonical() == "'o''brien'"
+        assert Lit(None).canonical() == "None"
+
+    def test_expr_equality_by_canonical(self):
+        assert Cmp("=", Col("x", "t"), Lit(1)) == Cmp("=", Col("x", "t"), Lit(1))
+        assert Cmp("=", Col("x", "t"), Lit(1)) != Cmp("=", Col("x", "t"), Lit(2))
+        assert hash(Lit(1)) == hash(Lit(1))
+
+    def test_rebind(self):
+        expr = Cmp("=", Col("x", "a"), Col("y", "b"))
+        rebound = expr.rebind({"a": "h"})
+        assert rebound.canonical() == "(h.x = b.y)"
+        # original untouched
+        assert expr.canonical() == "(a.x = b.y)"
+
+    def test_map_columns(self):
+        expr = And([Cmp("=", Col("x"), Lit(1)), IsNull(Col("y"))])
+        bound = expr.map_columns(lambda c: Col(c.name, "t"))
+        assert {a for a, _ in bound.column_refs()} == {"t"}
+
+    def test_column_refs(self):
+        expr = Or([Cmp("=", Col("x", "a"), Col("y", "b")), IsNull(Col("z", "a"))])
+        assert expr.column_refs() == frozenset({("a", "x"), ("b", "y"), ("a", "z")})
+
+    def test_single_alias_of(self):
+        assert single_alias_of(Cmp("=", Col("x", "a"), Lit(1))) == "a"
+        assert single_alias_of(Cmp("=", Col("x", "a"), Col("y", "b"))) is None
+        assert single_alias_of(Lit(1)) is None

@@ -1,0 +1,112 @@
+"""Tests for code-space filter evaluation (the compressed-scan fast path)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.query import Arith, Cmp, Col, Lit
+from repro.query.fastpath import fast_filter_mask
+from repro.query.operators import PartitionProvider, scan_partition
+from repro.storage import ColumnDef, Partition, Schema, SqlType
+
+
+def make_delta(values):
+    schema = Schema([ColumnDef("x", SqlType.INT), ColumnDef("y", SqlType.TEXT)])
+    part = Partition("delta", "delta", schema)
+    for i, v in enumerate(values):
+        part.append_row(schema.validate_row({"x": v, "y": str(i)}), cts=1)
+    return part
+
+def make_main(values):
+    schema = Schema([ColumnDef("x", SqlType.INT), ColumnDef("y", SqlType.TEXT)])
+    rows = [{"x": v, "y": str(i)} for i, v in enumerate(values)]
+    return Partition.build_main("main", schema, rows, [1] * len(rows), [0] * len(rows))
+
+
+VALUES = [5, None, 3, 5, 9, 1, None, 7]
+
+
+class TestShapes:
+    def test_applicable_shapes(self):
+        part = make_delta(VALUES)
+        assert fast_filter_mask(Cmp("=", Col("x"), Lit(5)), part) is not None
+        assert fast_filter_mask(Cmp("<", Lit(5), Col("x")), part) is not None
+
+    def test_inapplicable_shapes(self):
+        part = make_delta(VALUES)
+        assert fast_filter_mask(Cmp("=", Col("x"), Col("y")), part) is None
+        assert fast_filter_mask(Cmp("=", Arith("+", Col("x"), Lit(1)), Lit(5)), part) is None
+        assert fast_filter_mask(Lit(True), part) is None
+        assert fast_filter_mask(Cmp("=", Col("x"), Lit(None)), part) is None
+
+    def test_alias_mismatch_rejected(self):
+        part = make_delta(VALUES)
+        expr = Cmp("=", Col("x", "other"), Lit(5))
+        assert fast_filter_mask(expr, part, alias="mine") is None
+        assert fast_filter_mask(expr, part, alias="other") is not None
+
+    def test_unknown_column(self):
+        part = make_delta(VALUES)
+        assert fast_filter_mask(Cmp("=", Col("zzz"), Lit(5)), part) is None
+
+    def test_incomparable_literal_falls_back(self):
+        part = make_delta(VALUES)
+        assert fast_filter_mask(Cmp("<", Col("x"), Lit("abc")), part) is None
+
+
+@pytest.mark.parametrize("factory", [make_delta, make_main], ids=["delta", "main"])
+class TestSemantics:
+    @pytest.mark.parametrize("op", ["=", "!=", "<", "<=", ">", ">="])
+    def test_matches_generic_evaluation(self, factory, op):
+        part = factory(VALUES)
+        expr = Cmp(op, Col("x"), Lit(5))
+        fast = fast_filter_mask(expr, part)
+        rows = np.arange(part.row_count)
+        generic = expr.evaluate(PartitionProvider(None, part, rows)).astype(bool)
+        assert fast.tolist() == generic.tolist()
+
+    def test_absent_equality_all_false(self, factory):
+        part = factory(VALUES)
+        assert not fast_filter_mask(Cmp("=", Col("x"), Lit(12345)), part).any()
+
+    def test_absent_inequality_matches_nonnull(self, factory):
+        part = factory(VALUES)
+        mask = fast_filter_mask(Cmp("!=", Col("x"), Lit(12345)), part)
+        expected = [v is not None for v in VALUES]
+        assert mask.tolist() == expected
+
+    def test_empty_partition(self, factory):
+        part = factory([])
+        assert fast_filter_mask(Cmp("<", Col("x"), Lit(3)), part).tolist() == []
+
+
+class TestScanIntegration:
+    def test_scan_uses_fast_and_slow_filters_together(self):
+        part = make_delta(VALUES)
+        fast_expr = Cmp(">", Col("x"), Lit(2))
+        slow_expr = Cmp("!=", Arith("+", Col("x"), Lit(0)), Lit(9))
+        rows = scan_partition(None, part, snapshot=1, filters=[fast_expr, slow_expr])
+        kept = [VALUES[i] for i in rows]
+        assert kept == [5, 3, 5, 7]
+
+    def test_scan_respects_visibility(self):
+        part = make_delta(VALUES)
+        part.invalidate(0, 2)
+        rows = scan_partition(None, part, snapshot=2, filters=[Cmp("=", Col("x"), Lit(5))])
+        assert rows.tolist() == [3]
+
+
+@given(
+    st.lists(st.one_of(st.none(), st.integers(-20, 20)), max_size=60),
+    st.sampled_from(["=", "!=", "<", "<=", ">", ">="]),
+    st.integers(-20, 20),
+)
+def test_property_fast_equals_generic(values, op, literal):
+    for factory in (make_delta, make_main):
+        part = factory(values)
+        expr = Cmp(op, Col("x"), Lit(literal))
+        fast = fast_filter_mask(expr, part)
+        rows = np.arange(part.row_count)
+        generic = expr.evaluate(PartitionProvider(None, part, rows)).astype(bool)
+        assert fast.tolist() == generic.tolist()

@@ -1,0 +1,97 @@
+"""Direct tests for grouped-state internals the executor exercises only
+indirectly: pre-aggregated group folding, raw state access, and result
+rendering edges."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CacheError, QueryError
+from repro.query import AggFunc, AggregateSpec, Col, GroupedAggregates, OrderItem
+from repro.query.query import AggregateQuery, TableRef
+from repro.query.result import QueryResult
+
+
+def specs():
+    return [
+        AggregateSpec(AggFunc.SUM, Col("v", "t"), "s"),
+        AggregateSpec(AggFunc.COUNT, None, "n"),
+    ]
+
+
+class TestAccumulateGroups:
+    def test_fold_preaggregated_contributions(self):
+        grouped = GroupedAggregates(specs())
+        grouped.accumulate_groups(
+            keys=[("a",), ("b",)],
+            spec_states=[[(10.0, 2), (5.0, 1)], [2, 1]],
+            count_star=[2, 1],
+        )
+        rows = {row[0]: row[1:] for row in grouped.finalize()}
+        assert rows["a"] == (10.0, 2)
+        assert rows["b"] == (5.0, 1)
+        assert grouped.count_star(("a",)) == 2
+
+    def test_subtract_retires_groups(self):
+        grouped = GroupedAggregates(specs())
+        grouped.accumulate_groups([("a",)], [[(10.0, 2)], [2]], [2])
+        grouped.accumulate_groups([("a",)], [[(10.0, 2)], [2]], [2], sign=-1)
+        assert grouped.group_count() == 0
+
+    def test_subtract_requires_self_maintainable(self):
+        bad = GroupedAggregates([AggregateSpec(AggFunc.MIN, Col("v", "t"), "m")])
+        with pytest.raises(CacheError):
+            bad.accumulate_groups([("a",)], [[(1, 1)]], [1], sign=-1)
+
+    def test_raw_states_are_copies(self):
+        grouped = GroupedAggregates(specs())
+        grouped.accumulate_groups([("a",)], [[(10.0, 2)], [2]], [2])
+        states = grouped.raw_states(("a",))
+        states[0][0] = 999.0
+        assert grouped.finalize()[0][1] == 10.0
+
+
+class TestResultRendering:
+    def query(self):
+        return AggregateQuery(
+            tables=[TableRef("t", "t")],
+            aggregates=specs(),
+            group_by=[Col("g", "t")],
+        )
+
+    def test_to_text_truncation_note(self):
+        result = QueryResult(["g", "s", "n"], [(i, 1.0, 1) for i in range(30)])
+        text = result.to_text(max_rows=5)
+        assert "(25 more rows)" in text
+        assert result.to_text(max_rows=None).count("\n") >= 31
+
+    def test_null_rendering(self):
+        result = QueryResult(["g", "s", "n"], [(None, None, 0)])
+        assert "NULL" in result.to_text()
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(QueryError):
+            QueryResult(["a", "b"], [(1,)])
+
+    def test_sort_with_nulls_first(self):
+        result = QueryResult(["g", "s", "n"], [(2, 1.0, 1), (None, 2.0, 1), (1, 3.0, 1)])
+        ordered = result.sorted_by([OrderItem("g")])
+        assert ordered.column_values("g") == [None, 1, 2]
+
+    def test_sort_mixed_types_stable(self):
+        result = QueryResult(["g", "s", "n"], [("b", 1.0, 1), (1, 2.0, 1), ("a", 3.0, 1)])
+        ordered = result.sorted_by([OrderItem("g")])
+        # ints group before strings (type-name order), each group sorted.
+        assert ordered.column_values("g") == [1, "a", "b"]
+
+    def test_equality_cross_type_and_length(self):
+        a = QueryResult(["x"], [(1,)])
+        assert a != QueryResult(["y"], [(1,)])
+        assert a != QueryResult(["x"], [(1,), (2,)])
+        assert (a == object()) is NotImplemented or (a != object())
+
+    def test_float_tolerance_in_equality(self):
+        a = QueryResult(["x"], [(1.0000000000001,)])
+        b = QueryResult(["x"], [(1.0,)])
+        assert a == b
+        c = QueryResult(["x"], [(1.1,)])
+        assert a != c

@@ -1,0 +1,192 @@
+"""Unit tests for physical operators: providers, hash joins, aggregation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import QueryError
+from repro.query import AggFunc, AggregateSpec, Col, GroupedAggregates
+from repro.query.operators import (
+    JoinedProvider,
+    PartitionProvider,
+    aggregate_into,
+    build_hash_table,
+    probe_hash_join,
+)
+from repro.storage import ColumnDef, Partition, Schema, SqlType
+
+
+def make_partition(name, columns, rows):
+    schema = Schema([ColumnDef(n, t) for n, t in columns])
+    part = Partition(name, "delta", schema)
+    for row in rows:
+        part.append_row(schema.validate_row(row), cts=1)
+    return part
+
+
+@pytest.fixture
+def header_part():
+    return make_partition(
+        "hdelta",
+        [("hid", SqlType.INT), ("year", SqlType.INT)],
+        [{"hid": 1, "year": 2013}, {"hid": 2, "year": 2014}, {"hid": 3, "year": 2013}],
+    )
+
+
+@pytest.fixture
+def item_part():
+    return make_partition(
+        "idelta",
+        [("iid", SqlType.INT), ("hid", SqlType.INT), ("price", SqlType.FLOAT)],
+        [
+            {"iid": 10, "hid": 1, "price": 5.0},
+            {"iid": 11, "hid": 1, "price": 6.0},
+            {"iid": 12, "hid": 2, "price": 7.0},
+            {"iid": 13, "hid": None, "price": 8.0},
+        ],
+    )
+
+
+class TestProviders:
+    def test_partition_provider_alias_check(self, header_part):
+        provider = PartitionProvider("h", header_part, np.array([0, 2]))
+        assert provider.get("h", "year").tolist() == [2013, 2013]
+        assert provider.get(None, "year").tolist() == [2013, 2013]
+        with pytest.raises(QueryError):
+            provider.get("other", "year")
+
+    def test_joined_provider_alignment(self, header_part, item_part):
+        with pytest.raises(QueryError):
+            JoinedProvider(
+                {"h": header_part, "i": item_part},
+                {"h": np.array([0]), "i": np.array([0, 1])},
+            )
+
+    def test_joined_provider_unqualified_resolution(self, header_part, item_part):
+        provider = JoinedProvider(
+            {"h": header_part, "i": item_part},
+            {"h": np.array([0]), "i": np.array([0])},
+        )
+        assert provider.get(None, "price").tolist() == [5.0]
+        with pytest.raises(QueryError):
+            provider.get(None, "hid")  # ambiguous: both tables have it
+        with pytest.raises(QueryError):
+            provider.get(None, "missing")
+
+    def test_select(self, header_part):
+        provider = JoinedProvider({"h": header_part}, {"h": np.array([0, 1, 2])})
+        narrowed = provider.select(np.array([True, False, True]))
+        assert narrowed.row_count() == 2
+        assert narrowed.indices["h"].tolist() == [0, 2]
+
+    def test_codes_access(self, item_part):
+        provider = JoinedProvider({"i": item_part}, {"i": np.array([0, 3])})
+        codes, fragment = provider.codes("i", "hid")
+        assert codes.tolist() == [0, -1]  # NULL encodes as -1
+        assert fragment.dictionary.decode(0) == 1
+
+
+class TestHashJoin:
+    def test_build_skips_null_keys(self, item_part):
+        table = build_hash_table(item_part, np.arange(4), ["hid"])
+        assert set(table) == {(1,), (2,)}
+        assert table[(1,)] == [0, 1]
+
+    def test_probe_expands_matches(self, header_part, item_part):
+        current = JoinedProvider({"h": header_part}, {"h": np.array([0, 1, 2])})
+        table = build_hash_table(item_part, np.arange(4), ["hid"])
+        joined = probe_hash_join(current, [("h", "hid")], "i", item_part, table)
+        assert joined.row_count() == 3  # h1 matches twice, h2 once, h3 zero
+        assert joined.indices["h"].tolist() == [0, 0, 1]
+        assert joined.indices["i"].tolist() == [0, 1, 2]
+
+    def test_probe_null_keys_never_match(self, header_part, item_part):
+        current = JoinedProvider({"i": item_part}, {"i": np.array([3])})
+        table = build_hash_table(header_part, np.arange(3), ["hid"])
+        joined = probe_hash_join(current, [("i", "hid")], "h", header_part, table)
+        assert joined.row_count() == 0
+
+    def test_composite_key(self):
+        left = make_partition(
+            "l", [("a", SqlType.INT), ("b", SqlType.INT)],
+            [{"a": 1, "b": 1}, {"a": 1, "b": 2}],
+        )
+        right = make_partition(
+            "r", [("a", SqlType.INT), ("b", SqlType.INT)],
+            [{"a": 1, "b": 2}, {"a": 1, "b": 3}],
+        )
+        table = build_hash_table(right, np.arange(2), ["a", "b"])
+        current = JoinedProvider({"l": left}, {"l": np.arange(2)})
+        joined = probe_hash_join(current, [("l", "a"), ("l", "b")], "r", right, table)
+        assert joined.row_count() == 1
+        assert joined.indices["l"].tolist() == [1]
+
+
+def specs():
+    return [
+        AggregateSpec(AggFunc.SUM, Col("price", "i"), "s"),
+        AggregateSpec(AggFunc.COUNT, None, "n"),
+        AggregateSpec(AggFunc.AVG, Col("price", "i"), "a"),
+    ]
+
+
+class TestAggregationPaths:
+    def test_small_input_uses_row_loop(self, item_part):
+        provider = JoinedProvider({"i": item_part}, {"i": np.arange(4)})
+        grouped = GroupedAggregates(specs())
+        n = aggregate_into(grouped, provider, [Col("hid", "i")], specs())
+        assert n == 4
+        rows = {row[0]: row[1:] for row in grouped.finalize()}
+        assert rows[1] == (11.0, 2, 5.5)
+        assert rows[None] == (8.0, 1, 8.0)
+
+    def test_empty_provider(self, item_part):
+        provider = JoinedProvider({"i": item_part}, {"i": np.empty(0, dtype=np.int64)})
+        grouped = GroupedAggregates(specs())
+        assert aggregate_into(grouped, provider, [Col("hid", "i")], specs()) == 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.one_of(st.none(), st.integers(0, 4)),
+            st.one_of(st.none(), st.floats(-50, 50, allow_nan=False)),
+        ),
+        min_size=1,
+        max_size=120,
+    )
+)
+def test_property_vectorized_equals_row_loop(rows):
+    """The code-space vectorized aggregation must agree with the row loop
+    regardless of size (the 48-row threshold picks the path)."""
+    part = make_partition(
+        "i",
+        [("hid", SqlType.INT), ("price", SqlType.FLOAT)],
+        [{"hid": h, "price": p} for h, p in rows],
+    )
+    provider = JoinedProvider({"i": part}, {"i": np.arange(len(rows))})
+
+    vectorized = GroupedAggregates(specs())
+    aggregate_into(vectorized, provider, [Col("hid", "i")], specs())
+
+    from repro.query import operators
+
+    original = operators._VECTORIZE_THRESHOLD
+    operators._VECTORIZE_THRESHOLD = 10**9  # force the row loop
+    try:
+        looped = GroupedAggregates(specs())
+        aggregate_into(looped, provider, [Col("hid", "i")], specs())
+    finally:
+        operators._VECTORIZE_THRESHOLD = original
+
+    left = {row[0]: row[1:] for row in vectorized.finalize()}
+    right = {row[0]: row[1:] for row in looped.finalize()}
+    assert set(left) == set(right)
+    for key in left:
+        for a, b in zip(left[key], right[key]):
+            if a is None or b is None:
+                assert a is None and b is None
+            else:
+                assert a == pytest.approx(b)

@@ -1,0 +1,187 @@
+"""Unit tests for the SQL SELECT parser."""
+
+import pytest
+
+from repro.errors import SqlSyntaxError
+from repro.query import AggFunc, Cmp, Col, InList, IsNull, Lit, parse_sql
+
+LISTING_1 = """
+SELECT D.Name AS Category, SUM(I.Price) AS Profit
+FROM Header AS H, Item AS I, ProductCategory AS D
+WHERE I.HeaderID = H.HeaderID
+  AND I.CategoryID = D.CategoryID
+  AND D.Language = 'ENG'
+  AND H.FiscalYear = 2013
+GROUP BY D.Name
+"""
+
+
+class TestListing1:
+    """The paper's sample query (Listing 1) must parse into the right shape."""
+
+    def test_tables(self):
+        query = parse_sql(LISTING_1)
+        assert [(t.table, t.alias) for t in query.tables] == [
+            ("Header", "H"),
+            ("Item", "I"),
+            ("ProductCategory", "D"),
+        ]
+
+    def test_join_edges(self):
+        query = parse_sql(LISTING_1)
+        canonicals = sorted(e.canonical() for e in query.join_edges)
+        assert canonicals == [
+            "D.CategoryID = I.CategoryID",
+            "H.HeaderID = I.HeaderID",
+        ]
+
+    def test_filters(self):
+        query = parse_sql(LISTING_1)
+        canonicals = sorted(f.canonical() for f in query.filters)
+        assert canonicals == ["(D.Language = 'ENG')", "(H.FiscalYear = 2013)"]
+
+    def test_group_and_aggregates(self):
+        query = parse_sql(LISTING_1)
+        assert [c.canonical() for c in query.group_by] == ["D.Name"]
+        assert [s.canonical() for s in query.aggregates] == ["SUM(I.Price)"]
+        assert query.aggregates[0].output == "Profit"
+
+
+class TestSelectList:
+    def test_count_star(self):
+        query = parse_sql("SELECT COUNT(*) AS n FROM t")
+        assert query.aggregates[0].is_count_star
+
+    def test_count_star_only_for_count(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_sql("SELECT SUM(*) FROM t")
+
+    def test_generated_output_names(self):
+        query = parse_sql("SELECT SUM(a), COUNT(b) FROM t")
+        assert query.aggregates[0].output == "sum_1"
+        assert query.aggregates[1].output == "count_2"
+
+    def test_all_agg_functions(self):
+        query = parse_sql("SELECT SUM(a), COUNT(a), AVG(a), MIN(a), MAX(a) FROM t")
+        assert [s.func for s in query.aggregates] == [
+            AggFunc.SUM,
+            AggFunc.COUNT,
+            AggFunc.AVG,
+            AggFunc.MIN,
+            AggFunc.MAX,
+        ]
+
+    def test_arithmetic_in_aggregate(self):
+        query = parse_sql("SELECT SUM(price * (1 - discount)) AS rev FROM t GROUP BY c")
+        assert query.aggregates[0].canonical() == "SUM((price * (1 - discount)))"
+
+    def test_plain_columns_default_group_by(self):
+        query = parse_sql("SELECT cat, SUM(x) FROM t")
+        assert [c.canonical() for c in query.group_by] == ["cat"]
+
+    def test_plain_column_not_in_group_by_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_sql("SELECT cat, SUM(x) FROM t GROUP BY other")
+
+    def test_plain_column_with_alias(self):
+        query = parse_sql("SELECT t.cat AS Category, SUM(x) FROM t GROUP BY t.cat")
+        assert [c.canonical() for c in query.group_by] == ["t.cat"]
+
+
+class TestFromClause:
+    def test_alias_forms(self):
+        q1 = parse_sql("SELECT COUNT(*) FROM orders AS o")
+        q2 = parse_sql("SELECT COUNT(*) FROM orders o")
+        q3 = parse_sql("SELECT COUNT(*) FROM orders")
+        assert q1.tables[0].alias == "o"
+        assert q2.tables[0].alias == "o"
+        assert q3.tables[0].alias == "orders"
+
+    def test_explicit_join_syntax(self):
+        query = parse_sql(
+            "SELECT COUNT(*) FROM h JOIN i ON h.id = i.hid WHERE i.x = 1"
+        )
+        assert len(query.join_edges) == 1
+        assert query.join_edges[0].canonical() == "h.id = i.hid"
+        assert len(query.filters) == 1
+
+    def test_inner_join_syntax(self):
+        query = parse_sql("SELECT COUNT(*) FROM h INNER JOIN i ON h.id = i.hid")
+        assert len(query.join_edges) == 1
+
+
+class TestWhere:
+    def test_in_and_between_and_null(self):
+        query = parse_sql(
+            "SELECT COUNT(*) FROM t WHERE a IN (1, 2) AND b BETWEEN 3 AND 5 "
+            "AND c IS NOT NULL AND d IS NULL"
+        )
+        kinds = sorted(type(f).__name__ for f in query.filters)
+        # BETWEEN desugars to two comparisons, flattened with the other conjuncts.
+        assert kinds == ["Cmp", "Cmp", "InList", "IsNull", "IsNull"]
+
+    def test_or_not_precedence(self):
+        query = parse_sql("SELECT COUNT(*) FROM t WHERE NOT a = 1 OR b = 2 AND c = 3")
+        # OR binds loosest: (NOT (a=1)) OR ((b=2) AND (c=3))
+        assert len(query.filters) == 1
+        assert type(query.filters[0]).__name__ == "Or"
+
+    def test_string_escapes(self):
+        query = parse_sql("SELECT COUNT(*) FROM t WHERE name = 'O''Brien'")
+        cmp_expr = query.filters[0]
+        assert isinstance(cmp_expr, Cmp)
+        assert cmp_expr.right.value == "O'Brien"
+
+    def test_negative_numbers_and_floats(self):
+        query = parse_sql("SELECT COUNT(*) FROM t WHERE x > -1.5")
+        assert query.filters[0].canonical() == "(x > (0 - 1.5))"
+
+    def test_not_equal_variants(self):
+        q1 = parse_sql("SELECT COUNT(*) FROM t WHERE a != 1")
+        q2 = parse_sql("SELECT COUNT(*) FROM t WHERE a <> 1")
+        assert q1.filters[0].canonical() == q2.filters[0].canonical()
+
+    def test_same_alias_equality_is_filter_not_join(self):
+        query = parse_sql("SELECT COUNT(*) FROM t WHERE t.a = t.b")
+        assert not query.join_edges
+        assert len(query.filters) == 1
+
+    def test_in_requires_literals(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_sql("SELECT COUNT(*) FROM t WHERE a IN (b)")
+
+
+class TestOrderLimit:
+    def test_order_by(self):
+        query = parse_sql(
+            "SELECT c, SUM(x) AS s FROM t GROUP BY c ORDER BY s DESC, c ASC LIMIT 5"
+        )
+        assert [(o.column, o.descending) for o in query.order_by] == [
+            ("s", True),
+            ("c", False),
+        ]
+        assert query.limit == 5
+
+
+class TestErrors:
+    def test_missing_from(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_sql("SELECT COUNT(*)")
+
+    def test_garbage_character(self):
+        with pytest.raises(SqlSyntaxError) as excinfo:
+            parse_sql("SELECT COUNT(*) FROM t WHERE a = ;")
+        assert excinfo.value.position >= 0
+
+    def test_trailing_tokens(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_sql("SELECT COUNT(*) FROM t garbage extra")
+
+    def test_unclosed_paren(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_sql("SELECT SUM(a FROM t")
+
+    def test_keywords_case_insensitive(self):
+        query = parse_sql("select count(*) from t where a = 1 group by a" )
+        # 'a' appears in GROUP BY; count parsed.
+        assert query.aggregates[0].is_count_star

@@ -1,0 +1,109 @@
+"""Property-based tests for the SQL parser: generated queries must parse
+into the expected structure, and parsing must be deterministic and stable
+under whitespace/case noise."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import parse_sql
+from repro.errors import SqlSyntaxError
+
+identifier = st.from_regex(r"[a-z][a-z0-9_]{0,8}", fullmatch=True).filter(
+    lambda s: s.upper()
+    not in {
+        "SELECT", "FROM", "WHERE", "GROUP", "BY", "ORDER", "LIMIT", "AS",
+        "AND", "OR", "NOT", "IN", "IS", "NULL", "BETWEEN", "ASC", "DESC",
+        "JOIN", "INNER", "ON", "HAVING", "SUM", "COUNT", "AVG", "MIN", "MAX",
+        "DISTINCT",
+    }
+)
+
+
+@st.composite
+def generated_query(draw):
+    """Build (sql text, expectations) pairs from structured choices."""
+    table = draw(identifier)
+    alias = draw(identifier)
+    group_col = draw(identifier)
+    agg_col = draw(identifier.filter(lambda c: c != group_col))
+    func = draw(st.sampled_from(["SUM", "COUNT", "AVG", "MIN", "MAX"]))
+    n_filters = draw(st.integers(0, 3))
+    filters = []
+    for i in range(n_filters):
+        col = draw(identifier)
+        op = draw(st.sampled_from(["=", "!=", "<", "<=", ">", ">="]))
+        value = draw(
+            st.one_of(
+                st.integers(-1000, 1000),
+                st.floats(-100, 100, allow_nan=False, allow_infinity=False),
+                st.text(
+                    alphabet=st.characters(
+                        whitelist_categories=("Ll", "Lu", "Nd"), max_codepoint=127
+                    ),
+                    max_size=6,
+                ),
+            )
+        )
+        literal = f"'{value}'" if isinstance(value, str) else repr(value)
+        filters.append(f"{alias}.{col} {op} {literal}")
+    where = f" WHERE {' AND '.join(filters)}" if filters else ""
+    limit = draw(st.one_of(st.none(), st.integers(1, 50)))
+    limit_clause = f" LIMIT {limit}" if limit is not None else ""
+    sql = (
+        f"SELECT {alias}.{group_col}, {func}({alias}.{agg_col}) AS agg "
+        f"FROM {table} AS {alias}{where} "
+        f"GROUP BY {alias}.{group_col}{limit_clause}"
+    )
+    return sql, {
+        "table": table,
+        "alias": alias,
+        "group_col": group_col,
+        "func": func,
+        "n_filters": n_filters,
+        "limit": limit,
+    }
+
+
+@settings(max_examples=120, deadline=None)
+@given(generated_query())
+def test_property_generated_queries_parse_correctly(case):
+    sql, expected = case
+    query = parse_sql(sql)
+    assert query.tables[0].table == expected["table"]
+    assert query.tables[0].alias == expected["alias"]
+    assert [c.name for c in query.group_by] == [expected["group_col"]]
+    assert query.aggregates[0].func.value == expected["func"]
+    assert len(query.filters) == expected["n_filters"]
+    assert query.limit == expected["limit"]
+
+
+@settings(max_examples=60, deadline=None)
+@given(generated_query(), st.integers(1, 8))
+def test_property_whitespace_and_case_insensitive_keywords(case, pad):
+    sql, _ = case
+    noisy = sql.replace(" ", " " * pad)
+    noisy = noisy.replace("SELECT", "select").replace("GROUP BY", "group   by")
+    original = parse_sql(sql)
+    reparsed = parse_sql(noisy)
+    assert original.canonical_key() == reparsed.canonical_key()
+
+
+@settings(max_examples=60, deadline=None)
+@given(generated_query())
+def test_property_canonical_key_is_deterministic(case):
+    sql, _ = case
+    assert parse_sql(sql).canonical_key() == parse_sql(sql).canonical_key()
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.text(max_size=40))
+def test_property_arbitrary_text_never_crashes_unexpectedly(text):
+    """The parser either returns a query or raises SqlSyntaxError/QueryError —
+    never an unrelated exception."""
+    from repro.errors import QueryError
+
+    try:
+        parse_sql(text)
+    except (SqlSyntaxError, QueryError):
+        pass

@@ -1,0 +1,90 @@
+"""Unit tests for the catalog and aging rules."""
+
+import pytest
+
+from repro.errors import CatalogError, SchemaError
+from repro.storage import (
+    Catalog,
+    ColumnDef,
+    ConsistentAging,
+    Schema,
+    SqlType,
+    ratio_aging,
+    threshold_aging,
+)
+
+
+def schema():
+    return Schema([ColumnDef("id", SqlType.INT, nullable=False)], primary_key="id")
+
+
+class TestCatalog:
+    def test_create_and_lookup(self):
+        cat = Catalog()
+        table = cat.create_table("t", schema())
+        assert cat.table("t") is table
+        assert cat.has_table("t")
+        assert "t" in cat
+        assert cat.table_names() == ["t"]
+
+    def test_table_ids_unique_and_not_reused(self):
+        cat = Catalog()
+        t1 = cat.create_table("a", schema())
+        cat.drop_table("a")
+        t2 = cat.create_table("a", schema())
+        assert t1.table_id != t2.table_id
+
+    def test_duplicate_name_rejected(self):
+        cat = Catalog()
+        cat.create_table("t", schema())
+        with pytest.raises(CatalogError):
+            cat.create_table("t", schema())
+
+    def test_missing_lookups(self):
+        cat = Catalog()
+        with pytest.raises(CatalogError):
+            cat.table("nope")
+        with pytest.raises(CatalogError):
+            cat.drop_table("nope")
+
+
+class TestAgingRules:
+    def test_threshold_rule(self):
+        rule = threshold_aging("year", hot_if_at_least=2014)
+        assert rule({"year": 2014}) == "hot"
+        assert rule({"year": 2015}) == "hot"
+        assert rule({"year": 2013}) == "cold"
+        assert rule({"year": None}) == "cold"
+        assert rule({}) == "cold"
+
+    def test_threshold_rule_on_dates(self):
+        rule = threshold_aging("day", hot_if_at_least="2014-01-01")
+        assert rule({"day": "2014-06-01"}) == "hot"
+        assert rule({"day": "2013-12-31"}) == "cold"
+
+    def test_ratio_rule_quarter_hot(self):
+        # The paper's 1:3 hot/cold ratio (Fig. 11).
+        years = [2010, 2011, 2012, 2013]
+        rule = ratio_aging("year", years, hot_fraction=0.25)
+        assert [rule({"year": y}) for y in years] == ["cold", "cold", "cold", "hot"]
+
+    def test_ratio_rule_all_hot(self):
+        rule = ratio_aging("year", [1, 2], hot_fraction=1.0)
+        assert rule({"year": 1}) == "hot"
+
+    def test_ratio_rule_validation(self):
+        with pytest.raises(SchemaError):
+            ratio_aging("year", [], hot_fraction=0.5)
+        with pytest.raises(SchemaError):
+            ratio_aging("year", [1], hot_fraction=0.0)
+        with pytest.raises(SchemaError):
+            ratio_aging("year", [1], hot_fraction=1.5)
+
+
+class TestConsistentAging:
+    def test_covers(self):
+        decl = ConsistentAging("header", "item")
+        assert decl.covers("header", "item")
+        assert decl.covers("item", "header")
+        assert not decl.covers("header", "dim")
+        assert decl.tables() == ("header", "item")

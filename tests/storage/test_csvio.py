@@ -1,0 +1,110 @@
+"""Tests for CSV import/export."""
+
+import pytest
+
+from repro import Database, IntegrityError, SchemaError
+
+
+def make_db():
+    db = Database()
+    db.create_table(
+        "products",
+        [("pid", "INT"), ("name", "TEXT"), ("price", "FLOAT"), ("added", "DATE")],
+        primary_key="pid",
+    )
+    return db
+
+
+class TestExport:
+    def test_roundtrip(self, tmp_path):
+        db = make_db()
+        rows = [
+            {"pid": 1, "name": "hammer", "price": 9.5, "added": "2014-01-02"},
+            {"pid": 2, "name": None, "price": None, "added": None},
+        ]
+        for row in rows:
+            db.insert("products", row)
+        db.merge()
+        path = tmp_path / "products.csv"
+        assert db.export_csv("products", path) == 2
+
+        other = make_db()
+        assert other.import_csv("products", path) == 2
+        for row in rows:
+            assert other.table("products").get_row(row["pid"]) == row
+
+    def test_export_excludes_invisible_rows(self, tmp_path):
+        db = make_db()
+        db.insert("products", {"pid": 1, "name": "a", "price": 1.0})
+        db.insert("products", {"pid": 2, "name": "b", "price": 2.0})
+        db.delete("products", 1)
+        path = tmp_path / "out.csv"
+        assert db.export_csv("products", path) == 1
+        assert "hammer" not in path.read_text()
+        assert ",b," in path.read_text()
+
+    def test_tid_columns_excluded_by_default(self, tmp_path):
+        db = Database()
+        db.create_table("p", [("id", "INT")], primary_key="id")
+        db.create_table("c", [("id", "INT"), ("pid", "INT")], primary_key="id")
+        db.add_matching_dependency("p", "id", "c", "pid")
+        db.insert("p", {"id": 1})
+        db.insert("c", {"id": 1, "pid": 1})
+        path = tmp_path / "c.csv"
+        db.export_csv("c", path)
+        assert "tid_p" not in path.read_text()
+        db.export_csv("c", path, include_tid_columns=True)
+        assert "tid_p" in path.read_text()
+
+
+class TestImport:
+    def test_types_parsed(self, tmp_path):
+        path = tmp_path / "in.csv"
+        path.write_text("pid,name,price,added\n3,saw,19.25,2013-05-06\n4,,,\n")
+        db = make_db()
+        assert db.import_csv("products", path) == 2
+        row = db.table("products").get_row(3)
+        assert row == {"pid": 3, "name": "saw", "price": 19.25, "added": "2013-05-06"}
+        assert db.table("products").get_row(4)["name"] is None
+
+    def test_unknown_header_rejected(self, tmp_path):
+        path = tmp_path / "in.csv"
+        path.write_text("pid,bogus\n1,2\n")
+        with pytest.raises(SchemaError):
+            make_db().import_csv("products", path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "in.csv"
+        path.write_text("")
+        with pytest.raises(SchemaError):
+            make_db().import_csv("products", path)
+
+    def test_ragged_row_rejected(self, tmp_path):
+        path = tmp_path / "in.csv"
+        path.write_text("pid,name\n1,a,EXTRA\n")
+        with pytest.raises(SchemaError):
+            make_db().import_csv("products", path)
+
+    def test_import_runs_md_enforcement(self, tmp_path):
+        db = Database()
+        db.create_table("p", [("id", "INT")], primary_key="id")
+        db.create_table("c", [("id", "INT"), ("pid", "INT")], primary_key="id")
+        db.add_matching_dependency("p", "id", "c", "pid")
+        db.insert("p", {"id": 1})
+        good = tmp_path / "good.csv"
+        good.write_text("id,pid\n10,1\n")
+        db.import_csv("c", good)
+        assert db.table("c").get_row(10)["tid_p"] is not None
+        bad = tmp_path / "bad.csv"
+        bad.write_text("id,pid\n11,999\n")
+        with pytest.raises(IntegrityError):
+            db.import_csv("c", bad)
+
+    def test_batching_commits_transactions(self, tmp_path):
+        path = tmp_path / "in.csv"
+        lines = ["pid,name,price,added"] + [f"{i},n{i},1.0," for i in range(25)]
+        path.write_text("\n".join(lines) + "\n")
+        db = make_db()
+        assert db.import_csv("products", path, batch_size=10) == 25
+        snapshot = db.transactions.global_snapshot()
+        assert db.table("products").visible_row_count(snapshot) == 25

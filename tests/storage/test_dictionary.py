@@ -1,0 +1,105 @@
+"""Unit tests for delta and main dictionaries."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.storage import DeltaDictionary, MainDictionary, NULL_CODE
+
+
+class TestDeltaDictionary:
+    def test_encode_assigns_first_seen_order(self):
+        d = DeltaDictionary()
+        assert d.encode("b") == 0
+        assert d.encode("a") == 1
+        assert d.encode("b") == 0
+        assert len(d) == 2
+        assert d.values() == ["b", "a"]
+
+    def test_null_encodes_to_null_code(self):
+        d = DeltaDictionary()
+        assert d.encode(None) == NULL_CODE
+        assert len(d) == 0
+
+    def test_lookup(self):
+        d = DeltaDictionary()
+        d.encode(42)
+        assert d.lookup(42) == 0
+        assert d.lookup(43) is None
+        assert d.lookup(None) is None
+
+    def test_decode(self):
+        d = DeltaDictionary()
+        d.encode("x")
+        assert d.decode(0) == "x"
+        assert d.decode(NULL_CODE) is None
+
+    def test_contains(self):
+        d = DeltaDictionary()
+        d.encode(1)
+        assert 1 in d
+        assert 2 not in d
+
+    def test_min_max(self):
+        d = DeltaDictionary()
+        assert d.min_value() is None
+        assert d.max_value() is None
+        d.encode(5)
+        d.encode(2)
+        d.encode(9)
+        assert d.min_value() == 2
+        assert d.max_value() == 9
+
+
+class TestMainDictionary:
+    def test_sorted_codes(self):
+        d = MainDictionary(["pear", "apple", "pear", "fig"])
+        assert d.values() == ["apple", "fig", "pear"]
+        assert d.lookup("apple") == 0
+        assert d.lookup("pear") == 2
+
+    def test_nulls_excluded(self):
+        d = MainDictionary([None, 1, None])
+        assert len(d) == 1
+        assert d.lookup(None) is None
+
+    def test_min_max_constant_time_ends(self):
+        d = MainDictionary([5, 1, 3])
+        assert d.min_value() == 1
+        assert d.max_value() == 5
+
+    def test_empty(self):
+        d = MainDictionary()
+        assert len(d) == 0
+        assert d.min_value() is None
+        assert d.max_value() is None
+
+    def test_from_sorted(self):
+        d = MainDictionary.from_sorted([1, 2, 3])
+        assert d.lookup(2) == 1
+        assert d.decode(0) == 1
+
+    def test_decode_null(self):
+        d = MainDictionary([1])
+        assert d.decode(NULL_CODE) is None
+
+    @given(st.lists(st.integers()))
+    def test_property_codes_are_ranks(self, values):
+        d = MainDictionary(values)
+        decoded = [d.decode(i) for i in range(len(d))]
+        assert decoded == sorted(set(values))
+        for value in set(values):
+            assert d.decode(d.lookup(value)) == value
+
+
+class TestMemoryEstimates:
+    def test_nbytes_grows_with_values(self):
+        d = DeltaDictionary()
+        assert d.nbytes() == 0
+        d.encode("hello")
+        assert d.nbytes() == 5
+        d.encode(7)
+        assert d.nbytes() == 13
+
+    def test_main_nbytes(self):
+        assert MainDictionary(["ab", "c"]).nbytes() == 3

@@ -1,0 +1,148 @@
+"""Unit tests for the delta-merge operation."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage import (
+    ColumnDef,
+    MergeEvent,
+    Schema,
+    SqlType,
+    Table,
+    merge_table,
+    threshold_aging,
+)
+
+
+def schema():
+    return Schema(
+        [ColumnDef("id", SqlType.INT, nullable=False), ColumnDef("year", SqlType.INT)],
+        primary_key="id",
+    )
+
+
+class RecordingListener:
+    def __init__(self):
+        self.before = []
+        self.after = []
+
+    def before_merge(self, event: MergeEvent):
+        # Pre-merge state must still be in place.
+        self.before.append(
+            (event.group_name, event.table.partition(event.delta_name).row_count)
+        )
+
+    def after_merge(self, event: MergeEvent):
+        self.after.append(
+            (event.group_name, event.table.partition(event.delta_name).row_count)
+        )
+
+
+class TestBasicMerge:
+    def test_moves_delta_to_main(self):
+        table = Table("t", schema())
+        for i in range(5):
+            table.insert({"id": i, "year": 2000 + i}, tid=i + 1)
+        stats = merge_table(table, snapshot=5)
+        assert stats.rows_moved == 5
+        assert stats.rows_dropped == 0
+        assert table.partition("main").row_count == 5
+        assert table.partition("delta").row_count == 0
+        # Main dictionary is sorted after rebuild.
+        assert table.partition("main").column("year").codes().tolist() == list(range(5))
+
+    def test_merge_preserves_visibility_stamps(self):
+        table = Table("t", schema())
+        table.insert({"id": 1}, tid=1)
+        table.insert({"id": 2}, tid=4)
+        merge_table(table, snapshot=4)
+        main = table.partition("main")
+        assert main.visible_mask(2).tolist() == [True, False]
+
+    def test_invalidated_rows_dropped_by_default(self):
+        table = Table("t", schema())
+        table.insert({"id": 1}, tid=1)
+        table.insert({"id": 2}, tid=2)
+        table.delete(1, tid=3)
+        stats = merge_table(table, snapshot=3)
+        assert stats.rows_dropped == 1
+        assert table.partition("main").row_count == 1
+        assert table.get_row(2) is not None
+
+    def test_keep_history_retains_invalidated_rows(self):
+        table = Table("t", schema())
+        table.insert({"id": 1}, tid=1)
+        table.delete(1, tid=2)
+        merge_table(table, snapshot=2, keep_history=True)
+        main = table.partition("main")
+        assert main.row_count == 1
+        assert main.visible_count(2) == 0
+        assert main.visible_count(1) == 1
+
+    def test_update_then_merge_keeps_only_new_version(self):
+        table = Table("t", schema())
+        table.insert({"id": 1, "year": 2000}, tid=1)
+        table.update(1, {"year": 2001}, tid=2)
+        merge_table(table, snapshot=2)
+        assert table.partition("main").row_count == 1
+        assert table.get_row(1)["year"] == 2001
+
+    def test_pk_index_rebuilt(self):
+        table = Table("t", schema())
+        table.insert({"id": 1}, tid=1)
+        merge_table(table, snapshot=1)
+        locator = table.pk_lookup(1)
+        assert locator.partition == "main"
+        assert table.get_row(1)["id"] == 1
+
+    def test_future_row_raises(self):
+        table = Table("t", schema())
+        table.insert({"id": 1}, tid=10)
+        with pytest.raises(StorageError):
+            merge_table(table, snapshot=5)
+
+    def test_double_merge_accumulates(self):
+        table = Table("t", schema())
+        table.insert({"id": 1}, tid=1)
+        merge_table(table, snapshot=1)
+        table.insert({"id": 2}, tid=2)
+        merge_table(table, snapshot=2)
+        assert table.partition("main").row_count == 2
+        assert table.partition("delta").row_count == 0
+
+
+class TestListeners:
+    def test_two_phase_notification(self):
+        table = Table("t", schema())
+        table.insert({"id": 1}, tid=1)
+        listener = RecordingListener()
+        merge_table(table, snapshot=1, listeners=[listener])
+        # before sees the populated delta, after sees the emptied one.
+        assert listener.before == [("default", 1)]
+        assert listener.after == [("default", 0)]
+
+
+class TestAgedMerge:
+    def make(self):
+        table = Table(
+            "t", schema(), aging_rule=threshold_aging("year", hot_if_at_least=2014)
+        )
+        table.insert({"id": 1, "year": 2015}, tid=1)
+        table.insert({"id": 2, "year": 2010}, tid=2)
+        return table
+
+    def test_merge_all_groups(self):
+        table = self.make()
+        stats = merge_table(table, snapshot=2)
+        assert stats.groups_merged == 2
+        assert table.partition("hot_main").row_count == 1
+        assert table.partition("cold_main").row_count == 1
+
+    def test_merge_single_group(self):
+        table = self.make()
+        stats = merge_table(table, snapshot=2, group_name="hot")
+        assert stats.groups_merged == 1
+        assert table.partition("hot_main").row_count == 1
+        # Cold group untouched: row still in its delta.
+        assert table.partition("cold_delta").row_count == 1
+        assert table.partition("cold_main").row_count == 0

@@ -1,0 +1,106 @@
+"""Unit tests for schemas, column definitions, and type validation."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.storage import ColumnDef, Schema, SqlType, tid_column
+
+
+def sample_schema():
+    return Schema(
+        [
+            ColumnDef("id", SqlType.INT, nullable=False),
+            ColumnDef("name", SqlType.TEXT),
+            ColumnDef("price", SqlType.FLOAT),
+            ColumnDef("day", SqlType.DATE),
+            tid_column("tid_self"),
+        ],
+        primary_key="id",
+    )
+
+
+class TestSchemaDefinition:
+    def test_columns_order_preserved(self):
+        schema = sample_schema()
+        assert schema.column_names == ["id", "name", "price", "day", "tid_self"]
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([ColumnDef("a", SqlType.INT), ColumnDef("a", SqlType.TEXT)])
+
+    def test_unknown_primary_key_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([ColumnDef("a", SqlType.INT)], primary_key="b")
+
+    def test_invalid_column_name(self):
+        with pytest.raises(SchemaError):
+            ColumnDef("bad name", SqlType.INT)
+        with pytest.raises(SchemaError):
+            ColumnDef("", SqlType.INT)
+
+    def test_tid_columns_flagged_and_separable(self):
+        schema = sample_schema()
+        assert schema.tid_column_names() == ["tid_self"]
+        assert "tid_self" not in schema.business_column_names()
+
+    def test_column_lookup(self):
+        schema = sample_schema()
+        assert schema.column("price").sql_type is SqlType.FLOAT
+        assert schema.has_column("name")
+        assert not schema.has_column("nope")
+        with pytest.raises(SchemaError):
+            schema.column("nope")
+
+    def test_extended_with(self):
+        schema = Schema([ColumnDef("a", SqlType.INT)], primary_key="a")
+        extended = schema.extended_with([tid_column("tid_x")])
+        assert extended.column_names == ["a", "tid_x"]
+        assert extended.primary_key == "a"
+        assert len(schema) == 1  # original untouched
+
+
+class TestRowValidation:
+    def test_valid_row_filled_and_coerced(self):
+        schema = sample_schema()
+        row = schema.validate_row({"id": 1, "name": "x", "price": 2})
+        assert row == {
+            "id": 1,
+            "name": "x",
+            "price": 2.0,
+            "day": None,
+            "tid_self": None,
+        }
+        assert isinstance(row["price"], float)
+
+    def test_unknown_column_rejected(self):
+        with pytest.raises(SchemaError):
+            sample_schema().validate_row({"id": 1, "wat": 2})
+
+    def test_not_null_enforced(self):
+        with pytest.raises(SchemaError):
+            sample_schema().validate_row({"name": "x"})
+
+    def test_type_mismatches(self):
+        schema = sample_schema()
+        with pytest.raises(SchemaError):
+            schema.validate_row({"id": "one"})
+        with pytest.raises(SchemaError):
+            schema.validate_row({"id": 1, "name": 5})
+        with pytest.raises(SchemaError):
+            schema.validate_row({"id": 1, "price": "free"})
+        with pytest.raises(SchemaError):
+            schema.validate_row({"id": 1, "day": 20240101})
+
+    def test_int_accepts_int_rejects_bool(self):
+        schema = Schema([ColumnDef("n", SqlType.INT)])
+        assert schema.validate_row({"n": 5})["n"] == 5
+        with pytest.raises(SchemaError):
+            schema.validate_row({"n": True})
+
+    def test_float_accepts_int(self):
+        schema = Schema([ColumnDef("x", SqlType.FLOAT)])
+        assert schema.validate_row({"x": 3})["x"] == 3.0
+
+    def test_date_iso_string(self):
+        schema = Schema([ColumnDef("d", SqlType.DATE)])
+        assert schema.validate_row({"d": "2014-07-01"})["d"] == "2014-07-01"

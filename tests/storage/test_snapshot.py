@@ -1,0 +1,151 @@
+"""Tests for database snapshot save/load."""
+
+import pytest
+
+from repro import Database, ExecutionStrategy
+from repro.errors import StorageError
+from repro.storage import load_database, save_database, threshold_aging
+
+from ..conftest import HEADER_ITEM_SQL, PROFIT_SQL, load_erp, make_erp_db
+
+FULL = ExecutionStrategy.CACHED_FULL_PRUNING
+UNCACHED = ExecutionStrategy.UNCACHED
+
+
+def populated_db():
+    db = make_erp_db()
+    load_erp(db, n_headers=5, merge=True)
+    load_erp(db, n_headers=2, start_hid=60, merge=False)
+    db.update("item", 0, {"price": 99.0})
+    db.delete("item", 1)
+    return db
+
+
+class TestRoundTrip:
+    def test_queries_identical_after_reload(self, tmp_path):
+        db = populated_db()
+        expected_profit = db.query(PROFIT_SQL, strategy=UNCACHED)
+        expected_join = db.query(HEADER_ITEM_SQL, strategy=UNCACHED)
+        save_database(db, tmp_path / "snap")
+        restored = load_database(tmp_path / "snap")
+        assert restored.query(PROFIT_SQL, strategy=UNCACHED) == expected_profit
+        assert restored.query(HEADER_ITEM_SQL, strategy=FULL) == expected_join
+
+    def test_partition_layout_preserved(self, tmp_path):
+        db = populated_db()
+        save_database(db, tmp_path / "snap")
+        restored = load_database(tmp_path / "snap")
+        for name in db.catalog.table_names():
+            original = {p.name: p.row_count for p in db.table(name).partitions()}
+            loaded = {p.name: p.row_count for p in restored.table(name).partitions()}
+            assert loaded == original, name
+
+    def test_mvcc_stamps_and_visibility_preserved(self, tmp_path):
+        db = populated_db()
+        checkpoint = 4  # an early snapshot tid
+        past = db.query("SELECT COUNT(*) AS n FROM item", as_of=checkpoint)
+        save_database(db, tmp_path / "snap")
+        restored = load_database(tmp_path / "snap")
+        assert restored.query("SELECT COUNT(*) AS n FROM item", as_of=checkpoint) == past
+
+    def test_writes_continue_after_reload(self, tmp_path):
+        db = populated_db()
+        save_database(db, tmp_path / "snap")
+        restored = load_database(tmp_path / "snap")
+        # tids continue past the snapshot high-water mark
+        txn = restored.begin()
+        assert txn.tid > db.transactions.global_snapshot() - 1
+        restored.insert("header", {"hid": 900, "year": 2014}, txn=txn)
+        txn.commit()
+        restored.insert("item", {"iid": 9000, "hid": 900, "cid": 0, "price": 5.0})
+        assert restored.query(HEADER_ITEM_SQL, strategy=FULL) == restored.query(
+            HEADER_ITEM_SQL, strategy=UNCACHED
+        )
+
+    def test_matching_dependencies_restored(self, tmp_path):
+        db = populated_db()
+        save_database(db, tmp_path / "snap")
+        restored = load_database(tmp_path / "snap")
+        assert len(restored.enforcer.dependencies()) == 2
+        # Enforcement still stamps new child rows.
+        restored.insert("header", {"hid": 901, "year": 2014})
+        restored.insert("item", {"iid": 9001, "hid": 901, "cid": 0, "price": 1.0})
+        row = restored.table("item").get_row(9001)
+        assert row["tid_header"] == restored.table("header").get_row(901)["tid_header"]
+
+    def test_table_ids_preserved_and_not_reused(self, tmp_path):
+        db = populated_db()
+        ids = {name: db.table(name).table_id for name in db.catalog.table_names()}
+        save_database(db, tmp_path / "snap")
+        restored = load_database(tmp_path / "snap")
+        for name, table_id in ids.items():
+            assert restored.table(name).table_id == table_id
+        fresh = restored.create_table("extra", [("x", "INT")])
+        assert fresh.table_id > max(ids.values())
+
+    def test_history_survives(self, tmp_path):
+        db = make_erp_db()
+        load_erp(db, n_headers=3, merge=False)
+        checkpoint = db.transactions.global_snapshot()
+        db.delete("item", 0)
+        db.merge(keep_history=True)
+        save_database(db, tmp_path / "snap")
+        restored = load_database(tmp_path / "snap")
+        past = restored.query("SELECT COUNT(*) AS n FROM item", as_of=checkpoint)
+        now = restored.query("SELECT COUNT(*) AS n FROM item")
+        assert past.rows[0][0] == now.rows[0][0] + 1
+
+
+class TestAgedAndUpdateDelta:
+    def test_aged_requires_rule(self, tmp_path):
+        db = Database()
+        rule = threshold_aging("year", 2014)
+        db.create_table(
+            "t", [("k", "INT"), ("year", "INT")], primary_key="k", aging_rule=rule
+        )
+        db.insert("t", {"k": 1, "year": 2015})
+        db.insert("t", {"k": 2, "year": 2010})
+        save_database(db, tmp_path / "snap")
+        with pytest.raises(StorageError):
+            load_database(tmp_path / "snap")
+        restored = load_database(tmp_path / "snap", aging_rules={"t": rule})
+        assert restored.table("t").partition("hot_delta").row_count == 1
+        assert restored.table("t").partition("cold_delta").row_count == 1
+
+    def test_update_delta_layout_preserved(self, tmp_path):
+        db = Database()
+        db.create_table(
+            "t", [("k", "INT"), ("v", "FLOAT")], primary_key="k",
+            separate_update_delta=True,
+        )
+        db.insert("t", {"k": 1, "v": 1.0})
+        db.merge()
+        db.update("t", 1, {"v": 2.0})
+        save_database(db, tmp_path / "snap")
+        restored = load_database(tmp_path / "snap")
+        assert restored.table("t").partition("udelta").row_count == 1
+        assert restored.table("t").get_row(1)["v"] == 2.0
+
+
+class TestErrors:
+    def test_missing_snapshot(self, tmp_path):
+        with pytest.raises(StorageError):
+            load_database(tmp_path / "nothing")
+
+    def test_missing_partition_file(self, tmp_path):
+        db = populated_db()
+        root = save_database(db, tmp_path / "snap")
+        (root / "item.delta.jsonl").unlink()
+        with pytest.raises(StorageError):
+            load_database(root)
+
+    def test_bad_format_version(self, tmp_path):
+        import json
+
+        db = populated_db()
+        root = save_database(db, tmp_path / "snap")
+        catalog = json.loads((root / "catalog.json").read_text())
+        catalog["format_version"] = 999
+        (root / "catalog.json").write_text(json.dumps(catalog))
+        with pytest.raises(StorageError):
+            load_database(root)

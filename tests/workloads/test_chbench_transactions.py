@@ -1,0 +1,116 @@
+"""Tests for the TPC-C-style transaction driver over the CH schema."""
+
+import pytest
+
+from repro import Database, ExecutionStrategy
+from repro.workloads import (
+    CH_QUERIES,
+    ChBenchmark,
+    ChConfig,
+    ChTransactionDriver,
+)
+
+FULL = ExecutionStrategy.CACHED_FULL_PRUNING
+UNCACHED = ExecutionStrategy.UNCACHED
+
+
+@pytest.fixture
+def loaded():
+    db = Database()
+    benchmark = ChBenchmark(db, ChConfig(seed=2))
+    benchmark.load()
+    return db, benchmark
+
+
+class TestNewOrder:
+    def test_inserts_object_in_one_transaction(self, loaded):
+        db, benchmark = loaded
+        driver = ChTransactionDriver(benchmark, seed=3)
+        before = db.table("orderline").row_count()
+        o_key = driver.new_order()
+        order = db.table("orders").get_row(o_key)
+        assert order["o_carrier_id"] is None
+        lines = benchmark.config.orderlines_per_order
+        assert db.table("orderline").row_count() == before + lines
+        # Temporal locality: orderlines carry the order's tid.
+        ol_key = driver._orderlines_of(o_key)[0]
+        line = db.table("orderline").get_row(ol_key)
+        assert line["tid_orders"] == order["tid_orders"]
+        assert driver.counts.new_order == 1
+
+    def test_neworder_entry_created(self, loaded):
+        db, benchmark = loaded
+        driver = ChTransactionDriver(benchmark, seed=3)
+        before = db.table("neworder").visible_row_count(
+            db.transactions.global_snapshot()
+        )
+        driver.new_order()
+        after = db.table("neworder").visible_row_count(
+            db.transactions.global_snapshot()
+        )
+        assert after == before + 1
+
+
+class TestPayment:
+    def test_balance_decreases(self, loaded):
+        db, benchmark = loaded
+        driver = ChTransactionDriver(benchmark, seed=4)
+        c_key = driver.payment()
+        assert db.table("customer").get_row(c_key)["c_balance"] < 0
+        assert driver.counts.payment == 1
+
+    def test_payment_invalidates_main_row(self, loaded):
+        db, benchmark = loaded
+        driver = ChTransactionDriver(benchmark, seed=4)
+        epoch_before = sum(
+            p.invalidation_epoch for p in db.table("customer").partitions()
+        )
+        driver.payment()
+        epoch_after = sum(
+            p.invalidation_epoch for p in db.table("customer").partitions()
+        )
+        assert epoch_after == epoch_before + 1
+
+
+class TestDelivery:
+    def test_delivers_oldest_order(self, loaded):
+        db, benchmark = loaded
+        driver = ChTransactionDriver(benchmark, seed=5)
+        oldest = driver._oldest_neworder()
+        delivered = driver.delivery()
+        assert delivered == oldest[1]
+        order = db.table("orders").get_row(delivered)
+        assert order["o_carrier_id"] is not None
+        for ol_key in driver._orderlines_of(delivered):
+            assert db.table("orderline").get_row(ol_key)["ol_delivery_d"] is not None
+
+    def test_delivery_when_queue_empty(self):
+        db = Database()
+        benchmark = ChBenchmark(db, ChConfig(seed=2, new_order_fraction=0.0))
+        benchmark.load()
+        driver = ChTransactionDriver(benchmark, seed=5)
+        assert driver.delivery() is None
+
+
+class TestMixedRun:
+    def test_run_mix_and_query_equivalence(self, loaded):
+        db, benchmark = loaded
+        for name in CH_QUERIES:
+            db.query(CH_QUERIES[name], strategy=FULL)  # warm entries
+        driver = ChTransactionDriver(benchmark, seed=6)
+        counts = driver.run(40)
+        assert counts.total == 40
+        assert counts.new_order > 0 and counts.payment > 0
+        for name in CH_QUERIES:
+            assert db.query(CH_QUERIES[name], strategy=FULL) == db.query(
+                CH_QUERIES[name], strategy=UNCACHED
+            ), name
+
+    def test_run_then_merge_then_query(self, loaded):
+        db, benchmark = loaded
+        db.query(CH_QUERIES["Q5"], strategy=FULL)
+        ChTransactionDriver(benchmark, seed=7).run(25)
+        db.merge()
+        cached = db.query(CH_QUERIES["Q5"], strategy=FULL)
+        assert db.last_report.cache_hits >= 1
+        assert cached == db.query(CH_QUERIES["Q5"], strategy=UNCACHED)

@@ -1,0 +1,139 @@
+"""Tests for the ERP workload generator and its query family."""
+
+import pytest
+
+from repro import Database, ExecutionStrategy
+from repro.workloads import ErpConfig, ErpWorkload
+from repro.storage import threshold_aging
+
+FULL = ExecutionStrategy.CACHED_FULL_PRUNING
+UNCACHED = ExecutionStrategy.UNCACHED
+
+
+def make_workload(**config_kwargs):
+    db = Database()
+    return db, ErpWorkload(db, ErpConfig(**config_kwargs))
+
+
+class TestSchema:
+    def test_tables_and_mds_created(self):
+        db, _ = make_workload()
+        assert set(db.catalog.table_names()) == {"Header", "Item", "ProductCategory"}
+        assert db.table("Item").schema.has_column("tid_Header")
+        assert db.table("Item").schema.has_column("tid_ProductCategory")
+        assert len(db.enforcer.dependencies()) == 2
+
+    def test_aged_schema(self):
+        db = Database()
+        ErpWorkload(
+            db,
+            ErpConfig(),
+            header_aging=threshold_aging("FiscalYear", 2014),
+            item_aging=threshold_aging("FiscalYear", 2014),
+        )
+        assert db.table("Header").is_aged()
+        assert db.table("Item").is_aged()
+
+
+class TestGeneration:
+    def test_counts_and_ratio(self):
+        db, workload = make_workload(items_per_header=10)
+        headers, items = workload.insert_objects(12)
+        assert headers == 12
+        assert items == 120
+        snapshot = db.transactions.global_snapshot()
+        assert db.table("Header").visible_row_count(snapshot) == 12
+        assert db.table("Item").visible_row_count(snapshot) == 120
+
+    def test_determinism(self):
+        _, w1 = make_workload(seed=5)
+        _, w2 = make_workload(seed=5)
+        header1, items1 = w1._make_object(2013)
+        header2, items2 = w2._make_object(2013)
+        assert header1 == header2
+        assert items1 == items2
+
+    def test_merge_after(self):
+        db, workload = make_workload()
+        workload.insert_objects(3, merge_after=True)
+        assert db.table("Item").partition("delta").row_count == 0
+        assert db.table("Item").partition("main").row_count == 30
+
+    def test_object_temporal_locality(self):
+        db, workload = make_workload()
+        workload.insert_objects(5)
+        item_table = db.table("Item")
+        header_table = db.table("Header")
+        for iid in range(1, 51):
+            item = item_table.get_row(iid)
+            header = header_table.get_row(item["HeaderID"])
+            assert item["tid_Header"] == header["tid_Header"]
+
+    def test_late_items_break_locality_not_integrity(self):
+        db, workload = make_workload(late_item_rate=0.5, items_per_header=8)
+        headers, items = workload.insert_objects(6)
+        assert items == 48  # all items arrive eventually
+        # tid stamps still satisfy the MD even for late items...
+        item_table = db.table("Item")
+        header_table = db.table("Header")
+        for iid in range(1, 49):
+            item = item_table.get_row(iid)
+            header = header_table.get_row(item["HeaderID"])
+            assert item["tid_Header"] == header["tid_Header"]
+        # ...but some items were physically created by a later transaction
+        # than the one stamped in tid_Header (the locality violation).
+        delta = item_table.partition("delta")
+        cts = delta.cts_array()
+        tid_frag = delta.column("tid_Header")
+        late = sum(
+            1
+            for row in range(delta.row_count)
+            if cts[row] > tid_frag.value_at(row)
+        )
+        assert late > 0
+
+    def test_object_stream(self):
+        _, workload = make_workload()
+        stream = workload.object_stream(year=2013)
+        header, items = next(stream)
+        assert header["FiscalYear"] == 2013
+        assert len(items) == workload.config.items_per_header
+
+    def test_year_pinning(self):
+        db, workload = make_workload()
+        workload.insert_objects(4, year=2014)
+        snapshot = db.transactions.global_snapshot()
+        years = set()
+        header = db.table("Header")
+        for hid in range(1, 5):
+            years.add(header.get_row(hid)["FiscalYear"])
+        assert years == {2014}
+
+
+class TestQueries:
+    def test_profit_and_loss_runs_and_strategies_agree(self):
+        db, workload = make_workload(n_categories=5)
+        workload.insert_objects(10, merge_after=True)
+        workload.insert_objects(2)
+        sql = workload.profit_and_loss_sql(year=2013)
+        reference = db.query(sql, strategy=UNCACHED)
+        assert db.query(sql, strategy=FULL) == reference
+
+    def test_profit_and_loss_filters(self):
+        sql = ErpWorkload.profit_and_loss_sql(year=2013, language="GER")
+        assert "GER" in sql and "2013" in sql
+        sql_no_year = ErpWorkload.profit_and_loss_sql(year=None)
+        assert "FiscalYear" not in sql_no_year
+
+    def test_header_item_and_doc_type_queries(self):
+        db, workload = make_workload(n_categories=3)
+        workload.insert_objects(6, merge_after=True)
+        for sql in (workload.header_item_sql(), workload.doc_type_sql(2013)):
+            assert db.query(sql, strategy=FULL) == db.query(sql, strategy=UNCACHED)
+
+    def test_single_table_query(self):
+        db, workload = make_workload(n_categories=3)
+        workload.insert_objects(5)
+        result = db.query(workload.single_table_sql(), strategy=UNCACHED)
+        assert result.columns == ["CategoryID", "Revenue", "N", "AvgPrice"]
+        assert sum(result.column_values("N")) == 50

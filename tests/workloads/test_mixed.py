@@ -1,0 +1,119 @@
+"""Tests for the mixed-workload driver and its system adapters."""
+
+import pytest
+
+from repro import Database, ExecutionStrategy
+from repro.workloads import (
+    AggregateCacheSystem,
+    EagerViewSystem,
+    LazyViewSystem,
+    UncachedSystem,
+    run_mixed_workload,
+)
+
+
+SQL = "SELECT cat, SUM(price) AS s, COUNT(*) AS n FROM sales GROUP BY cat"
+
+
+def make_db():
+    db = Database()
+    db.create_table(
+        "sales",
+        [("sid", "INT"), ("cat", "TEXT"), ("price", "FLOAT")],
+        primary_key="sid",
+    )
+    return db
+
+
+def row_stream(start=0):
+    sid = start
+    while True:
+        yield ("sales", {"sid": sid, "cat": f"c{sid % 3}", "price": float(sid % 7)})
+        sid += 1
+
+
+def all_systems(db):
+    return [
+        UncachedSystem(db, SQL),
+        AggregateCacheSystem(db, SQL),
+        EagerViewSystem(db, SQL),
+        LazyViewSystem(db, SQL),
+    ]
+
+
+class TestDriver:
+    def test_operation_split(self):
+        db = make_db()
+        system = UncachedSystem(db, SQL)
+        result = run_mixed_workload(system, row_stream(), 20, insert_ratio=0.25)
+        assert result.inserts == 5
+        assert result.reads == 15
+        assert result.operations == 20
+        assert len(result.read_times) == 15
+        assert result.total_time == result.insert_time + result.read_time
+
+    def test_ratio_bounds(self):
+        db = make_db()
+        system = UncachedSystem(db, SQL)
+        with pytest.raises(ValueError):
+            run_mixed_workload(system, row_stream(), 10, insert_ratio=1.5)
+
+    def test_pure_insert_and_pure_read(self):
+        db = make_db()
+        db.insert("sales", {"sid": 9999, "cat": "x", "price": 1.0})
+        system = UncachedSystem(db, SQL)
+        writes = run_mixed_workload(system, row_stream(), 10, insert_ratio=1.0)
+        assert writes.reads == 0
+        reads = run_mixed_workload(system, row_stream(10), 10, insert_ratio=0.0)
+        assert reads.inserts == 0
+
+    def test_deterministic_plan(self):
+        db = make_db()
+        system = UncachedSystem(db, SQL)
+        run_mixed_workload(system, row_stream(), 10, insert_ratio=0.5, seed=3)
+        snapshot = db.transactions.global_snapshot()
+        count_a = db.table("sales").visible_row_count(snapshot)
+        db2 = make_db()
+        run_mixed_workload(UncachedSystem(db2, SQL), row_stream(), 10, 0.5, seed=3)
+        assert db2.table("sales").visible_row_count(
+            db2.transactions.global_snapshot()
+        ) == count_a
+
+
+class TestSystemsAgree:
+    def test_all_systems_produce_identical_reads(self):
+        results = {}
+        for make_system in (
+            UncachedSystem,
+            AggregateCacheSystem,
+            EagerViewSystem,
+            LazyViewSystem,
+        ):
+            db = make_db()
+            db.insert("sales", {"sid": 10_000, "cat": "seed", "price": 2.0})
+            db.merge()
+            system = make_system(db, SQL)
+            seen = []
+            run_mixed_workload(
+                system,
+                row_stream(),
+                30,
+                insert_ratio=0.5,
+                seed=7,
+                read_callback=lambda r: seen.append(sorted(r.rows)),
+            )
+            results[system.name] = seen
+        reference = next(iter(results.values()))
+        for name, seen in results.items():
+            assert len(seen) == len(reference)
+            for got, want in zip(seen, reference):
+                assert [g[0] for g in got] == [w[0] for w in want], name
+                for g, w in zip(got, want):
+                    assert g[1] == pytest.approx(w[1]), name
+                    assert g[2] == w[2], name
+
+    def test_cache_system_populates_cache(self):
+        db = make_db()
+        system = AggregateCacheSystem(db, SQL)
+        run_mixed_workload(system, row_stream(), 10, insert_ratio=0.3)
+        assert db.cache.entry_count() == 1

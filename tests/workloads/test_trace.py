@@ -1,0 +1,122 @@
+"""Tests for workload trace recording and replay."""
+
+import json
+
+import pytest
+
+from repro import Database, ExecutionStrategy
+from repro.errors import ReproError
+from repro.workloads import ErpConfig, ErpWorkload, TraceRecorder, TraceReplayer
+
+from ..conftest import HEADER_ITEM_SQL, make_erp_db
+
+UNCACHED = ExecutionStrategy.UNCACHED
+
+
+def record_workload(tmp_path, actions):
+    """Run ``actions(db)`` under a recorder; returns (db, trace path)."""
+    db = make_erp_db()
+    path = tmp_path / "workload.trace"
+    with TraceRecorder(db, path) as recorder:
+        actions(db)
+    return db, path, recorder
+
+
+def standard_actions(db):
+    db.insert("category", {"cid": 0, "name": "c0", "lang": "ENG"})
+    db.insert_business_object(
+        "header",
+        {"hid": 1, "year": 2013},
+        "item",
+        [{"iid": k, "hid": 1, "cid": 0, "price": float(k)} for k in range(3)],
+    )
+    db.update("item", 1, {"price": 42.0})
+    db.delete("item", 2)
+    db.merge("item")
+    db.insert("item", {"iid": 9, "hid": 1, "cid": 0, "price": 5.0})
+
+
+class TestRecording:
+    def test_operations_recorded_in_order(self, tmp_path):
+        _db, path, recorder = record_workload(tmp_path, standard_actions)
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        ops = [record["op"] for record in records]
+        assert ops == ["insert"] * 5 + ["update", "delete", "merge", "insert"]
+        assert recorder.operations == len(records)
+
+    def test_update_records_only_changes(self, tmp_path):
+        _db, path, _rec = record_workload(tmp_path, standard_actions)
+        update = next(
+            json.loads(line)
+            for line in path.read_text().splitlines()
+            if json.loads(line)["op"] == "update"
+        )
+        assert update == {
+            "op": "update",
+            "table": "item",
+            "pk": 1,
+            "changes": {"price": 42.0},
+        }
+
+    def test_tid_columns_not_recorded(self, tmp_path):
+        _db, path, _rec = record_workload(tmp_path, standard_actions)
+        assert "tid_header" not in path.read_text()
+
+    def test_close_detaches(self, tmp_path):
+        db = make_erp_db()
+        path = tmp_path / "t.trace"
+        recorder = TraceRecorder(db, path)
+        recorder.close()
+        db.insert("category", {"cid": 5, "name": "x", "lang": "ENG"})
+        assert recorder.operations == 0
+
+
+class TestReplay:
+    def test_replay_reproduces_state_and_topology(self, tmp_path):
+        original, path, _rec = record_workload(tmp_path, standard_actions)
+        replica = make_erp_db()
+        counts = TraceReplayer(replica).replay(path)
+        assert counts == {"insert": 6, "update": 1, "delete": 1, "merge": 1}
+        # Same logical contents...
+        assert replica.query(HEADER_ITEM_SQL, strategy=UNCACHED) == original.query(
+            HEADER_ITEM_SQL, strategy=UNCACHED
+        )
+        # ...and the same partition topology (which rows are merged).
+        for table in ("header", "item", "category"):
+            original_layout = {
+                p.name: p.visible_count(original.transactions.global_snapshot())
+                for p in original.table(table).partitions()
+            }
+            replica_layout = {
+                p.name: p.visible_count(replica.transactions.global_snapshot())
+                for p in replica.table(table).partitions()
+            }
+            assert replica_layout == original_layout, table
+
+    def test_replayed_mds_hold(self, tmp_path):
+        _original, path, _rec = record_workload(tmp_path, standard_actions)
+        replica = make_erp_db()
+        TraceReplayer(replica).replay(path)
+        item = replica.table("item").get_row(0)
+        header = replica.table("header").get_row(1)
+        assert item["tid_header"] == header["tid_header"]
+
+    def test_unknown_operation_rejected(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text('{"op": "explode"}\n')
+        with pytest.raises(ReproError):
+            TraceReplayer(make_erp_db()).replay(path)
+
+    def test_erp_generator_through_trace(self, tmp_path):
+        db = Database()
+        path = tmp_path / "erp.trace"
+        with TraceRecorder(db, path):
+            workload = ErpWorkload(db, ErpConfig(seed=8, n_categories=4))
+            workload.insert_objects(10, merge_after=True)
+            workload.insert_objects(2)
+        replica = Database()
+        ErpWorkload(replica, ErpConfig(seed=999, n_categories=4))  # schema only
+        counts = TraceReplayer(replica).replay(path)
+        assert counts["insert"] > 100
+        sql = workload.profit_and_loss_sql(year=None)
+        assert replica.query(sql, strategy=UNCACHED) == db.query(sql, strategy=UNCACHED)
