@@ -26,6 +26,8 @@ from .database import Database
 from .errors import (
     CacheError,
     CatalogError,
+    DurabilityError,
+    FaultError,
     IntegrityError,
     QueryError,
     ReproError,
@@ -36,6 +38,7 @@ from .errors import (
     UnsupportedQueryError,
 )
 from .query import AggregateQuery, QueryResult, parse_sql
+from .reliability import FaultInjector, SimulatedCrash
 from .storage import ColumnDef, Schema, SqlType, ratio_aging, threshold_aging, tid_column
 
 __version__ = "1.0.0"
@@ -48,7 +51,10 @@ __all__ = [
     "CatalogError",
     "ColumnDef",
     "Database",
+    "DurabilityError",
     "ExecutionStrategy",
+    "FaultError",
+    "FaultInjector",
     "IntegrityError",
     "LruEviction",
     "MaintenanceMode",
@@ -60,6 +66,7 @@ __all__ = [
     "ReproError",
     "Schema",
     "SchemaError",
+    "SimulatedCrash",
     "SqlSyntaxError",
     "SqlType",
     "StorageError",

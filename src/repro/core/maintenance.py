@@ -40,6 +40,11 @@ class _PendingMaintenance:
     merging_alias: str
     corrected: GroupedAggregates
     elapsed: float
+    # The merge event this plan belongs to.  The atomic two-phase merge
+    # announces *all* group events before any swap, so the manager holds
+    # plans for several events at once and must pair each with its
+    # after_merge (or cancel_merge) by identity.
+    event: MergeEvent = None
 
 
 def plan_entry_maintenance(
@@ -87,7 +92,7 @@ def plan_entry_maintenance(
         sign=1,
     )
     elapsed = time.perf_counter() - started
-    return _PendingMaintenance(entry, alias, corrected, elapsed)
+    return _PendingMaintenance(entry, alias, corrected, elapsed, event)
 
 
 def finish_entry_maintenance(

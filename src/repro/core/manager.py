@@ -93,7 +93,10 @@ class AggregateCacheManager:
         self._agings: List[ConsistentAging] = []
         self._clock = 0
         self._pending_maintenance: List[_PendingMaintenance] = []
-        self._pending_drops: List[CacheKey] = []
+        self._pending_drops: set = set()
+        # Optional FaultInjector; the owning Database wires its own in so
+        # the ``cache.maintenance`` fault point covers merge maintenance.
+        self.fault_injector = None
         # Lifetime counters (the monitor's system view).
         self.total_hits = 0
         self.total_misses = 0
@@ -136,6 +139,23 @@ class AggregateCacheManager:
     def clear(self) -> None:
         """Drop every cache entry."""
         self._entries.clear()
+
+    def evict_for_table(self, table_name: str) -> int:
+        """Drop only the entries whose key references ``table_name``.
+
+        Used by ``Database.drop_table``: entries over unrelated tables are
+        unaffected by the drop and keep serving hits.  Returns the number of
+        evicted entries.
+        """
+        victims = [
+            key
+            for key in self._entries
+            if any(name == table_name for name, _ in key.table_ids)
+        ]
+        for key in victims:
+            del self._entries[key]
+            self.total_evictions += 1
+        return len(victims)
 
     def explain(self, query, strategy=None):
         """Dry-run plan: see :func:`repro.core.explain.explain_query`."""
@@ -334,34 +354,69 @@ class AggregateCacheManager:
     # merge maintenance (MergeListener protocol)
     # ------------------------------------------------------------------
     def before_merge(self, event: MergeEvent) -> None:
-        """Fold each affected entry forward while pre-merge state exists."""
-        self._pending_maintenance = []
-        self._pending_drops = []
+        """Fold each affected entry forward while pre-merge state exists.
+
+        The atomic merge announces every group event before any swap, so
+        plans for several events accumulate here; ``after_merge`` consumes
+        only its own event's plans and ``cancel_merge`` discards them when
+        the merge aborts.
+        """
+        if self.fault_injector is not None:
+            self.fault_injector.fire("cache.maintenance")
         for key, entry in self._entries.items():
             if not entry.is_active:
-                self._pending_drops.append(key)
+                self._pending_drops.add(key)
                 continue
             if self.config.maintenance_mode is MaintenanceMode.DROP:
                 if self._entry_references(entry, event):
-                    self._pending_drops.append(key)
+                    self._pending_drops.add(key)
                 continue
             try:
                 pending = plan_entry_maintenance(entry, event, self._executor)
             except StaleEntryError:
-                self._pending_drops.append(key)
+                self._pending_drops.add(key)
                 continue
             if pending is not None:
                 self._pending_maintenance.append(pending)
 
     def after_merge(self, event: MergeEvent) -> None:
-        """Re-anchor maintained entries onto the rebuilt main partitions."""
-        for pending in self._pending_maintenance:
-            finish_entry_maintenance(pending, event)
+        """Re-anchor maintained entries onto the rebuilt main partitions.
+
+        A plan that fails to apply demotes gracefully: the entry is dropped
+        (and recomputed on next use) instead of poisoning the merge — the
+        swap already happened, so the merge must not fail here.
+        """
+        own = [p for p in self._pending_maintenance if p.event is event]
+        self._pending_maintenance = [
+            p for p in self._pending_maintenance if p.event is not event
+        ]
+        for pending in own:
+            try:
+                finish_entry_maintenance(pending, event)
+            except Exception:
+                self._pending_drops.add(pending.entry.key)
+                continue
             self.total_maintenance_runs += 1
-        self._pending_maintenance = []
         for key in self._pending_drops:
             self._entries.pop(key, None)
-        self._pending_drops = []
+        self._pending_drops = set()
+
+    def cancel_merge(self, event: Optional[MergeEvent] = None) -> None:
+        """Discard maintenance planned for an aborted merge.
+
+        Called by ``merge_table`` when the merge fails before the swap: the
+        pre-merge partitions stay in place, so the affected entries remain
+        valid as-is and the planned (never-applied) corrections are dropped.
+        ``event=None`` discards everything pending.
+        """
+        if event is None:
+            self._pending_maintenance = []
+        else:
+            self._pending_maintenance = [
+                p for p in self._pending_maintenance if p.event is not event
+            ]
+        if not self._pending_maintenance:
+            self._pending_drops = set()
 
     @staticmethod
     def _entry_references(entry: AggregateCacheEntry, event: MergeEvent) -> bool:

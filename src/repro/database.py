@@ -26,6 +26,7 @@ aggregate cache manager into the single object applications talk to:
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from .core.admission import AdmissionPolicy
@@ -34,11 +35,14 @@ from .core.eviction import EvictionPolicy
 from .core.manager import AggregateCacheManager, CacheQueryReport
 from .core.matching_dependency import MatchingDependency
 from .core.strategies import CacheConfig, ExecutionStrategy
-from .errors import CatalogError, QueryError
+from .errors import CatalogError, DurabilityError, QueryError
 from .query.executor import QueryExecutor
 from .query.query import AggregateQuery
 from .query.result import QueryResult
 from .query.sql import parse_sql
+from .reliability.faults import FaultInjector
+from .reliability.recovery import RecoveryStats, recover_database
+from .reliability.wal import WriteAheadLog
 from .storage.aging import ConsistentAging
 from .storage.catalog import Catalog
 from .storage.merge import MergeStats, merge_table
@@ -64,19 +68,30 @@ def _as_schema(columns: ColumnsSpec, primary_key: Optional[str]) -> Schema:
 
 
 class Database:
-    """An in-memory columnar database with an aggregate cache."""
+    """A columnar database with an aggregate cache.
+
+    Purely in-memory by default.  Pass ``path`` (or use :meth:`open`) for a
+    **durable** database: every committed transaction, DDL statement, and
+    delta merge is appended to a CRC-checked write-ahead log and fsynced
+    before the call returns, merges additionally write an atomic checkpoint,
+    and reopening the same path recovers the exact pre-crash state — see
+    :mod:`repro.reliability`.
+    """
 
     def __init__(
         self,
         cache_config: Optional[CacheConfig] = None,
         admission: Optional[AdmissionPolicy] = None,
         eviction: Optional[EvictionPolicy] = None,
+        path=None,
+        fault_injector: Optional[FaultInjector] = None,
     ):
         self.catalog = Catalog()
         self.transactions = TransactionManager()
         self.views = ConsistentViewManager(self.transactions)
         self.executor = QueryExecutor(self.catalog)
         config = cache_config if cache_config is not None else CacheConfig()
+        self.faults = fault_injector if fault_injector is not None else FaultInjector()
         self.cache = AggregateCacheManager(
             self.catalog,
             self.executor,
@@ -85,6 +100,7 @@ class Database:
             admission=admission,
             eviction=eviction,
         )
+        self.cache.fault_injector = self.faults
         self.enforcer = MDEnforcer(
             self.catalog,
             enforce_referential_integrity=config.enforce_referential_integrity,
@@ -92,6 +108,109 @@ class Database:
         self.last_report: Optional[CacheQueryReport] = None
         self._write_listeners: List[object] = []
         self._merge_listeners: List[object] = []
+        # Durability state (all None/inert for in-memory databases).
+        self.path: Optional[Path] = None
+        self.recovery_stats: Optional[RecoveryStats] = None
+        self._wal: Optional[WriteAheadLog] = None
+        self._replaying = False
+        self._txn_ops: Dict[int, List[Dict]] = {}
+        if path is not None:
+            self._open_durable(path)
+
+    @classmethod
+    def open(cls, path, **kwargs) -> "Database":
+        """Open (or create) a durable database at ``path``.
+
+        Equivalent to ``Database(path=path, ...)``: if the directory holds a
+        previous incarnation's checkpoint/WAL, its state is recovered first
+        (``db.recovery_stats`` describes what was replayed).
+        """
+        return cls(path=path, **kwargs)
+
+    # ------------------------------------------------------------------
+    # durability plumbing
+    # ------------------------------------------------------------------
+    @property
+    def is_durable(self) -> bool:
+        """True when the database is backed by a WAL directory."""
+        return self._wal is not None
+
+    @property
+    def wal(self) -> Optional[WriteAheadLog]:
+        """The write-ahead log handle (None for in-memory databases)."""
+        return self._wal
+
+    def _open_durable(self, path) -> None:
+        self.path = Path(path)
+        self.path.mkdir(parents=True, exist_ok=True)
+        self._wal = WriteAheadLog(self.path / "wal.jsonl", faults=self.faults)
+        self._replaying = True
+        try:
+            self.recovery_stats = recover_database(
+                self, self._wal, self._checkpoint_dir()
+            )
+        finally:
+            self._replaying = False
+        self.transactions.finish_hooks.append(self._on_txn_finish)
+
+    def _checkpoint_dir(self) -> Path:
+        return self.path / "checkpoints"
+
+    def _log_ddl(self, record_type: str, data: Dict) -> None:
+        if self._wal is not None and not self._replaying:
+            self._wal.append(record_type, data)
+
+    def _log_op(self, tid: int, op: Dict) -> None:
+        if self._wal is not None and not self._replaying:
+            self._txn_ops.setdefault(tid, []).append(op)
+
+    def _on_txn_finish(self, txn: Transaction) -> None:
+        """Flush a finished transaction's buffered operations to the WAL.
+
+        Aborted transactions flush too: the engine has no undo, so whatever
+        the transaction applied before aborting is part of the in-memory
+        state and must survive recovery identically (the record's ``status``
+        field preserves the distinction for forensics).
+        """
+        ops = self._txn_ops.pop(txn.tid, None)
+        if ops and self._wal is not None and not self._replaying:
+            self._wal.append_transaction(txn.tid, ops, txn.state)
+
+    def checkpoint(self) -> Optional[Path]:
+        """Write an atomic full-state checkpoint (durable databases only).
+
+        Returns the checkpoint path, or None for in-memory databases.
+        Called automatically after every :meth:`merge`.
+        """
+        if self._wal is None:
+            return None
+        from .reliability.checkpoint import write_checkpoint
+
+        path = write_checkpoint(
+            self, self._checkpoint_dir(), self._wal.stats.last_lsn, faults=self.faults
+        )
+        self._wal.stats.checkpoints_written += 1
+        return path
+
+    def close(self) -> None:
+        """Release the WAL file handle (idempotent; in-memory: no-op)."""
+        if self._wal is not None:
+            self._wal.close()
+
+    def recover(self) -> "Database":
+        """Abandon this instance and return a freshly recovered one.
+
+        The crash-recovery idiom: after a (simulated or real) failure the
+        live object may hold state that never reached the log — close it
+        and rebuild only what the checkpoint + WAL prove
+        (``recovery_stats`` on the returned instance says what that was).
+        Constructor arguments such as a custom cache config are not
+        carried over; reopen via :meth:`open` to pass them again.
+        """
+        if self.path is None:
+            raise DurabilityError("an in-memory database has nothing to recover")
+        self.close()
+        return type(self).open(self.path)
 
     # ------------------------------------------------------------------
     # write listeners (used by the materialized-view baselines)
@@ -137,17 +256,41 @@ class Database:
         update traffic.
         """
         schema = _as_schema(columns, primary_key)
-        return self.catalog.create_table(
+        if aging_rule is not None and self._wal is not None:
+            raise DurabilityError(
+                f"table {name!r}: aging rules are Python callables and cannot "
+                "be persisted; hot/cold tables require an in-memory Database"
+            )
+        table = self.catalog.create_table(
             name,
             schema,
             aging_rule=aging_rule,
             separate_update_delta=separate_update_delta,
         )
+        self._log_ddl(
+            "create_table",
+            {
+                "name": name,
+                "primary_key": schema.primary_key,
+                "separate_update_delta": separate_update_delta,
+                "columns": [
+                    {
+                        "name": column.name,
+                        "type": column.sql_type.value,
+                        "nullable": column.nullable,
+                        "is_tid": column.is_tid,
+                    }
+                    for column in schema
+                ],
+            },
+        )
+        return table
 
     def drop_table(self, name: str) -> None:
-        """Drop a table and clear the aggregate cache (entries may reference it)."""
+        """Drop a table, evicting only the cache entries that reference it."""
         self.catalog.drop_table(name)
-        self.cache.clear()  # entries may reference the dropped table
+        self.cache.evict_for_table(name)
+        self._log_ddl("drop_table", {"name": name})
 
     def add_matching_dependency(
         self,
@@ -172,6 +315,16 @@ class Database:
                 table.extend_schema([tid_column(name)])
         self.enforcer.register(md)
         self.cache.register_matching_dependency(md)
+        self._log_ddl(
+            "add_md",
+            {
+                "parent_table": parent_table,
+                "parent_key": parent_key,
+                "child_table": child_table,
+                "child_fk": child_fk,
+                "tid_column": name,
+            },
+        )
         return md
 
     def declare_consistent_aging(self, left_table: str, right_table: str) -> ConsistentAging:
@@ -182,6 +335,7 @@ class Database:
             self.catalog.table(name)  # existence check
         declaration = ConsistentAging(left_table, right_table)
         self.cache.register_consistent_aging(declaration)
+        self._log_ddl("consistent_aging", {"left": left_table, "right": right_table})
         return declaration
 
     # ------------------------------------------------------------------
@@ -197,6 +351,16 @@ class Database:
             return txn, False
         return self.transactions.begin(), True
 
+    def _abort_own(self, transaction: Transaction, own: bool) -> None:
+        """Close an auto-begun transaction whose body raised.
+
+        Without this, an exception escaping e.g. ``insert`` would leave the
+        auto-begun transaction active forever — never committed, never
+        aborted, its finish hooks (WAL flush) never run.
+        """
+        if own and transaction.is_active:
+            transaction.abort()
+
     # ------------------------------------------------------------------
     # DML
     # ------------------------------------------------------------------
@@ -208,13 +372,29 @@ class Database:
     ):
         """Insert one row; stamps MD tid columns through the enforcer."""
         transaction, own = self._txn_or_begin(txn)
-        table = self.catalog.table(table_name)
-        stamped = self.enforcer.stamp(table_name, row, transaction.tid)
-        locator = table.insert(stamped, transaction.tid)
-        if self._write_listeners:
-            inserted = table.partition(locator.partition).get_row(locator.row)
-            for listener in self._write_listeners:
-                listener.on_insert(table_name, inserted, transaction.tid)
+        try:
+            table = self.catalog.table(table_name)
+            stamped = self.enforcer.stamp(table_name, row, transaction.tid)
+            locator = table.insert(stamped, transaction.tid)
+            if self._wal is not None:
+                self._log_op(
+                    transaction.tid,
+                    {
+                        "op": "insert",
+                        "table": table_name,
+                        # The *stamped* row: replay applies it at the table
+                        # level and must not re-run MD enforcement.
+                        "row": stamped,
+                        "tid": transaction.tid,
+                    },
+                )
+            if self._write_listeners:
+                inserted = table.partition(locator.partition).get_row(locator.row)
+                for listener in self._write_listeners:
+                    listener.on_insert(table_name, inserted, transaction.tid)
+        except BaseException:
+            self._abort_own(transaction, own)
+            raise
         if own:
             transaction.commit()
         return locator
@@ -227,10 +407,14 @@ class Database:
     ) -> int:
         """Insert several rows in one transaction; returns the count."""
         transaction, own = self._txn_or_begin(txn)
-        count = 0
-        for row in rows:
-            self.insert(table_name, row, txn=transaction)
-            count += 1
+        try:
+            count = 0
+            for row in rows:
+                self.insert(table_name, row, txn=transaction)
+                count += 1
+        except BaseException:
+            self._abort_own(transaction, own)
+            raise
         if own:
             transaction.commit()
         return count
@@ -247,11 +431,15 @@ class Database:
         enterprise-application insert pattern of Section 3.2.  Returns the
         number of item rows inserted."""
         transaction, own = self._txn_or_begin(txn)
-        self.insert(header_table, header_row, txn=transaction)
-        count = 0
-        for item_row in item_rows:
-            self.insert(item_table, item_row, txn=transaction)
-            count += 1
+        try:
+            self.insert(header_table, header_row, txn=transaction)
+            count = 0
+            for item_row in item_rows:
+                self.insert(item_table, item_row, txn=transaction)
+                count += 1
+        except BaseException:
+            self._abort_own(transaction, own)
+            raise
         if own:
             transaction.commit()
         return count
@@ -265,13 +453,28 @@ class Database:
     ) -> None:
         """Update one row by primary key (new version goes to the delta)."""
         transaction, own = self._txn_or_begin(txn)
-        table = self.catalog.table(table_name)
-        old_row = table.get_row(pk_value) if self._write_listeners else None
-        locator = table.update(pk_value, changes, transaction.tid)
-        if self._write_listeners:
-            new_row = table.partition(locator.partition).get_row(locator.row)
-            for listener in self._write_listeners:
-                listener.on_update(table_name, old_row, new_row, transaction.tid)
+        try:
+            table = self.catalog.table(table_name)
+            old_row = table.get_row(pk_value) if self._write_listeners else None
+            locator = table.update(pk_value, changes, transaction.tid)
+            if self._wal is not None:
+                self._log_op(
+                    transaction.tid,
+                    {
+                        "op": "update",
+                        "table": table_name,
+                        "pk": pk_value,
+                        "changes": dict(changes),
+                        "tid": transaction.tid,
+                    },
+                )
+            if self._write_listeners:
+                new_row = table.partition(locator.partition).get_row(locator.row)
+                for listener in self._write_listeners:
+                    listener.on_update(table_name, old_row, new_row, transaction.tid)
+        except BaseException:
+            self._abort_own(transaction, own)
+            raise
         if own:
             transaction.commit()
 
@@ -283,12 +486,26 @@ class Database:
     ) -> None:
         """Delete one row by primary key (invalidation only)."""
         transaction, own = self._txn_or_begin(txn)
-        table = self.catalog.table(table_name)
-        old_row = table.get_row(pk_value) if self._write_listeners else None
-        table.delete(pk_value, transaction.tid)
-        if self._write_listeners:
-            for listener in self._write_listeners:
-                listener.on_delete(table_name, old_row, transaction.tid)
+        try:
+            table = self.catalog.table(table_name)
+            old_row = table.get_row(pk_value) if self._write_listeners else None
+            table.delete(pk_value, transaction.tid)
+            if self._wal is not None:
+                self._log_op(
+                    transaction.tid,
+                    {
+                        "op": "delete",
+                        "table": table_name,
+                        "pk": pk_value,
+                        "tid": transaction.tid,
+                    },
+                )
+            if self._write_listeners:
+                for listener in self._write_listeners:
+                    listener.on_delete(table_name, old_row, transaction.tid)
+        except BaseException:
+            self._abort_own(transaction, own)
+            raise
         if own:
             transaction.commit()
 
@@ -306,6 +523,13 @@ class Database:
 
         Merging related tables in one call is the merge-synchronization of
         Section 5.2: their deltas empty together, maximizing pruning.
+
+        Durable databases log each table's merge to the WAL *after* its swap
+        (a merge is durable exactly when it is observable) and write a fresh
+        checkpoint once all tables merged, keeping the recovery replay
+        suffix short.  A crash anywhere in between recovers cleanly: merges
+        not yet logged are simply re-run from the pre-merge state — they
+        change the physical layout, never query results.
         """
         tables = (
             [self.catalog.table(table_name)]
@@ -313,16 +537,23 @@ class Database:
             else self.catalog.tables()
         )
         snapshot = self.transactions.global_snapshot()
-        return [
-            merge_table(
-                table,
-                snapshot,
-                listeners=[self.cache] + self._merge_listeners,
-                group_name=group_name,
-                keep_history=keep_history,
+        stats: List[MergeStats] = []
+        for table in tables:
+            stats.append(
+                merge_table(
+                    table,
+                    snapshot,
+                    listeners=[self.cache] + self._merge_listeners,
+                    group_name=group_name,
+                    keep_history=keep_history,
+                    faults=self.faults,
+                )
             )
-            for table in tables
-        ]
+            if self._wal is not None and not self._replaying:
+                self._wal.append_merge(table.name, group_name, snapshot, keep_history)
+        if self._wal is not None and not self._replaying:
+            self.checkpoint()
+        return stats
 
     def auto_merge(self, advisor=None) -> List[MergeStats]:
         """Consult a merge advisor and merge the recommended tables.
@@ -371,7 +602,11 @@ class Database:
             self.last_report = report
             return QueryResult.from_grouped(query, grouped)
         transaction, own = self._txn_or_begin(txn)
-        grouped, report = self.cache.execute(query, transaction, strategy=strategy)
+        try:
+            grouped, report = self.cache.execute(query, transaction, strategy=strategy)
+        except BaseException:
+            self._abort_own(transaction, own)
+            raise
         if own:
             transaction.commit()
         self.last_report = report

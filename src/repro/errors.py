@@ -62,6 +62,20 @@ class SqlSyntaxError(QueryError):
         self.position = position
 
 
+class DurabilityError(ReproError):
+    """The write-ahead log or a checkpoint is unusable.
+
+    Raised for WAL corruption that is *not* a torn tail record (a torn tail
+    is tolerated and truncated during recovery), unreadable checkpoints, and
+    durability features that cannot be provided (e.g. persisting a table
+    whose aging rule is a Python callable).
+    """
+
+
+class FaultError(ReproError):
+    """An armed fault point fired in ``raise`` mode (fault injection)."""
+
+
 class CacheError(ReproError):
     """The aggregate cache was asked to do something unsupported.
 

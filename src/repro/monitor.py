@@ -11,7 +11,7 @@ examples use it).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from .database import Database
 
@@ -85,6 +85,30 @@ class EnforcementSnapshot:
 
 
 @dataclass
+class DurabilityStats:
+    """WAL append counters plus what the last recovery replayed.
+
+    Only present for durable databases (``Database(path=...)``); an
+    in-memory engine has nothing to fsync and nothing to recover.
+    """
+
+    path: str
+    wal_records_appended: int
+    wal_transactions_logged: int
+    wal_merges_logged: int
+    wal_bytes_written: int
+    wal_last_lsn: int
+    checkpoints_written: int
+    recovered: bool  # True when opening found previous state to replay
+    recovery_checkpoint_lsn: Optional[int] = None
+    recovery_records_replayed: int = 0
+    recovery_transactions_replayed: int = 0
+    recovery_merges_replayed: int = 0
+    recovery_torn_records_dropped: int = 0
+    recovered_tid: int = 0
+
+
+@dataclass
 class DatabaseStats:
     """One consistent snapshot of engine statistics."""
 
@@ -92,6 +116,7 @@ class DatabaseStats:
     tables: List[TableStats]
     cache: CacheStats
     enforcement: EnforcementSnapshot
+    durability: Optional[DurabilityStats] = None
 
     def table(self, name: str) -> TableStats:
         """The stats of one table by name (KeyError if absent)."""
@@ -131,6 +156,29 @@ class DatabaseStats:
             f"child-lookups={self.enforcement.child_lookups} "
             f"failed-lookups={self.enforcement.lookups_failed}",
         ]
+        if self.durability is not None:
+            d = self.durability
+            lines += [
+                "",
+                "durability:",
+                f"  wal@{d.path}: records={d.wal_records_appended} "
+                f"txns={d.wal_transactions_logged} merges={d.wal_merges_logged} "
+                f"~{d.wal_bytes_written}B last-lsn={d.wal_last_lsn} "
+                f"checkpoints={d.checkpoints_written}",
+            ]
+            if d.recovered:
+                ckpt = (
+                    f"checkpoint-lsn={d.recovery_checkpoint_lsn}"
+                    if d.recovery_checkpoint_lsn is not None
+                    else "no-checkpoint"
+                )
+                lines.append(
+                    f"  recovered: {ckpt} records={d.recovery_records_replayed} "
+                    f"txns={d.recovery_transactions_replayed} "
+                    f"merges={d.recovery_merges_replayed} "
+                    f"torn-dropped={d.recovery_torn_records_dropped} "
+                    f"tid={d.recovered_tid}"
+                )
         return "\n".join(lines)
 
 
@@ -168,6 +216,34 @@ def collect_statistics(db: Database) -> DatabaseStats:
         child_lookups=db.enforcer.stats.child_lookups,
         lookups_failed=db.enforcer.stats.lookups_failed,
     )
+    durability: Optional[DurabilityStats] = None
+    if db.wal is not None:
+        wal_stats = db.wal.stats
+        recovery = db.recovery_stats
+        recovered = recovery is not None and (
+            recovery.records_scanned > 0 or recovery.checkpoint_lsn is not None
+        )
+        durability = DurabilityStats(
+            path=str(db.path),
+            wal_records_appended=wal_stats.records_appended,
+            wal_transactions_logged=wal_stats.transactions_logged,
+            wal_merges_logged=wal_stats.merges_logged,
+            wal_bytes_written=wal_stats.bytes_written,
+            wal_last_lsn=wal_stats.last_lsn,
+            checkpoints_written=wal_stats.checkpoints_written,
+            recovered=recovered,
+        )
+        if recovery is not None:
+            durability.recovery_checkpoint_lsn = recovery.checkpoint_lsn
+            durability.recovery_records_replayed = recovery.records_replayed
+            durability.recovery_transactions_replayed = recovery.transactions_replayed
+            durability.recovery_merges_replayed = recovery.merges_replayed
+            durability.recovery_torn_records_dropped = recovery.torn_records_dropped
+            durability.recovered_tid = recovery.recovered_tid
     return DatabaseStats(
-        snapshot_tid=snapshot, tables=tables, cache=cache, enforcement=enforcement
+        snapshot_tid=snapshot,
+        tables=tables,
+        cache=cache,
+        enforcement=enforcement,
+        durability=durability,
     )

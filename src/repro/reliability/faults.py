@@ -1,0 +1,128 @@
+"""Fault-injection harness for crash-safety testing.
+
+The durability code paths are instrumented with *named fault points* —
+``injector.fire("merge.before_swap")`` calls sprinkled at the moments where
+a crash would be most damaging.  Tests arm a point with a failure mode and
+drive the engine until the fault trips:
+
+* ``raise`` — raise :class:`~repro.errors.FaultError`, modelling a clean
+  I/O failure the caller is expected to handle (disk full, permission);
+* ``crash`` — raise :class:`SimulatedCrash`, modelling ``kill -9``: the
+  database object must be abandoned and reopened via ``Database.open``.
+  Instrumented writers may emulate a torn write before re-raising (the WAL
+  flushes half of the in-flight record, like a real partial page write);
+* ``delay`` — sleep, for schedule-perturbation tests.
+
+``SimulatedCrash`` deliberately derives from ``BaseException`` so that the
+engine's internal ``except Exception`` recovery paths cannot swallow it —
+nothing survives a process kill.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import DurabilityError, FaultError
+
+
+class SimulatedCrash(BaseException):
+    """A simulated process kill at a fault point (not a ReproError)."""
+
+    def __init__(self, point: str):
+        super().__init__(f"simulated crash at fault point {point!r}")
+        self.point = point
+
+
+#: Fault points the engine fires, in rough workload order.
+KNOWN_FAULT_POINTS = {
+    "wal.append": "before a WAL record is written (crash => torn tail record)",
+    "checkpoint.write": "before a checkpoint file is materialized",
+    "merge.stage": "before a partition group's new main/delta is built",
+    "merge.before_swap": "after staging, before any group is swapped in",
+    "merge.after_swap": "after the swap, before the merge becomes durable",
+    "cache.maintenance": "while the aggregate cache plans merge maintenance",
+    "txn.commit": "before a transaction's WAL record is flushed",
+}
+
+
+def register_fault_point(name: str, description: str = "") -> None:
+    """Declare an additional fault point (extensions / tests)."""
+    KNOWN_FAULT_POINTS.setdefault(name, description)
+
+
+@dataclass
+class _ArmedFault:
+    mode: str  # "raise" | "crash" | "delay"
+    times: int  # how many trips before the fault disarms itself
+    after: int  # hits to skip before tripping
+    delay: float
+    message: Optional[str]
+    trips: int = 0
+    skipped: int = 0
+
+
+@dataclass
+class FaultInjector:
+    """Per-database registry of armed fault points.
+
+    Every :class:`~repro.database.Database` carries one (an unarmed injector
+    is a handful of dict lookups per fire — negligible).  ``hits`` counts
+    every ``fire`` call per point whether armed or not, so tests can assert
+    a code path actually passed through its instrumentation.
+    """
+
+    _armed: Dict[str, _ArmedFault] = field(default_factory=dict)
+    hits: Dict[str, int] = field(default_factory=dict)
+
+    def arm(
+        self,
+        point: str,
+        mode: str = "raise",
+        times: int = 1,
+        after: int = 0,
+        delay: float = 0.0,
+        message: Optional[str] = None,
+    ) -> None:
+        """Arm ``point``; it trips ``times`` times after skipping ``after`` hits."""
+        if point not in KNOWN_FAULT_POINTS:
+            raise DurabilityError(
+                f"unknown fault point {point!r}; known: "
+                f"{sorted(KNOWN_FAULT_POINTS)}"
+            )
+        if mode not in ("raise", "crash", "delay"):
+            raise DurabilityError(f"unknown fault mode {mode!r}")
+        self._armed[point] = _ArmedFault(
+            mode=mode, times=times, after=after, delay=delay, message=message
+        )
+
+    def disarm(self, point: Optional[str] = None) -> None:
+        """Disarm one point, or all of them."""
+        if point is None:
+            self._armed.clear()
+        else:
+            self._armed.pop(point, None)
+
+    def armed_points(self) -> List[str]:
+        """Names of the currently armed points."""
+        return sorted(self._armed)
+
+    def fire(self, point: str) -> None:
+        """Trip the fault armed at ``point``, if any (instrumentation hook)."""
+        self.hits[point] = self.hits.get(point, 0) + 1
+        fault = self._armed.get(point)
+        if fault is None:
+            return
+        if fault.skipped < fault.after:
+            fault.skipped += 1
+            return
+        if fault.trips >= fault.times:
+            return
+        fault.trips += 1
+        if fault.mode == "delay":
+            time.sleep(fault.delay)
+            return
+        if fault.mode == "crash":
+            raise SimulatedCrash(point)
+        raise FaultError(fault.message or f"injected fault at {point!r}")

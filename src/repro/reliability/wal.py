@@ -1,0 +1,234 @@
+"""The write-ahead log: committed work as CRC-checked JSON lines.
+
+Every record is one line::
+
+    {"crc": 2774340723, "data": {...}, "lsn": 7, "type": "txn"}
+
+``crc`` is the CRC-32 of the canonical serialization of the record without
+the ``crc`` field, so any torn or bit-flipped line is detected on replay.
+Record types:
+
+* ``txn`` — one *finished* transaction with every operation it applied
+  (``insert`` rows are logged post-stamping, so replay needs no matching-
+  dependency enforcement).  One record per transaction makes transaction
+  atomicity trivial: a torn tail is exactly an unfinished transaction.
+* ``create_table`` / ``drop_table`` / ``add_md`` / ``consistent_aging`` —
+  auto-committed DDL.
+* ``merge`` — a completed (swapped) delta merge of one table; replay re-runs
+  the merge at the logged snapshot, which is deterministic.
+
+Appends are flushed *and fsynced* before the commit returns — group commit
+is future work; the engine optimizes for recoverability first.
+
+Recovery reads the log sequentially.  A record that fails to parse or
+CRC-verify is tolerated **only as the final record** (a torn tail from a
+crash mid-append); the tail is truncated so later appends start clean.  A
+bad record with valid records after it means real corruption and raises
+:class:`~repro.errors.DurabilityError`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import DurabilityError
+from .faults import FaultInjector, SimulatedCrash
+
+
+def _encode(lsn: int, record_type: str, data: Dict) -> bytes:
+    body = {"lsn": lsn, "type": record_type, "data": data}
+    payload = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    body["crc"] = zlib.crc32(payload.encode("utf-8"))
+    return (json.dumps(body, sort_keys=True, separators=(",", ":")) + "\n").encode(
+        "utf-8"
+    )
+
+
+def _decode(line: str) -> Optional["WalRecord"]:
+    """Parse and CRC-verify one line; None if torn/corrupt."""
+    try:
+        body = json.loads(line)
+    except (ValueError, UnicodeDecodeError):
+        return None
+    if not isinstance(body, dict) or "crc" not in body:
+        return None
+    crc = body.pop("crc")
+    payload = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    if zlib.crc32(payload.encode("utf-8")) != crc:
+        return None
+    try:
+        return WalRecord(int(body["lsn"]), str(body["type"]), body["data"])
+    except (KeyError, TypeError, ValueError):
+        return None
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One decoded WAL record."""
+
+    lsn: int
+    type: str
+    data: Dict
+
+
+@dataclass
+class WalScan:
+    """Result of reading a WAL file front to back."""
+
+    records: List[WalRecord] = field(default_factory=list)
+    valid_bytes: int = 0  # offset just past the last valid record
+    torn_records_dropped: int = 0
+
+
+@dataclass
+class WalStats:
+    """Lifetime append counters of one WAL handle (monitoring view)."""
+
+    records_appended: int = 0
+    transactions_logged: int = 0
+    merges_logged: int = 0
+    checkpoints_written: int = 0
+    bytes_written: int = 0
+    last_lsn: int = 0
+
+
+class WriteAheadLog:
+    """Append/scan handle for one ``wal.jsonl`` file."""
+
+    def __init__(self, path, faults: Optional[FaultInjector] = None):
+        self.path = Path(path)
+        self._faults = faults if faults is not None else FaultInjector()
+        self._fh = None
+        self._next_lsn = 1
+        self.stats = WalStats()
+
+    # ------------------------------------------------------------------
+    # reading (recovery side)
+    # ------------------------------------------------------------------
+    def scan(self) -> WalScan:
+        """Read every valid record; tolerate (and count) a torn tail."""
+        scan = WalScan()
+        if not self.path.exists():
+            return scan
+        pending_bad = False
+        offset = 0
+        with self.path.open("rb") as handle:
+            for raw in handle:
+                line = raw.decode("utf-8", errors="replace").strip()
+                if not line:
+                    offset += len(raw)
+                    continue
+                record = _decode(line)
+                if record is None or not raw.endswith(b"\n"):
+                    # Possibly a torn tail — only acceptable if nothing
+                    # valid follows.
+                    pending_bad = True
+                    offset += len(raw)
+                    continue
+                if pending_bad:
+                    raise DurabilityError(
+                        f"WAL {self.path} is corrupted: invalid record "
+                        f"before lsn {record.lsn}"
+                    )
+                if scan.records and record.lsn <= scan.records[-1].lsn:
+                    raise DurabilityError(
+                        f"WAL {self.path} is corrupted: lsn {record.lsn} "
+                        f"follows lsn {scan.records[-1].lsn}"
+                    )
+                scan.records.append(record)
+                offset += len(raw)
+                scan.valid_bytes = offset
+        if pending_bad:
+            scan.torn_records_dropped = 1
+        return scan
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+    def open_for_append(self, scan: Optional[WalScan] = None) -> None:
+        """Open the file for appending, truncating any torn tail first."""
+        if self._fh is not None:
+            return
+        if scan is None:
+            scan = self.scan()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if self.path.exists() and scan.torn_records_dropped:
+            with self.path.open("rb+") as handle:
+                handle.truncate(scan.valid_bytes)
+        if scan.records:
+            self._next_lsn = scan.records[-1].lsn + 1
+            self.stats.last_lsn = scan.records[-1].lsn
+        self._fh = self.path.open("ab")
+
+    @property
+    def is_open(self) -> bool:
+        """True while the append handle is live."""
+        return self._fh is not None
+
+    def close(self) -> None:
+        """Close the append handle (idempotent)."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def append(self, record_type: str, data: Dict) -> int:
+        """Durably append one record; returns its lsn.
+
+        A ``crash``-armed ``wal.append`` fault emulates a torn write: the
+        first half of the record reaches the file before the "kill", which
+        is exactly the torn tail recovery must cope with.
+        """
+        if self._fh is None:
+            raise DurabilityError("WAL is not open for appending")
+        lsn = self._next_lsn
+        payload = _encode(lsn, record_type, data)
+        try:
+            self._faults.fire("wal.append")
+        except SimulatedCrash:
+            self._fh.write(payload[: max(1, len(payload) // 2)])
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+            raise
+        self._fh.write(payload)
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self._next_lsn = lsn + 1
+        self.stats.records_appended += 1
+        self.stats.bytes_written += len(payload)
+        self.stats.last_lsn = lsn
+        return lsn
+
+    # ------------------------------------------------------------------
+    # typed appenders
+    # ------------------------------------------------------------------
+    def append_transaction(self, tid: int, ops: Sequence[Dict], status: str) -> int:
+        """Log a finished transaction and the operations it applied."""
+        self._faults.fire("txn.commit")
+        lsn = self.append("txn", {"tid": tid, "status": status, "ops": list(ops)})
+        self.stats.transactions_logged += 1
+        return lsn
+
+    def append_merge(
+        self,
+        table: str,
+        group_name: Optional[str],
+        snapshot: int,
+        keep_history: bool,
+    ) -> int:
+        """Log one completed (already swapped) table merge."""
+        lsn = self.append(
+            "merge",
+            {
+                "table": table,
+                "group": group_name,
+                "snapshot": snapshot,
+                "keep_history": keep_history,
+            },
+        )
+        self.stats.merges_logged += 1
+        return lsn

@@ -12,12 +12,23 @@ stored visibility snapshots can be re-anchored to the new main.
 so hot and cold groups can be merged independently, and related tables can
 be merge-synchronized by the caller to maximize the pruning success rate
 (Section 5.2).
+
+The merge is **atomic**: it runs in two phases.  Phase one notifies every
+listener and *stages* the rebuilt main/delta pairs off to the side; nothing
+observable changes, and any exception — a listener failure, a storage
+invariant violation, an injected fault — leaves the table exactly as it
+was, after giving listeners a ``cancel_merge`` callback to discard the
+maintenance they planned.  Phase two swaps every staged group in, rebuilds
+the primary-key index, and only then fires ``after_merge``.  The aggregate
+cache depends on this all-or-nothing behavior: a half-merged table would
+strand its pending maintenance and corrupt every entry anchored on the old
+partitions.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Protocol, Sequence
+from typing import Dict, List, Optional, Protocol, Sequence, Tuple
 
 from ..errors import StorageError
 from .partition import LIVE, Partition
@@ -44,7 +55,12 @@ class MergeEvent:
 
 
 class MergeListener(Protocol):
-    """Two-phase observer of delta merges (the aggregate cache implements it)."""
+    """Two-phase observer of delta merges (the aggregate cache implements it).
+
+    ``cancel_merge`` is optional: listeners that plan state in
+    ``before_merge`` should implement it to discard that state when the
+    merge aborts before the swap (no ``after_merge`` will follow).
+    """
 
     def before_merge(self, event: MergeEvent) -> None:
         """Called while the pre-merge partitions are still in place."""
@@ -63,14 +79,27 @@ class MergeStats:
     rows_dropped: int = 0
 
 
+@dataclass
+class _StagedGroup:
+    """A rebuilt (main, delta) pair waiting for the phase-two swap."""
+
+    group: PartitionGroup
+    event: MergeEvent
+    new_main: Partition
+    new_delta: Partition
+    moved: int
+    dropped: int
+
+
 def merge_table(
     table: Table,
     snapshot: int,
     listeners: Sequence[MergeListener] = (),
     group_name: Optional[str] = None,
     keep_history: bool = False,
+    faults=None,
 ) -> MergeStats:
-    """Merge the delta(s) of ``table`` into rebuilt main partition(s).
+    """Atomically merge the delta(s) of ``table`` into rebuilt main partition(s).
 
     Parameters
     ----------
@@ -89,38 +118,80 @@ def merge_table(
         temporal queries on historical data remain possible (Section 2).
         The default drops them, which is what retires main-compensation
         debt — maintenance listeners account for the dropped contributions.
+    faults:
+        Optional :class:`~repro.reliability.FaultInjector`; the merge fires
+        ``merge.stage``, ``merge.before_swap``, and ``merge.after_swap``.
+
+    Any failure before the swap — including a listener's ``before_merge`` —
+    leaves the table untouched: listeners get ``cancel_merge(event)`` for
+    every event already announced, then the exception propagates.
     """
     stats = MergeStats(table=table.name)
     groups = [table.group(group_name)] if group_name else table.groups()
-    for group in groups:
-        event = MergeEvent(
-            table=table,
-            group_name=group.name,
-            main_name=group.main.name,
-            delta_name=group.delta.name,
-            snapshot=snapshot,
-            keep_history=keep_history,
-            merged_delta_rows=sum(p.row_count for p in group.delta_partitions()),
-            update_delta_name=(
-                group.update_delta.name if group.update_delta is not None else None
-            ),
-        )
-        for listener in listeners:
-            listener.before_merge(event)
-        moved, dropped = _merge_group(table, group, snapshot, keep_history)
+    staged: List[_StagedGroup] = []
+    announced: List[MergeEvent] = []
+    fire = faults.fire if faults is not None else (lambda point: None)
+    try:
+        for group in groups:
+            event = MergeEvent(
+                table=table,
+                group_name=group.name,
+                main_name=group.main.name,
+                delta_name=group.delta.name,
+                snapshot=snapshot,
+                keep_history=keep_history,
+                merged_delta_rows=sum(p.row_count for p in group.delta_partitions()),
+                update_delta_name=(
+                    group.update_delta.name if group.update_delta is not None else None
+                ),
+            )
+            announced.append(event)
+            for listener in listeners:
+                listener.before_merge(event)
+            fire("merge.stage")
+            new_main, new_delta, moved, dropped = _build_group(
+                table, group, snapshot, keep_history
+            )
+            staged.append(
+                _StagedGroup(group, event, new_main, new_delta, moved, dropped)
+            )
+        fire("merge.before_swap")
+    except BaseException:
+        # Phase one failed: nothing was swapped.  Give listeners the chance
+        # to discard whatever they planned for the announced events, then
+        # surface the original failure.
+        for event in announced:
+            _cancel_listeners(listeners, event)
+        raise
+    # Phase two: the physical swap.  Pure pointer exchanges — no I/O, no
+    # listener code — so the table transitions atomically for any observer.
+    for item in staged:
+        table.replace_group(item.group.name, item.new_main, item.new_delta)
         stats.groups_merged += 1
-        stats.rows_moved += moved
-        stats.rows_dropped += dropped
-        for listener in listeners:
-            listener.after_merge(event)
+        stats.rows_moved += item.moved
+        stats.rows_dropped += item.dropped
     table.rebuild_pk_index()
+    fire("merge.after_swap")
+    for item in staged:
+        for listener in listeners:
+            listener.after_merge(item.event)
     return stats
 
 
-def _merge_group(
+def _cancel_listeners(listeners: Sequence[MergeListener], event) -> None:
+    for listener in listeners:
+        cancel = getattr(listener, "cancel_merge", None)
+        if cancel is not None:
+            cancel(event)
+
+
+def _build_group(
     table: Table, group: PartitionGroup, snapshot: int, keep_history: bool
-) -> tuple:
-    """Rebuild one (main, delta) pair; returns (rows moved, rows dropped)."""
+) -> Tuple[Partition, Partition, int, int]:
+    """Rebuild one (main, delta) pair off to the side, without swapping.
+
+    Returns ``(new_main, new_delta, rows moved, rows dropped)``.
+    """
     rows: List[Dict[str, object]] = []
     cts: List[int] = []
     dts: List[int] = []
@@ -146,5 +217,4 @@ def _merge_group(
                 moved += 1
     new_main = Partition.build_main(group.main.name, table.schema, rows, cts, dts)
     new_delta = Partition(group.delta.name, "delta", table.schema)
-    table.replace_group(group.name, new_main, new_delta)
-    return moved, dropped
+    return new_main, new_delta, moved, dropped

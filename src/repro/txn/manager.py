@@ -16,7 +16,7 @@ read snapshot.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, List, Optional
 
 from ..errors import TransactionError
 
@@ -46,6 +46,11 @@ class Transaction:
     def is_active(self) -> bool:
         """True until commit or abort."""
         return self._state == "active"
+
+    @property
+    def state(self) -> str:
+        """``"active"``, ``"committed"``, or ``"aborted"``."""
+        return self._state
 
     def commit(self) -> None:
         """Mark the transaction committed (single-writer: instantly durable)."""
@@ -117,11 +122,18 @@ class SnapshotReader:
 
 
 class TransactionManager:
-    """Issues transaction ids and tracks the global snapshot."""
+    """Issues transaction ids and tracks the global snapshot.
+
+    ``finish_hooks`` observe every transaction end (commit *and* abort) —
+    the durable database flushes the transaction's buffered write-ahead-log
+    operations from such a hook, so durability rides the same event that
+    makes a transaction's writes visible.
+    """
 
     def __init__(self):
         self._next_tid = 1
         self._latest_tid = 0
+        self.finish_hooks: List[Callable[[Transaction], None]] = []
 
     def begin(self) -> Transaction:
         """Start a new transaction with the next tid."""
@@ -147,9 +159,8 @@ class TransactionManager:
         return self._latest_tid
 
     def _on_finish(self, txn: Transaction) -> None:
-        # Single-writer auto-commit: nothing to clean up; hook kept for
-        # symmetry and future multi-writer extensions.
-        pass
+        for hook in list(self.finish_hooks):
+            hook(txn)
 
     def __repr__(self) -> str:
         return f"TransactionManager(latest_tid={self._latest_tid})"

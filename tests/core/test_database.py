@@ -41,15 +41,19 @@ class TestDDL:
         with pytest.raises(ValueError):
             db.create_table("t", [("a", "BLOB")])
 
-    def test_drop_table_clears_cache(self):
+    def test_drop_table_evicts_only_referencing_entries(self):
         db = make_erp_db()
         load_erp(db, n_headers=2, merge=True)
         db.query(HEADER_ITEM_SQL, strategy=ExecutionStrategy.CACHED_FULL_PRUNING)
         assert db.cache.entry_count() == 1
+        # The header/item entry does not reference category: it survives.
         db.drop_table("category")
-        assert db.cache.entry_count() == 0
+        assert db.cache.entry_count() == 1
         with pytest.raises(CatalogError):
             db.table("category")
+        # Dropping a referenced table evicts the entry.
+        db.drop_table("item")
+        assert db.cache.entry_count() == 0
 
     def test_declare_consistent_aging_requires_tables(self):
         db = Database()

@@ -1,0 +1,157 @@
+"""Error-path behavior: transaction hygiene and typed failure surfaces."""
+
+import pytest
+
+from repro import (
+    CatalogError,
+    IntegrityError,
+    SchemaError,
+    SqlSyntaxError,
+    StorageError,
+    TransactionError,
+    parse_sql,
+)
+from repro.errors import UnsupportedQueryError
+
+from ..conftest import PROFIT_SQL, load_erp, make_erp_db
+
+
+def track_finishes(db):
+    """Record (tid, state) of every transaction end."""
+    finished = []
+    db.transactions.finish_hooks.append(
+        lambda txn: finished.append((txn.tid, txn.state))
+    )
+    return finished
+
+
+class TestTransactionLeak:
+    """A failing auto-commit operation must abort its own transaction, not
+    leave it active (and, in durable mode, its WAL buffer unflushed) forever."""
+
+    def test_failed_insert_aborts_auto_transaction(self):
+        db = make_erp_db()
+        finished = track_finishes(db)
+        with pytest.raises(CatalogError):
+            db.insert("no_such_table", {"x": 1})
+        assert finished and finished[-1][1] == "aborted"
+
+    def test_failed_insert_bad_row_aborts(self):
+        db = make_erp_db()
+        finished = track_finishes(db)
+        with pytest.raises(SchemaError):
+            db.insert("header", {"hid": 1, "year": "not-an-int"})
+        assert finished[-1][1] == "aborted"
+
+    def test_failed_update_and_delete_abort(self):
+        db = make_erp_db()
+        db.insert("header", {"hid": 1, "year": 2013})
+        finished = track_finishes(db)
+        with pytest.raises(IntegrityError):
+            db.update("header", 1, {"hid": 2})  # pk update unsupported
+        assert finished[-1][1] == "aborted"
+        with pytest.raises(CatalogError):
+            db.delete("no_such_table", 1)
+        assert finished[-1][1] == "aborted"
+
+    def test_failed_insert_many_aborts_shared_transaction(self):
+        db = make_erp_db()
+        finished = track_finishes(db)
+        with pytest.raises(SchemaError):
+            db.insert_many(
+                "header",
+                [{"hid": 1, "year": 2013}, {"hid": 2, "year": object()}],
+            )
+        assert finished[-1][1] == "aborted"
+
+    def test_failed_business_object_aborts(self):
+        db = make_erp_db()
+        db.insert("category", {"cid": 0, "name": "cat0", "lang": "ENG"})
+        finished = track_finishes(db)
+        with pytest.raises(SchemaError):
+            db.insert_business_object(
+                "header",
+                {"hid": 1, "year": 2013},
+                "item",
+                [{"iid": 1, "hid": 1, "cid": 0, "price": "free"}],
+            )
+        assert finished[-1][1] == "aborted"
+
+    def test_failed_query_aborts_auto_transaction(self):
+        db = make_erp_db()
+        finished = track_finishes(db)
+        with pytest.raises((CatalogError, UnsupportedQueryError)):
+            db.query("SELECT SUM(x.a) AS s FROM missing_table x GROUP BY x.a")
+        assert finished[-1][1] == "aborted"
+
+    def test_explicit_transaction_is_left_to_the_caller(self):
+        db = make_erp_db()
+        txn = db.begin()
+        with pytest.raises(CatalogError):
+            db.insert("no_such_table", {"x": 1}, txn=txn)
+        # The caller's transaction is untouched and still usable.
+        assert txn.is_active
+        db.insert("header", {"hid": 1, "year": 2013}, txn=txn)
+        txn.commit()
+        assert db.table("header").get_row(1) is not None
+
+
+class TestTransactionErrors:
+    def test_double_commit_raises(self):
+        db = make_erp_db()
+        txn = db.begin()
+        txn.commit()
+        with pytest.raises(TransactionError):
+            txn.commit()
+
+    def test_double_abort_raises(self):
+        db = make_erp_db()
+        txn = db.begin()
+        txn.abort()
+        with pytest.raises(TransactionError):
+            txn.abort()
+
+    def test_commit_after_abort_raises(self):
+        db = make_erp_db()
+        txn = db.begin()
+        txn.abort()
+        with pytest.raises(TransactionError):
+            txn.commit()
+
+    def test_write_through_closed_transaction_raises(self):
+        db = make_erp_db()
+        txn = db.begin()
+        txn.commit()
+        with pytest.raises(TransactionError):
+            db.insert("header", {"hid": 1, "year": 2013}, txn=txn)
+        with pytest.raises(TransactionError):
+            db.query(PROFIT_SQL, txn=txn)
+
+
+class TestSqlErrors:
+    def test_syntax_error_carries_position(self):
+        sql = "SELECT @ FROM t"
+        with pytest.raises(SqlSyntaxError) as excinfo:
+            parse_sql(sql)
+        assert excinfo.value.position == sql.index("@")
+
+    def test_truncated_query_position_in_range(self):
+        sql = "SELECT SUM(x.a) AS s FROM"
+        with pytest.raises(SqlSyntaxError) as excinfo:
+            parse_sql(sql)
+        assert 0 <= excinfo.value.position <= len(sql)
+
+
+class TestStorageErrors:
+    def test_future_tid_rows_fail_merge_and_leave_table_intact(self):
+        db = make_erp_db()
+        load_erp(db, n_headers=2, merge=False)
+        # Bypass the transaction manager: a row stamped from the future is
+        # an engine bug, and the merge must surface it loudly...
+        db.table("header").insert({"hid": 999, "year": 2020, "tid_header": 0}, tid=10_000)
+        delta_before = db.table("header").partition("delta").row_count
+        with pytest.raises(StorageError):
+            db.merge("header")
+        # ...without half-merging: the two-phase merge swapped nothing.
+        assert db.table("header").partition("delta").row_count == delta_before
+        assert db.table("header").partition("main").row_count == 0

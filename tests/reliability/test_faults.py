@@ -1,0 +1,88 @@
+"""Unit tests for the fault-injection harness."""
+
+import time
+
+import pytest
+
+from repro.errors import DurabilityError, FaultError
+from repro.reliability.faults import (
+    KNOWN_FAULT_POINTS,
+    FaultInjector,
+    SimulatedCrash,
+    register_fault_point,
+)
+
+
+class TestArming:
+    def test_unknown_point_rejected(self):
+        with pytest.raises(DurabilityError):
+            FaultInjector().arm("not.a.point")
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(DurabilityError):
+            FaultInjector().arm("wal.append", mode="explode")
+
+    def test_armed_points_listing_and_disarm(self):
+        injector = FaultInjector()
+        injector.arm("wal.append")
+        injector.arm("merge.before_swap")
+        assert injector.armed_points() == ["merge.before_swap", "wal.append"]
+        injector.disarm("wal.append")
+        assert injector.armed_points() == ["merge.before_swap"]
+        injector.disarm()
+        assert injector.armed_points() == []
+
+    def test_register_custom_point(self):
+        register_fault_point("test.custom", "only used by this test")
+        assert "test.custom" in KNOWN_FAULT_POINTS
+        injector = FaultInjector()
+        injector.arm("test.custom")
+        with pytest.raises(FaultError):
+            injector.fire("test.custom")
+
+
+class TestFiring:
+    def test_unarmed_fire_is_a_noop_but_counts(self):
+        injector = FaultInjector()
+        injector.fire("wal.append")
+        injector.fire("wal.append")
+        assert injector.hits["wal.append"] == 2
+
+    def test_raise_mode_trips_exactly_times(self):
+        injector = FaultInjector()
+        injector.arm("wal.append", mode="raise", times=2)
+        for _ in range(2):
+            with pytest.raises(FaultError):
+                injector.fire("wal.append")
+        injector.fire("wal.append")  # exhausted: no longer trips
+
+    def test_after_skips_initial_hits(self):
+        injector = FaultInjector()
+        injector.arm("wal.append", mode="raise", after=2)
+        injector.fire("wal.append")
+        injector.fire("wal.append")
+        with pytest.raises(FaultError):
+            injector.fire("wal.append")
+
+    def test_crash_mode_is_not_an_ordinary_exception(self):
+        injector = FaultInjector()
+        injector.arm("wal.append", mode="crash")
+        with pytest.raises(SimulatedCrash) as excinfo:
+            try:
+                injector.fire("wal.append")
+            except Exception:  # noqa: BLE001 - the point of the test
+                pytest.fail("SimulatedCrash must not be caught by 'except Exception'")
+        assert excinfo.value.point == "wal.append"
+
+    def test_delay_mode_sleeps(self):
+        injector = FaultInjector()
+        injector.arm("wal.append", mode="delay", delay=0.01)
+        start = time.monotonic()
+        injector.fire("wal.append")
+        assert time.monotonic() - start >= 0.01
+
+    def test_custom_message(self):
+        injector = FaultInjector()
+        injector.arm("wal.append", message="disk full")
+        with pytest.raises(FaultError, match="disk full"):
+            injector.fire("wal.append")

@@ -1,0 +1,100 @@
+"""The two-phase merge is all-or-nothing under injected faults."""
+
+import pytest
+
+from repro import ExecutionStrategy, FaultError
+
+from ..conftest import PROFIT_SQL, load_erp, make_erp_db
+
+
+def delta_rows(db, table_name: str) -> int:
+    return db.table(table_name).partition("delta").row_count
+
+
+def snapshot_state(db):
+    return {
+        "result": db.query(PROFIT_SQL),
+        "deltas": {name: delta_rows(db, name) for name in ("header", "item", "category")},
+    }
+
+
+@pytest.mark.parametrize(
+    "point", ["merge.stage", "merge.before_swap", "cache.maintenance"]
+)
+def test_pre_swap_fault_leaves_tables_untouched(point):
+    db = make_erp_db()
+    load_erp(db, n_headers=4, merge=True)
+    load_erp(db, n_headers=2, start_hid=100, merge=False)
+    db.query(PROFIT_SQL, strategy=ExecutionStrategy.CACHED_FULL_PRUNING)
+    before = snapshot_state(db)
+    db.faults.arm(point, mode="raise")
+    with pytest.raises(FaultError):
+        db.merge()
+    # Nothing was swapped: deltas still hold their rows, results unchanged.
+    assert snapshot_state(db) == before
+    assert db.table("header").get_row(100) is not None
+    assert db.table("item").get_row(10000) is not None  # load_erp: iid = hid * 100
+    assert db.table("category").get_row(0) is not None
+    # Pending cache maintenance was cancelled, not left to corrupt the
+    # next merge: a retry completes and empties every delta.
+    db.faults.disarm()
+    db.merge()
+    assert all(delta_rows(db, n) == 0 for n in ("header", "item", "category"))
+    assert db.query(PROFIT_SQL) == before["result"]
+
+
+def test_post_swap_fault_keeps_the_merge():
+    db = make_erp_db()
+    load_erp(db, n_headers=2, merge=False)
+    before = db.query(PROFIT_SQL)
+    db.faults.arm("merge.after_swap", mode="raise")
+    with pytest.raises(FaultError):
+        db.merge()
+    db.faults.disarm()
+    # The first table's swap completed before the fault: its delta is empty,
+    # and query results are unaffected either way.
+    assert db.query(PROFIT_SQL) == before
+    assert db.table("category").pk_lookup(0) is not None
+
+
+def test_failing_extra_listener_aborts_merge_and_cancels_cache():
+    class ExplodingListener:
+        def __init__(self):
+            self.cancelled = []
+
+        def before_merge(self, event):
+            raise RuntimeError("listener failure")
+
+        def after_merge(self, event):
+            raise AssertionError("must not reach after_merge")
+
+        def cancel_merge(self, event):
+            self.cancelled.append(event)
+
+    db = make_erp_db()
+    load_erp(db, n_headers=4, merge=True)
+    load_erp(db, n_headers=2, start_hid=100, merge=False)
+    db.query(PROFIT_SQL, strategy=ExecutionStrategy.CACHED_FULL_PRUNING)
+    before = snapshot_state(db)
+    listener = ExplodingListener()
+    db.register_merge_listener(listener)
+    with pytest.raises(RuntimeError, match="listener failure"):
+        db.merge()
+    assert snapshot_state(db) == before
+    assert len(listener.cancelled) == 1  # told to forget the announced event
+    assert db.cache._pending_maintenance == []
+    db.unregister_merge_listener(listener)
+    db.merge()
+    assert db.query(PROFIT_SQL) == before["result"]
+
+
+def test_fault_during_single_table_merge_spares_other_tables():
+    db = make_erp_db()
+    load_erp(db, n_headers=2, merge=False)
+    db.merge("category")  # unaffected earlier merge
+    db.faults.arm("merge.before_swap", mode="raise")
+    with pytest.raises(FaultError):
+        db.merge("item")
+    db.faults.disarm()
+    assert db.table("category").partition("delta").row_count == 0
+    assert db.table("item").partition("delta").row_count > 0

@@ -146,3 +146,82 @@ class TestAgedMerge:
         # Cold group untouched: row still in its delta.
         assert table.partition("cold_delta").row_count == 1
         assert table.partition("cold_main").row_count == 0
+
+
+class CancellableListener(RecordingListener):
+    def __init__(self, fail_on_group=None):
+        super().__init__()
+        self.cancelled = []
+        self.fail_on_group = fail_on_group
+
+    def before_merge(self, event: MergeEvent):
+        super().before_merge(event)
+        if event.group_name == self.fail_on_group:
+            raise RuntimeError(f"listener rejects group {event.group_name}")
+
+    def cancel_merge(self, event: MergeEvent):
+        self.cancelled.append(event.group_name)
+
+
+class TestAtomicity:
+    """Phase-one failures leave the table exactly as it was."""
+
+    def make(self):
+        table = Table("t", schema())
+        table.insert({"id": 0, "year": 2000}, tid=1)
+        table.insert({"id": 1, "year": 2001}, tid=2)
+        merge_table(table, snapshot=2)  # ids 0-1 into main
+        table.insert({"id": 9, "year": 2009}, tid=5)  # fresh delta row
+        return table
+
+    def test_failing_listener_leaves_table_untouched(self):
+        table = self.make()
+        main_before = table.partition("main")
+        delta_rows = table.partition("delta").row_count
+        listener = CancellableListener(fail_on_group="default")
+        with pytest.raises(RuntimeError):
+            merge_table(table, snapshot=5, listeners=[listener])
+        # Same partition objects, same contents, usable pk index.
+        assert table.partition("main") is main_before
+        assert table.partition("delta").row_count == delta_rows
+        assert table.get_row(9)["year"] == 2009
+        assert table.pk_lookup(0).partition == "main"
+        # The listener was told to forget what it planned.
+        assert listener.cancelled == ["default"]
+        assert listener.after == []
+
+    def test_future_row_failure_is_atomic(self):
+        table = self.make()
+        table.insert({"id": 50, "year": 2050}, tid=99)
+        listener = CancellableListener()
+        with pytest.raises(StorageError):
+            merge_table(table, snapshot=5, listeners=[listener])
+        assert listener.cancelled == ["default"]
+        assert table.partition("delta").row_count > 0
+        assert table.get_row(9) is not None
+
+    def test_aged_table_cancels_every_announced_group(self):
+        table = Table(
+            "t", schema(), aging_rule=threshold_aging("year", hot_if_at_least=2014)
+        )
+        table.insert({"id": 1, "year": 2015}, tid=1)
+        table.insert({"id": 2, "year": 2010}, tid=2)
+        # Fail on the second group: the first was already announced and
+        # staged, and must be cancelled too.
+        failing = CancellableListener(fail_on_group="cold")
+        with pytest.raises(RuntimeError):
+            merge_table(table, snapshot=2, listeners=[failing])
+        assert sorted(failing.cancelled) == ["cold", "hot"]
+        assert table.partition("hot_main").row_count == 0
+        assert table.partition("hot_delta").row_count == 1
+        assert table.partition("cold_delta").row_count == 1
+
+    def test_retry_after_failure_succeeds(self):
+        table = self.make()
+        with pytest.raises(RuntimeError):
+            merge_table(
+                table, snapshot=5, listeners=[CancellableListener(fail_on_group="default")]
+            )
+        stats = merge_table(table, snapshot=5)
+        assert stats.groups_merged == 1
+        assert table.partition("delta").row_count == 0
