@@ -1,0 +1,113 @@
+"""Parallel subjoin execution — serial vs. sharded compensation joins.
+
+A query over ``t`` partitioned tables decomposes into ``2^t`` independent
+subjoins (Section 2.3.1), which is exactly the shape the paper's 64-core
+HANA box exploits.  This benchmark runs CH-benCHmark Q3 (4 tables, 16
+subjoins) and Q5 (7 tables, 128 subjoins) through the executor serially
+and with worker pools of increasing size, in both memo-sharing modes:
+
+* ``shared``  — one lock-striped scan/hash memo for all workers (no
+  duplicated work, stripes contend);
+* ``private`` — per-worker memos (no contention, scans/builds may repeat
+  once per worker).
+
+Results are asserted bit-identical to the serial run — the parallel path
+merges per-subjoin partials in combination order, so it performs the same
+floating-point operations in the same order.  Speedups require physical
+cores; on a single-CPU container the GIL serializes the workers and the
+parallel numbers only measure dispatch overhead (recorded as such in
+EXPERIMENTS.md).
+"""
+
+import os
+
+import pytest
+
+from repro import Database
+from repro.query import ParallelConfig
+from repro.workloads import CH_QUERIES, ChBenchmark, ChConfig
+
+#: (label, worker count, memo mode); n_workers=1 is the serial baseline.
+MODES = [
+    ("serial", 1, "shared"),
+    ("2w-shared", 2, "shared"),
+    ("2w-private", 2, "private"),
+    ("4w-shared", 4, "shared"),
+    ("4w-private", 4, "private"),
+]
+
+#: Q3 joins 4 tables, Q5 joins 7 — the widths the tentpole targets.
+QUERY_NAMES = ["Q3", "Q5"]
+
+_SCALE = int(os.environ.get("BENCH_PARALLEL_SCALE", "2"))
+
+_STATE = {}
+
+
+def get_ch_database() -> Database:
+    if "db" not in _STATE:
+        db = Database()
+        ChBenchmark(
+            db,
+            ChConfig(
+                warehouses=_SCALE,
+                districts_per_warehouse=4,
+                customers_per_district=25,
+                orders_per_district=60,
+                orderlines_per_order=8,
+                items=300,
+                suppliers=20,
+                delta_fraction=0.05,
+                seed=77,
+            ),
+        ).load()
+        _STATE["db"] = db
+        _STATE["queries"] = {
+            name: db.executor.bind(db.parse(CH_QUERIES[name]))
+            for name in QUERY_NAMES
+        }
+        _STATE["serial"] = {}
+    return _STATE["db"]
+
+
+CELLS = [(name, mode) for name in QUERY_NAMES for mode in MODES]
+
+
+@pytest.mark.parametrize(
+    "query_name,mode", CELLS, ids=[f"{n}-{m[0]}" for n, m in CELLS]
+)
+def test_parallel_subjoins(benchmark, figures, query_name, mode):
+    label, n_workers, memo = mode
+    db = get_ch_database()
+    query = _STATE["queries"][query_name]
+    snapshot = db.transactions.global_snapshot()
+    config = (
+        None
+        if n_workers == 1
+        else ParallelConfig(n_workers=n_workers, min_combos=2, min_rows=0, memo=memo)
+    )
+
+    def run():
+        return db.executor.execute(query, snapshot, parallel=config)
+
+    grouped = run()  # warm OS caches; also the bit-identity witness
+    if n_workers == 1:
+        _STATE["serial"][query_name] = grouped.finalize()
+    else:
+        serial_rows = _STATE["serial"].get(query_name)
+        if serial_rows is not None:
+            assert grouped.finalize() == serial_rows, (
+                f"{query_name} {label}: parallel result diverged from serial"
+            )
+    benchmark.pedantic(run, rounds=3, iterations=1)
+    # stats is None under --benchmark-disable (CI smoke mode).
+    elapsed = benchmark.stats.stats.min if benchmark.stats is not None else float("nan")
+    report = figures.report(
+        "Parallel subjoins",
+        "CH-benCHmark Q3/Q5: serial vs. sharded subjoin execution",
+        "independent subjoins shard across a worker pool; partials merge "
+        "in combination order, so results are bit-identical to serial",
+        ["query", "mode", "seconds"],
+    )
+    report.add_row(query_name, label, elapsed)
+    db.executor.close()

@@ -37,7 +37,8 @@ from .errors import (
     TransactionError,
     UnsupportedQueryError,
 )
-from .query import AggregateQuery, QueryResult, parse_sql
+from .concurrency import ReadWriteLock
+from .query import AggregateQuery, ParallelConfig, QueryResult, parse_sql
 from .reliability import FaultInjector, SimulatedCrash
 from .storage import ColumnDef, Schema, SqlType, ratio_aging, threshold_aging, tid_column
 
@@ -59,10 +60,12 @@ __all__ = [
     "LruEviction",
     "MaintenanceMode",
     "MatchingDependency",
+    "ParallelConfig",
     "ProfitAdmission",
     "ProfitEviction",
     "QueryError",
     "QueryResult",
+    "ReadWriteLock",
     "ReproError",
     "Schema",
     "SchemaError",

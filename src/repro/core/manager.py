@@ -20,6 +20,7 @@ power the dynamic join pruning and predicate pushdown of delta compensation.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
@@ -71,7 +72,16 @@ class CacheQueryReport:
 
 
 class AggregateCacheManager:
-    """Manages aggregate cache entries and answers queries through them."""
+    """Manages aggregate cache entries and answers queries through them.
+
+    Queries run concurrently under the database's shared lock, so the
+    manager's own mutable state — the entry map, the access clock, and the
+    lifetime counters — is guarded by an internal reentrant lock.  The lock
+    is scoped to bookkeeping only: aggregate computation (entry builds,
+    compensation) always happens outside it, so a cache miss never blocks
+    concurrent hits.  Merge maintenance runs under the database's exclusive
+    lock and takes the internal lock as well, purely for uniformity.
+    """
 
     def __init__(
         self,
@@ -88,6 +98,7 @@ class AggregateCacheManager:
         self.config = config if config is not None else CacheConfig()
         self._admission = admission if admission is not None else AlwaysAdmit()
         self._eviction = eviction if eviction is not None else ProfitEviction()
+        self._lock = threading.RLock()
         self._entries: Dict[CacheKey, AggregateCacheEntry] = {}
         self._mds: List[MatchingDependency] = []
         self._agings: List[ConsistentAging] = []
@@ -108,37 +119,55 @@ class AggregateCacheManager:
     # ------------------------------------------------------------------
     def register_matching_dependency(self, md: MatchingDependency) -> None:
         """Activate an MD for pruning/pushdown decisions."""
-        self._mds.append(md)
+        with self._lock:
+            self._mds.append(md)
 
     def register_consistent_aging(self, declaration: ConsistentAging) -> None:
         """Activate a consistent-aging declaration for logical pruning."""
-        self._agings.append(declaration)
+        with self._lock:
+            self._agings.append(declaration)
 
     @property
     def matching_dependencies(self) -> List[MatchingDependency]:
         """The registered matching dependencies (copy)."""
-        return list(self._mds)
+        with self._lock:
+            return list(self._mds)
 
     # ------------------------------------------------------------------
     # entry inspection (tests / metrics)
     # ------------------------------------------------------------------
     def entry_count(self) -> int:
         """Number of live cache entries."""
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def entries(self) -> List[AggregateCacheEntry]:
         """All live cache entries (copy of the list)."""
-        return list(self._entries.values())
+        with self._lock:
+            return list(self._entries.values())
 
     def entries_for(self, query: AggregateQuery) -> List[AggregateCacheEntry]:
         """Entries caching the given query (any all-main combination)."""
         bound = self._executor.bind(query)
         text = bound.canonical_key()
-        return [e for e in self._entries.values() if e.key.query_text == text]
+        with self._lock:
+            return [e for e in self._entries.values() if e.key.query_text == text]
 
     def clear(self) -> None:
         """Drop every cache entry."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
+
+    def counters_snapshot(self) -> Dict[str, int]:
+        """A consistent view of the lifetime counters (for the monitor)."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "hits": self.total_hits,
+                "misses": self.total_misses,
+                "evictions": self.total_evictions,
+                "maintenance_runs": self.total_maintenance_runs,
+            }
 
     def evict_for_table(self, table_name: str) -> int:
         """Drop only the entries whose key references ``table_name``.
@@ -147,15 +176,16 @@ class AggregateCacheManager:
         unaffected by the drop and keep serving hits.  Returns the number of
         evicted entries.
         """
-        victims = [
-            key
-            for key in self._entries
-            if any(name == table_name for name, _ in key.table_ids)
-        ]
-        for key in victims:
-            del self._entries[key]
-            self.total_evictions += 1
-        return len(victims)
+        with self._lock:
+            victims = [
+                key
+                for key in self._entries
+                if any(name == table_name for name, _ in key.table_ids)
+            ]
+            for key in victims:
+                del self._entries[key]
+                self.total_evictions += 1
+            return len(victims)
 
     def explain(self, query, strategy=None):
         """Dry-run plan: see :func:`repro.core.explain.explain_query`."""
@@ -185,7 +215,8 @@ class AggregateCacheManager:
             )
             report.time_total = time.perf_counter() - started
             return grouped, report
-        self._clock += 1
+        with self._lock:
+            self._clock += 1
         result = GroupedAggregates(bound.aggregates)
         cached_combos = main_only_combos(bound, self._catalog)
         for combo in cached_combos:
@@ -207,19 +238,21 @@ class AggregateCacheManager:
         its main-compensated value into ``result``."""
         lookup_started = time.perf_counter()
         key = cache_key_for(bound, self._catalog, combo)
-        entry = self._entries.get(key)
-        if entry is not None and (
-            not entry.is_active or not entry.matches_current_partitions()
-        ):
-            del self._entries[key]
-            report.entries_recomputed += 1
-            entry = None
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None and (
+                not entry.is_active or not entry.matches_current_partitions()
+            ):
+                self._entries.pop(key, None)
+                report.entries_recomputed += 1
+                entry = None
+            if entry is None:
+                self.total_misses += 1
+            else:
+                report.cache_hits += 1
+                self.total_hits += 1
         if entry is None:
-            self.total_misses += 1
             entry = self._create_entry(bound, combo, key, report)
-        else:
-            report.cache_hits += 1
-            self.total_hits += 1
         report.time_cache_lookup_or_build += time.perf_counter() - lookup_started
         if entry is None:
             # Admission rejected: compute this query's main contribution
@@ -246,7 +279,8 @@ class AggregateCacheManager:
                 stats=report.executor_stats,
             )
             return
-        entry.metrics.record_use(self._clock)
+        with self._lock:
+            entry.metrics.record_use(self._clock)
         if entry.is_clean_for(txn.snapshot):
             # Fast path: nothing was invalidated since the entry snapshot,
             # so the cached value contributes as-is (merge copies states).
@@ -268,7 +302,13 @@ class AggregateCacheManager:
         key: CacheKey,
         report: CacheQueryReport,
     ) -> Optional[AggregateCacheEntry]:
-        """Compute the main aggregate with global visibility; admit or not."""
+        """Compute the main aggregate with global visibility; admit or not.
+
+        The (expensive) aggregate build runs without the manager lock held;
+        only the admission decision and the entry-map insert are serialized.
+        If another thread admitted an equivalent entry while this one was
+        computing, the first entry wins and this build is discarded.
+        """
         global_snapshot = self._views.txn_manager.global_snapshot()
         build_started = time.perf_counter()
         value = self._executor.execute(
@@ -277,45 +317,54 @@ class AggregateCacheManager:
         creation_time = time.perf_counter() - build_started
         records = value.total_rows_aggregated()
         request = AdmissionRequest(bound, value, creation_time, records)
-        if not self._admission.admit(request):
-            report.admission_rejected += 1
-            return None
         visibility = {
             alias: partition.visibility(global_snapshot)
             for alias, partition in combo.items()
         }
-        metrics = CacheMetrics(
-            size_bytes=value.approximate_nbytes(),
-            aggregated_records_main=records,
-            creation_time_main=creation_time,
-            last_access_clock=self._clock,
-        )
         tables = {
             ref.alias: self._catalog.table(ref.table) for ref in bound.tables
         }
-        entry = AggregateCacheEntry(
-            key=key,
-            query=bound,
-            value=value,
-            tables=tables,
-            main_partitions=dict(combo),
-            visibility=visibility,
-            snapshot=global_snapshot,
-            metrics=metrics,
-        )
-        self._entries[key] = entry
-        report.entries_created += 1
-        self._run_eviction()
-        # The freshly inserted entry may itself have been evicted.
-        return self._entries.get(key)
+        with self._lock:
+            existing = self._entries.get(key)
+            if existing is not None and existing.is_active and (
+                existing.matches_current_partitions()
+            ):
+                report.cache_hits += 1
+                self.total_hits += 1
+                return existing
+            if not self._admission.admit(request):
+                report.admission_rejected += 1
+                return None
+            metrics = CacheMetrics(
+                size_bytes=value.approximate_nbytes(),
+                aggregated_records_main=records,
+                creation_time_main=creation_time,
+                last_access_clock=self._clock,
+            )
+            entry = AggregateCacheEntry(
+                key=key,
+                query=bound,
+                value=value,
+                tables=tables,
+                main_partitions=dict(combo),
+                visibility=visibility,
+                snapshot=global_snapshot,
+                metrics=metrics,
+            )
+            self._entries[key] = entry
+            report.entries_created += 1
+            self._run_eviction()
+            # The freshly inserted entry may itself have been evicted.
+            return self._entries.get(key)
 
     def _run_eviction(self) -> None:
-        victims = self._eviction.select_victims(
-            self._entries, self.config.max_entries, self.config.max_bytes
-        )
-        for key in victims:
-            del self._entries[key]
-            self.total_evictions += 1
+        with self._lock:
+            victims = self._eviction.select_victims(
+                self._entries, self.config.max_entries, self.config.max_bytes
+            )
+            for key in victims:
+                del self._entries[key]
+                self.total_evictions += 1
 
     def _apply_delta_compensation(
         self,
@@ -363,6 +412,10 @@ class AggregateCacheManager:
         """
         if self.fault_injector is not None:
             self.fault_injector.fire("cache.maintenance")
+        with self._lock:
+            self._before_merge_locked(event)
+
+    def _before_merge_locked(self, event: MergeEvent) -> None:
         for key, entry in self._entries.items():
             if not entry.is_active:
                 self._pending_drops.add(key)
@@ -386,20 +439,21 @@ class AggregateCacheManager:
         (and recomputed on next use) instead of poisoning the merge — the
         swap already happened, so the merge must not fail here.
         """
-        own = [p for p in self._pending_maintenance if p.event is event]
-        self._pending_maintenance = [
-            p for p in self._pending_maintenance if p.event is not event
-        ]
-        for pending in own:
-            try:
-                finish_entry_maintenance(pending, event)
-            except Exception:
-                self._pending_drops.add(pending.entry.key)
-                continue
-            self.total_maintenance_runs += 1
-        for key in self._pending_drops:
-            self._entries.pop(key, None)
-        self._pending_drops = set()
+        with self._lock:
+            own = [p for p in self._pending_maintenance if p.event is event]
+            self._pending_maintenance = [
+                p for p in self._pending_maintenance if p.event is not event
+            ]
+            for pending in own:
+                try:
+                    finish_entry_maintenance(pending, event)
+                except Exception:
+                    self._pending_drops.add(pending.entry.key)
+                    continue
+                self.total_maintenance_runs += 1
+            for key in self._pending_drops:
+                self._entries.pop(key, None)
+            self._pending_drops = set()
 
     def cancel_merge(self, event: Optional[MergeEvent] = None) -> None:
         """Discard maintenance planned for an aborted merge.
@@ -409,14 +463,15 @@ class AggregateCacheManager:
         valid as-is and the planned (never-applied) corrections are dropped.
         ``event=None`` discards everything pending.
         """
-        if event is None:
-            self._pending_maintenance = []
-        else:
-            self._pending_maintenance = [
-                p for p in self._pending_maintenance if p.event is not event
-            ]
-        if not self._pending_maintenance:
-            self._pending_drops = set()
+        with self._lock:
+            if event is None:
+                self._pending_maintenance = []
+            else:
+                self._pending_maintenance = [
+                    p for p in self._pending_maintenance if p.event is not event
+                ]
+            if not self._pending_maintenance:
+                self._pending_drops = set()
 
     @staticmethod
     def _entry_references(entry: AggregateCacheEntry, event: MergeEvent) -> bool:

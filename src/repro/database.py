@@ -29,6 +29,7 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from .concurrency import ReadWriteLock
 from .core.admission import AdmissionPolicy
 from .core.enforcement import MDEnforcer
 from .core.eviction import EvictionPolicy
@@ -37,6 +38,7 @@ from .core.matching_dependency import MatchingDependency
 from .core.strategies import CacheConfig, ExecutionStrategy
 from .errors import CatalogError, DurabilityError, QueryError
 from .query.executor import QueryExecutor
+from .query.parallel import ParallelConfig
 from .query.query import AggregateQuery
 from .query.result import QueryResult
 from .query.sql import parse_sql
@@ -76,6 +78,14 @@ class Database:
     before the call returns, merges additionally write an atomic checkpoint,
     and reopening the same path recovers the exact pre-crash state — see
     :mod:`repro.reliability`.
+
+    The facade is safe to share between threads.  A database-level
+    readers–writer lock (``db.lock``) lets any number of queries proceed in
+    parallel while DML, delta merges, DDL, and checkpointing take exclusive
+    ownership; cache admission/eviction bookkeeping during a query is
+    guarded by the cache manager's own internal lock.  Pass ``n_workers``
+    (or a full :class:`ParallelConfig` as ``parallel``) to additionally
+    shard each query's subjoin list across an intra-query worker pool.
     """
 
     def __init__(
@@ -85,11 +95,16 @@ class Database:
         eviction: Optional[EvictionPolicy] = None,
         path=None,
         fault_injector: Optional[FaultInjector] = None,
+        n_workers: Optional[int] = None,
+        parallel: Optional[ParallelConfig] = None,
     ):
+        if parallel is None and n_workers is not None:
+            parallel = ParallelConfig(n_workers=n_workers) if n_workers > 1 else None
+        self.lock = ReadWriteLock()
         self.catalog = Catalog()
         self.transactions = TransactionManager()
         self.views = ConsistentViewManager(self.transactions)
-        self.executor = QueryExecutor(self.catalog)
+        self.executor = QueryExecutor(self.catalog, parallel=parallel)
         config = cache_config if cache_config is not None else CacheConfig()
         self.faults = fault_injector if fault_injector is not None else FaultInjector()
         self.cache = AggregateCacheManager(
@@ -141,17 +156,18 @@ class Database:
         return self._wal
 
     def _open_durable(self, path) -> None:
-        self.path = Path(path)
-        self.path.mkdir(parents=True, exist_ok=True)
-        self._wal = WriteAheadLog(self.path / "wal.jsonl", faults=self.faults)
-        self._replaying = True
-        try:
-            self.recovery_stats = recover_database(
-                self, self._wal, self._checkpoint_dir()
-            )
-        finally:
-            self._replaying = False
-        self.transactions.finish_hooks.append(self._on_txn_finish)
+        with self.lock.write():  # recovery is exclusive, like any DDL/DML
+            self.path = Path(path)
+            self.path.mkdir(parents=True, exist_ok=True)
+            self._wal = WriteAheadLog(self.path / "wal.jsonl", faults=self.faults)
+            self._replaying = True
+            try:
+                self.recovery_stats = recover_database(
+                    self, self._wal, self._checkpoint_dir()
+                )
+            finally:
+                self._replaying = False
+            self.transactions.finish_hooks.append(self._on_txn_finish)
 
     def _checkpoint_dir(self) -> Path:
         return self.path / "checkpoints"
@@ -186,14 +202,20 @@ class Database:
             return None
         from .reliability.checkpoint import write_checkpoint
 
-        path = write_checkpoint(
-            self, self._checkpoint_dir(), self._wal.stats.last_lsn, faults=self.faults
-        )
-        self._wal.stats.checkpoints_written += 1
-        return path
+        with self.lock.write():  # the snapshot must not race ongoing DML
+            path = write_checkpoint(
+                self,
+                self._checkpoint_dir(),
+                self._wal.stats.last_lsn,
+                faults=self.faults,
+            )
+            self._wal.stats.checkpoints_written += 1
+            return path
 
     def close(self) -> None:
-        """Release the WAL file handle (idempotent; in-memory: no-op)."""
+        """Release the WAL file handle and stop the executor's worker pool
+        (idempotent; in-memory databases only stop the pool)."""
+        self.executor.close()
         if self._wal is not None:
             self._wal.close()
 
@@ -261,6 +283,14 @@ class Database:
                 f"table {name!r}: aging rules are Python callables and cannot "
                 "be persisted; hot/cold tables require an in-memory Database"
             )
+        with self.lock.write():
+            return self._create_table_locked(
+                name, schema, aging_rule, separate_update_delta
+            )
+
+    def _create_table_locked(
+        self, name, schema, aging_rule, separate_update_delta
+    ) -> Table:
         table = self.catalog.create_table(
             name,
             schema,
@@ -288,9 +318,10 @@ class Database:
 
     def drop_table(self, name: str) -> None:
         """Drop a table, evicting only the cache entries that reference it."""
-        self.catalog.drop_table(name)
-        self.cache.evict_for_table(name)
-        self._log_ddl("drop_table", {"name": name})
+        with self.lock.write():
+            self.catalog.drop_table(name)
+            self.cache.evict_for_table(name)
+            self._log_ddl("drop_table", {"name": name})
 
     def add_matching_dependency(
         self,
@@ -309,6 +340,13 @@ class Database:
         """
         name = tid_column_name or f"tid_{parent_table}"
         md = MatchingDependency(parent_table, parent_key, child_table, child_fk, name)
+        with self.lock.write():
+            return self._add_md_locked(md)
+
+    def _add_md_locked(self, md: MatchingDependency) -> MatchingDependency:
+        parent_table, child_table = md.parent_table, md.child_table
+        parent_key, child_fk = md.parent_key, md.child_fk
+        name = md.tid_column
         for table_name in (parent_table, child_table):
             table = self.catalog.table(table_name)
             if not table.schema.has_column(name):
@@ -331,12 +369,15 @@ class Database:
         """Promise that matching tuples of the two tables age together
         (Section 5.4), enabling logical pruning of cross-temperature
         subjoins."""
-        for name in (left_table, right_table):
-            self.catalog.table(name)  # existence check
-        declaration = ConsistentAging(left_table, right_table)
-        self.cache.register_consistent_aging(declaration)
-        self._log_ddl("consistent_aging", {"left": left_table, "right": right_table})
-        return declaration
+        with self.lock.write():
+            for name in (left_table, right_table):
+                self.catalog.table(name)  # existence check
+            declaration = ConsistentAging(left_table, right_table)
+            self.cache.register_consistent_aging(declaration)
+            self._log_ddl(
+                "consistent_aging", {"left": left_table, "right": right_table}
+            )
+            return declaration
 
     # ------------------------------------------------------------------
     # transactions
@@ -372,32 +413,33 @@ class Database:
     ):
         """Insert one row; stamps MD tid columns through the enforcer."""
         transaction, own = self._txn_or_begin(txn)
-        try:
-            table = self.catalog.table(table_name)
-            stamped = self.enforcer.stamp(table_name, row, transaction.tid)
-            locator = table.insert(stamped, transaction.tid)
-            if self._wal is not None:
-                self._log_op(
-                    transaction.tid,
-                    {
-                        "op": "insert",
-                        "table": table_name,
-                        # The *stamped* row: replay applies it at the table
-                        # level and must not re-run MD enforcement.
-                        "row": stamped,
-                        "tid": transaction.tid,
-                    },
-                )
-            if self._write_listeners:
-                inserted = table.partition(locator.partition).get_row(locator.row)
-                for listener in self._write_listeners:
-                    listener.on_insert(table_name, inserted, transaction.tid)
-        except BaseException:
-            self._abort_own(transaction, own)
-            raise
-        if own:
-            transaction.commit()
-        return locator
+        with self.lock.write():
+            try:
+                table = self.catalog.table(table_name)
+                stamped = self.enforcer.stamp(table_name, row, transaction.tid)
+                locator = table.insert(stamped, transaction.tid)
+                if self._wal is not None:
+                    self._log_op(
+                        transaction.tid,
+                        {
+                            "op": "insert",
+                            "table": table_name,
+                            # The *stamped* row: replay applies it at the table
+                            # level and must not re-run MD enforcement.
+                            "row": stamped,
+                            "tid": transaction.tid,
+                        },
+                    )
+                if self._write_listeners:
+                    inserted = table.partition(locator.partition).get_row(locator.row)
+                    for listener in self._write_listeners:
+                        listener.on_insert(table_name, inserted, transaction.tid)
+            except BaseException:
+                self._abort_own(transaction, own)
+                raise
+            if own:
+                transaction.commit()
+            return locator
 
     def insert_many(
         self,
@@ -407,17 +449,18 @@ class Database:
     ) -> int:
         """Insert several rows in one transaction; returns the count."""
         transaction, own = self._txn_or_begin(txn)
-        try:
-            count = 0
-            for row in rows:
-                self.insert(table_name, row, txn=transaction)
-                count += 1
-        except BaseException:
-            self._abort_own(transaction, own)
-            raise
-        if own:
-            transaction.commit()
-        return count
+        with self.lock.write():  # one exclusive span for the whole batch
+            try:
+                count = 0
+                for row in rows:
+                    self.insert(table_name, row, txn=transaction)
+                    count += 1
+            except BaseException:
+                self._abort_own(transaction, own)
+                raise
+            if own:
+                transaction.commit()
+            return count
 
     def insert_business_object(
         self,
@@ -431,18 +474,19 @@ class Database:
         enterprise-application insert pattern of Section 3.2.  Returns the
         number of item rows inserted."""
         transaction, own = self._txn_or_begin(txn)
-        try:
-            self.insert(header_table, header_row, txn=transaction)
-            count = 0
-            for item_row in item_rows:
-                self.insert(item_table, item_row, txn=transaction)
-                count += 1
-        except BaseException:
-            self._abort_own(transaction, own)
-            raise
-        if own:
-            transaction.commit()
-        return count
+        with self.lock.write():  # header + items swap in as one unit
+            try:
+                self.insert(header_table, header_row, txn=transaction)
+                count = 0
+                for item_row in item_rows:
+                    self.insert(item_table, item_row, txn=transaction)
+                    count += 1
+            except BaseException:
+                self._abort_own(transaction, own)
+                raise
+            if own:
+                transaction.commit()
+            return count
 
     def update(
         self,
@@ -453,6 +497,10 @@ class Database:
     ) -> None:
         """Update one row by primary key (new version goes to the delta)."""
         transaction, own = self._txn_or_begin(txn)
+        with self.lock.write():
+            self._update_locked(table_name, pk_value, changes, transaction, own)
+
+    def _update_locked(self, table_name, pk_value, changes, transaction, own) -> None:
         try:
             table = self.catalog.table(table_name)
             old_row = table.get_row(pk_value) if self._write_listeners else None
@@ -486,6 +534,10 @@ class Database:
     ) -> None:
         """Delete one row by primary key (invalidation only)."""
         transaction, own = self._txn_or_begin(txn)
+        with self.lock.write():
+            self._delete_locked(table_name, pk_value, transaction, own)
+
+    def _delete_locked(self, table_name, pk_value, transaction, own) -> None:
         try:
             table = self.catalog.table(table_name)
             old_row = table.get_row(pk_value) if self._write_listeners else None
@@ -531,29 +583,32 @@ class Database:
         not yet logged are simply re-run from the pre-merge state — they
         change the physical layout, never query results.
         """
-        tables = (
-            [self.catalog.table(table_name)]
-            if table_name is not None
-            else self.catalog.tables()
-        )
-        snapshot = self.transactions.global_snapshot()
-        stats: List[MergeStats] = []
-        for table in tables:
-            stats.append(
-                merge_table(
-                    table,
-                    snapshot,
-                    listeners=[self.cache] + self._merge_listeners,
-                    group_name=group_name,
-                    keep_history=keep_history,
-                    faults=self.faults,
-                )
+        with self.lock.write():  # partition swap excludes all readers
+            tables = (
+                [self.catalog.table(table_name)]
+                if table_name is not None
+                else self.catalog.tables()
             )
+            snapshot = self.transactions.global_snapshot()
+            stats: List[MergeStats] = []
+            for table in tables:
+                stats.append(
+                    merge_table(
+                        table,
+                        snapshot,
+                        listeners=[self.cache] + self._merge_listeners,
+                        group_name=group_name,
+                        keep_history=keep_history,
+                        faults=self.faults,
+                    )
+                )
+                if self._wal is not None and not self._replaying:
+                    self._wal.append_merge(
+                        table.name, group_name, snapshot, keep_history
+                    )
             if self._wal is not None and not self._replaying:
-                self._wal.append_merge(table.name, group_name, snapshot, keep_history)
-        if self._wal is not None and not self._replaying:
-            self.checkpoint()
-        return stats
+                self.checkpoint()
+            return stats
 
     def auto_merge(self, advisor=None) -> List[MergeStats]:
         """Consult a merge advisor and merge the recommended tables.
@@ -565,11 +620,12 @@ class Database:
         from .core.merge_advisor import MergeAdvisor
 
         advisor = advisor if advisor is not None else MergeAdvisor()
-        recommendation = advisor.recommend(self)
-        stats: List[MergeStats] = []
-        for name in recommendation.tables:
-            stats.extend(self.merge(name))
-        return stats
+        with self.lock.write():  # advise + merge atomically vs. writers
+            recommendation = advisor.recommend(self)
+            stats: List[MergeStats] = []
+            for name in recommendation.tables:
+                stats.extend(self.merge(name))
+            return stats
 
     # ------------------------------------------------------------------
     # queries
@@ -598,17 +654,21 @@ class Database:
             if txn is not None:
                 raise QueryError("pass either txn or as_of, not both")
             reader = SnapshotReader(as_of)
-            grouped, report = self.cache.execute(query, reader, strategy=strategy)
+            with self.lock.read():
+                grouped, report = self.cache.execute(query, reader, strategy=strategy)
             self.last_report = report
             return QueryResult.from_grouped(query, grouped)
         transaction, own = self._txn_or_begin(txn)
-        try:
-            grouped, report = self.cache.execute(query, transaction, strategy=strategy)
-        except BaseException:
-            self._abort_own(transaction, own)
-            raise
-        if own:
-            transaction.commit()
+        with self.lock.read():
+            try:
+                grouped, report = self.cache.execute(
+                    query, transaction, strategy=strategy
+                )
+            except BaseException:
+                self._abort_own(transaction, own)
+                raise
+            if own:
+                transaction.commit()
         self.last_report = report
         return QueryResult.from_grouped(query, grouped)
 
@@ -625,13 +685,15 @@ class Database:
         """
         if isinstance(query, str):
             query = parse_sql(query)
-        return self.cache.explain(query, strategy).render()
+        with self.lock.read():
+            return self.cache.explain(query, strategy).render()
 
     def export_csv(self, table_name: str, path, include_tid_columns: bool = False) -> int:
         """Write the table's visible rows to a CSV file; returns the count."""
         from .storage.csvio import export_csv
 
-        return export_csv(self, table_name, path, include_tid_columns)
+        with self.lock.read():
+            return export_csv(self, table_name, path, include_tid_columns)
 
     def import_csv(self, table_name: str, path, batch_size: int = 1000) -> int:
         """Load rows from a CSV file through the normal insert path."""
@@ -644,7 +706,8 @@ class Database:
         :mod:`repro.monitor`."""
         from .monitor import collect_statistics
 
-        return collect_statistics(self)
+        with self.lock.read():
+            return collect_statistics(self)
 
     def table(self, name: str) -> Table:
         """The live :class:`Table` object by name."""

@@ -202,13 +202,17 @@ def collect_statistics(db: Database) -> DatabaseStats:
             )
         tables.append(stats)
     manager = db.cache
+    # One locked snapshot of the lifetime counters: reading the attributes
+    # one by one could interleave with a concurrent query's bookkeeping and
+    # report e.g. more hits than lookups.
+    counters = manager.counters_snapshot()
     cache = CacheStats(
-        entries=manager.entry_count(),
+        entries=counters["entries"],
         total_value_bytes=sum(e.metrics.size_bytes for e in manager.entries()),
-        total_hits=manager.total_hits,
-        total_misses=manager.total_misses,
-        total_evictions=manager.total_evictions,
-        total_maintenance_runs=manager.total_maintenance_runs,
+        total_hits=counters["hits"],
+        total_misses=counters["misses"],
+        total_evictions=counters["evictions"],
+        total_maintenance_runs=counters["maintenance_runs"],
     )
     enforcement = EnforcementSnapshot(
         matching_dependencies=len(db.enforcer.dependencies()),

@@ -22,6 +22,7 @@ from .expr import (
     conjuncts_of,
     single_alias_of,
 )
+from .parallel import ParallelConfig, default_workers
 from .query import AggregateQuery, JoinEdge, OrderItem, TableRef
 from .result import QueryResult
 from .sql import parse_sql
@@ -45,11 +46,13 @@ __all__ = [
     "Not",
     "Or",
     "OrderItem",
+    "ParallelConfig",
     "QueryExecutor",
     "QueryResult",
     "TableRef",
     "all_partition_combos",
     "conjuncts_of",
+    "default_workers",
     "main_only_combos",
     "parse_sql",
     "single_alias_of",

@@ -314,9 +314,20 @@ class GroupedAggregates:
             rows.append(tuple(out))
         return rows
 
+    def new_like(self) -> "GroupedAggregates":
+        """An empty grouped state *sharing* this one's specs list.
+
+        The parallel executor builds per-subjoin partials this way so that
+        folding them back hits :meth:`merge`'s fast identity check instead
+        of comparing canonical spec forms on every subjoin.
+        """
+        fresh = GroupedAggregates(())
+        fresh.specs = self.specs
+        return fresh
+
     def copy(self) -> "GroupedAggregates":
-        """Deep copy (independent accumulator states)."""
-        out = GroupedAggregates(self.specs)
+        """Deep copy (independent accumulator states; specs list shared)."""
+        out = self.new_like()
         out._groups = {k: [list(s) for s in states] for k, states in self._groups.items()}
         out._count_star = dict(self._count_star)
         return out

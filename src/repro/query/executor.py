@@ -12,16 +12,26 @@ Work that repeats across combinations referencing the same partition —
 visible-row scans with local filters and join-side hash tables — is memoized
 per ``execute`` call, which mirrors how a real engine would share scans
 across union branches.
+
+Subjoins are mutually independent, so the executor can shard the
+combination list across a thread pool (:class:`ParallelConfig`): each
+worker folds its subjoins into a private grouped partial and the partials
+are merged back **in combination order**, making parallel results
+bit-identical to serial ones.  Workers either share one lock-striped memo
+or keep per-worker memos, per configuration.
 """
 
 from __future__ import annotations
 
 import itertools
+import threading
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..concurrency import DictMemo, StripedMemo
 from ..errors import QueryError
 from ..storage.catalog import Catalog
 from ..storage.partition import Partition
@@ -34,6 +44,7 @@ from .operators import (
     probe_hash_join,
     scan_partition,
 )
+from .parallel import MEMO_PRIVATE, ParallelConfig
 from .query import AggregateQuery, JoinEdge
 
 
@@ -66,12 +77,28 @@ class ComboSpec:
 
 @dataclass
 class ExecutionStats:
-    """Counters filled during one ``execute`` call."""
+    """Counters filled during one ``execute`` call.
+
+    In parallel executions every subjoin fills a private instance which is
+    folded back via :meth:`merge` in combination order, so serial and
+    parallel runs of the same query produce *identical* stats — including
+    the order of ``subjoins`` and ``probe_sides``.
+    """
 
     combos_evaluated: int = 0
     combos_empty: int = 0
     rows_aggregated: int = 0
     subjoins: List[str] = field(default_factory=list)
+    #: Per subjoin, the alias chosen as the probe (non-hashed) side.
+    probe_sides: List[str] = field(default_factory=list)
+
+    def merge(self, other: "ExecutionStats") -> None:
+        """Fold another stats object into this one (order-preserving)."""
+        self.combos_evaluated += other.combos_evaluated
+        self.combos_empty += other.combos_empty
+        self.rows_aggregated += other.rows_aggregated
+        self.subjoins.extend(other.subjoins)
+        self.probe_sides.extend(other.probe_sides)
 
 
 def all_partition_combos(
@@ -133,8 +160,40 @@ class _JoinStep:
 class QueryExecutor:
     """Evaluates aggregate queries over explicit partition combinations."""
 
-    def __init__(self, catalog: Catalog):
+    def __init__(self, catalog: Catalog, parallel: Optional[ParallelConfig] = None):
         self._catalog = catalog
+        self._parallel = parallel
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._pool_size = 0
+        self._pool_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # worker pool
+    # ------------------------------------------------------------------
+    @property
+    def parallel_config(self) -> Optional[ParallelConfig]:
+        """The default parallel configuration (None = always serial)."""
+        return self._parallel
+
+    def _ensure_pool(self, n_workers: int) -> ThreadPoolExecutor:
+        with self._pool_lock:
+            if self._pool is None or self._pool_size != n_workers:
+                if self._pool is not None:
+                    self._pool.shutdown(wait=False)
+                self._pool = ThreadPoolExecutor(
+                    max_workers=n_workers, thread_name_prefix="repro-subjoin"
+                )
+                self._pool_size = n_workers
+            return self._pool
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent; executor stays usable —
+        a later parallel execute recreates the pool)."""
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+                self._pool_size = 0
 
     # ------------------------------------------------------------------
     # binding
@@ -144,8 +203,10 @@ class QueryExecutor:
 
         Returns a new query in which every ``Col`` carries the alias of the
         unique table that owns the column; raises ``QueryError`` for unknown
-        or ambiguous names.  Binding is idempotent: a query produced by this
-        method is returned unchanged, so hot paths may re-bind freely.
+        or ambiguous names — including ORDER BY and HAVING references, which
+        address *output* columns (group labels and aggregate outputs).
+        Binding is idempotent: a query produced by this method is returned
+        unchanged, so hot paths may re-bind freely.
         """
         if getattr(query, "_bound_by", None) is self._catalog:
             return query
@@ -183,6 +244,7 @@ class QueryExecutor:
                     raise QueryError(
                         f"join edge references missing column {alias}.{col}"
                     )
+        self._bind_output_refs(query)
         bound = AggregateQuery(
             tables=query.tables,
             aggregates=[
@@ -203,30 +265,94 @@ class QueryExecutor:
         bound._bound_by = self._catalog
         return bound
 
+    @staticmethod
+    def _bind_output_refs(query: AggregateQuery) -> None:
+        """Validate ORDER BY / HAVING references against the output columns.
+
+        Both clauses address result columns, so unlike ``filters`` they are
+        never rewritten to table-qualified form — but an unknown name must
+        fail *here*, at bind time, not deep in result rendering (or, for a
+        cached query, silently late on some future execution path).
+        """
+        outputs = query.output_columns()
+        counts: Dict[str, int] = {}
+        for name in outputs:
+            counts[name] = counts.get(name, 0) + 1
+
+        def check(name: str, clause: str) -> None:
+            n = counts.get(name, 0)
+            if n == 0:
+                raise QueryError(
+                    f"{clause} references unknown output column {name!r} "
+                    f"(available: {outputs})"
+                )
+            if n > 1:
+                raise QueryError(
+                    f"{clause} reference {name!r} is ambiguous: {n} output "
+                    f"columns share that name"
+                )
+
+        for item in query.order_by:
+            check(item.column, "ORDER BY")
+        if query.having is not None:
+            for alias, name in sorted(
+                query.having.column_refs(), key=lambda ref: (ref[0] or "", ref[1])
+            ):
+                if alias is not None:
+                    raise QueryError(
+                        f"HAVING references {alias}.{name}; HAVING addresses "
+                        f"output columns, which are unqualified"
+                    )
+                check(name, "HAVING")
+
     # ------------------------------------------------------------------
     # planning
     # ------------------------------------------------------------------
-    def _join_plan(self, query: AggregateQuery) -> Tuple[str, List[_JoinStep]]:
-        """Left-deep join order following the (connected) join graph."""
+    def _join_plan(
+        self,
+        query: AggregateQuery,
+        row_counts: Optional[Dict[str, int]] = None,
+    ) -> Tuple[str, List[_JoinStep]]:
+        """Left-deep join order following the (connected) join graph.
+
+        With ``row_counts`` (scanned rows per alias for the current subjoin)
+        the probe side is seeded from the *largest* input and every joined
+        alias — the side a hash table is built on — is picked smallest-first
+        among the connectable candidates.  Without counts the FROM order is
+        kept (the legacy plan; only used when inputs are unknown).
+        """
+        from_order = {ref.alias: i for i, ref in enumerate(query.tables)}
         remaining = [ref.alias for ref in query.tables]
-        first = remaining.pop(0)
+        if row_counts is None:
+            first = remaining.pop(0)
+        else:
+            # Probe the biggest side so hash tables are built on the small
+            # ones; ties resolve in FROM order for determinism.
+            first = max(remaining, key=lambda a: (row_counts[a], -from_order[a]))
+            remaining.remove(first)
         joined = {first}
         steps: List[_JoinStep] = []
         while remaining:
-            progressed = False
-            for alias in list(remaining):
+            candidates = []
+            for alias in remaining:
                 edges = [
                     edge
                     for edge in query.join_edges
                     if alias in edge.aliases() and edge.other(alias)[0] in joined
                 ]
                 if edges:
-                    steps.append(_JoinStep(alias, edges))
-                    joined.add(alias)
-                    remaining.remove(alias)
-                    progressed = True
-            if not progressed:  # pragma: no cover - guarded by query validation
+                    candidates.append((alias, edges))
+            if not candidates:  # pragma: no cover - guarded by query validation
                 raise QueryError(f"disconnected join graph at {remaining}")
+            if row_counts is None:
+                chosen = candidates
+            else:
+                candidates.sort(key=lambda c: (row_counts[c[0]], from_order[c[0]]))
+                chosen = candidates[:1]
+            for alias, edges in chosen:
+                steps.append(_JoinStep(alias, edges))
+                joined.add(alias)
+                remaining.remove(alias)
         return first, steps
 
     # ------------------------------------------------------------------
@@ -240,12 +366,20 @@ class QueryExecutor:
         into: Optional[GroupedAggregates] = None,
         sign: int = 1,
         stats: Optional[ExecutionStats] = None,
+        parallel: Optional[ParallelConfig] = None,
     ) -> GroupedAggregates:
         """Evaluate the union of the given subjoins into a grouped state.
 
         ``combos`` defaults to the full partition product.  ``into`` lets
         the aggregate cache fold compensation contributions into (a copy of)
         a cached value; ``sign=-1`` subtracts, for main compensation.
+
+        ``parallel`` overrides the executor's default
+        :class:`ParallelConfig` for this call.  Every subjoin is evaluated
+        into a private partial which is merged into the result **in
+        combination order**, for serial and parallel runs alike — the two
+        modes perform the same floating-point operations in the same order
+        and return bit-identical results and stats.
         """
         bound = self.bind(query)
         if combos is None:
@@ -253,28 +387,80 @@ class QueryExecutor:
                 ComboSpec(partitions)
                 for partitions in all_partition_combos(bound, self._catalog)
             ]
+        else:
+            combos = list(combos)
         grouped = into if into is not None else GroupedAggregates(bound.aggregates)
-        first, steps = self._join_plan(bound)
         residuals = bound.residual_filters()
         local_filters = {ref.alias: bound.local_filters(ref.alias) for ref in bound.tables}
-        scan_memo: Dict[Tuple, np.ndarray] = {}
-        hash_memo: Dict[Tuple, Dict] = {}
-        for combo in combos:
-            self._execute_combo(
-                bound,
-                first,
-                steps,
-                residuals,
-                local_filters,
-                snapshot,
-                combo,
-                grouped,
-                sign,
-                scan_memo,
-                hash_memo,
-                stats,
+        want_stats = stats is not None
+        config = parallel if parallel is not None else self._parallel
+        partial_factory = grouped.new_like
+        if config is not None and config.should_parallelize(
+            len(combos), _physical_rows(combos)
+        ):
+            partials = self._run_parallel(
+                bound, residuals, local_filters, snapshot, combos, sign,
+                want_stats, config, partial_factory,
             )
+        else:
+            scan_memo, hash_memo = DictMemo(), DictMemo()
+            partials = (
+                self._execute_combo(
+                    bound, residuals, local_filters, snapshot, combo, sign,
+                    scan_memo, hash_memo, want_stats, partial_factory,
+                )
+                for combo in combos
+            )
+        for partial, combo_stats in partials:
+            if want_stats:
+                stats.merge(combo_stats)
+            if partial is not None:
+                grouped.merge(partial)
         return grouped
+
+    def _run_parallel(
+        self,
+        query: AggregateQuery,
+        residuals: List[Expr],
+        local_filters: Dict[str, List[Expr]],
+        snapshot: int,
+        combos: Sequence[ComboSpec],
+        sign: int,
+        want_stats: bool,
+        config: ParallelConfig,
+        partial_factory,
+    ):
+        """Submit one task per subjoin; yield results in combination order."""
+        if config.memo == MEMO_PRIVATE:
+            per_thread: Dict[int, Tuple[DictMemo, DictMemo]] = {}
+
+            def memos() -> Tuple[DictMemo, DictMemo]:
+                ident = threading.get_ident()
+                pair = per_thread.get(ident)
+                if pair is None:
+                    # setdefault keeps the first pair if two tasks on a new
+                    # thread race (they cannot: one thread, one task at a
+                    # time — but stay defensive).
+                    pair = per_thread.setdefault(ident, (DictMemo(), DictMemo()))
+                return pair
+
+        else:
+            shared = (StripedMemo(), StripedMemo())
+
+            def memos() -> Tuple[StripedMemo, StripedMemo]:
+                return shared
+
+        def task(combo: ComboSpec):
+            scan_memo, hash_memo = memos()
+            return self._execute_combo(
+                query, residuals, local_filters, snapshot, combo, sign,
+                scan_memo, hash_memo, want_stats, partial_factory,
+            )
+
+        pool = self._ensure_pool(config.n_workers)
+        futures = [pool.submit(task, combo) for combo in combos]
+        for future in futures:
+            yield future.result()
 
     def _scan(
         self,
@@ -282,7 +468,7 @@ class QueryExecutor:
         combo: ComboSpec,
         local_filters: Dict[str, List[Expr]],
         snapshot: int,
-        scan_memo: Dict[Tuple, np.ndarray],
+        scan_memo,
     ) -> np.ndarray:
         partition = combo.partitions[alias]
         extra = combo.extra_filters.get(alias, [])
@@ -293,48 +479,61 @@ class QueryExecutor:
             tuple(sorted(e.canonical() for e in extra)),
             id(fixed) if fixed is not None else None,
         )
-        rows = scan_memo.get(key)
-        if rows is None:
+
+        def compute() -> np.ndarray:
             if fixed is not None:
-                rows = _filter_fixed_rows(
+                return _filter_fixed_rows(
                     alias, partition, fixed, local_filters[alias] + extra
                 )
-            else:
-                rows = scan_partition(
-                    alias, partition, snapshot, local_filters[alias] + extra
-                )
-            scan_memo[key] = rows
-        return rows
+            return scan_partition(
+                alias, partition, snapshot, local_filters[alias] + extra
+            )
+
+        return scan_memo.get_or_compute(key, compute)
 
     def _execute_combo(
         self,
         query: AggregateQuery,
-        first: str,
-        steps: List[_JoinStep],
         residuals: List[Expr],
         local_filters: Dict[str, List[Expr]],
         snapshot: int,
         combo: ComboSpec,
-        grouped: GroupedAggregates,
         sign: int,
-        scan_memo: Dict[Tuple, np.ndarray],
-        hash_memo: Dict[Tuple, Dict],
-        stats: Optional[ExecutionStats],
-    ) -> None:
+        scan_memo,
+        hash_memo,
+        want_stats: bool,
+        partial_factory,
+    ) -> Tuple[Optional[GroupedAggregates], Optional[ExecutionStats]]:
+        """Evaluate one subjoin into a fresh partial grouped state.
+
+        Returns ``(partial, stats)``; the partial is None when the subjoin
+        is empty.  The caller folds partials (and stats) back in
+        combination order.
+        """
         missing = {ref.alias for ref in query.tables} - set(combo.partitions)
         if missing:
             raise QueryError(f"combo misses partitions for aliases {sorted(missing)}")
+        stats = ExecutionStats() if want_stats else None
         if stats is not None:
             stats.combos_evaluated += 1
             stats.subjoins.append(combo.describe())
-        rows = self._scan(first, combo, local_filters, snapshot, scan_memo)
-        provider = JoinedProvider(
-            {first: combo.partitions[first]}, {first: rows}
-        )
-        if provider.row_count() == 0:
+        # Scan every alias up front (memoized across subjoins): the counts
+        # drive build-side selection, and any empty input empties the join.
+        scans = {
+            ref.alias: self._scan(ref.alias, combo, local_filters, snapshot, scan_memo)
+            for ref in query.tables
+        }
+        row_counts = {alias: len(rows) for alias, rows in scans.items()}
+        first, steps = self._join_plan(query, row_counts)
+        if stats is not None:
+            stats.probe_sides.append(first)
+        if row_counts[first] == 0:
             if stats is not None:
                 stats.combos_empty += 1
-            return
+            return None, stats
+        provider = JoinedProvider(
+            {first: combo.partitions[first]}, {first: scans[first]}
+        )
         for step in steps:
             partition = combo.partitions[step.alias]
             key_columns = tuple(edge.side_for(step.alias) for edge in step.edges)
@@ -347,17 +546,14 @@ class QueryExecutor:
                 tuple(sorted(e.canonical() for e in extra)),
                 id(fixed) if fixed is not None else None,
             )
-            table = hash_memo.get(hash_key)
-            if table is None:
-                hashed_rows = self._scan(
-                    step.alias, combo, local_filters, snapshot, scan_memo
-                )
-                table = build_hash_table(partition, hashed_rows, key_columns)
-                hash_memo[hash_key] = table
+            table = hash_memo.get_or_compute(
+                hash_key,
+                lambda: build_hash_table(partition, scans[step.alias], key_columns),
+            )
             if not table:
                 if stats is not None:
                     stats.combos_empty += 1
-                return
+                return None, stats
             probe_columns = [edge.other(step.alias) for edge in step.edges]
             provider = probe_hash_join(
                 provider, probe_columns, step.alias, partition, table
@@ -365,14 +561,26 @@ class QueryExecutor:
             if provider.row_count() == 0:
                 if stats is not None:
                     stats.combos_empty += 1
-                return
+                return None, stats
         for residual in residuals:
             mask = residual.evaluate(provider).astype(bool)
             provider = provider.select(mask)
             if provider.row_count() == 0:
                 if stats is not None:
                     stats.combos_empty += 1
-                return
-        n = aggregate_into(grouped, provider, query.group_by, query.aggregates, sign)
+                return None, stats
+        partial = partial_factory()
+        n = aggregate_into(partial, provider, query.group_by, query.aggregates, sign)
         if stats is not None:
             stats.rows_aggregated += n
+        return partial, stats
+
+
+def _physical_rows(combos: Sequence[ComboSpec]) -> int:
+    """Summed physical row count over the distinct partitions referenced —
+    a cheap upper bound on the scan work a combination list implies."""
+    seen: Dict[int, int] = {}
+    for combo in combos:
+        for partition in combo.partitions.values():
+            seen[id(partition)] = partition.row_count
+    return sum(seen.values())

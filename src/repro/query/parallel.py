@@ -1,0 +1,84 @@
+"""Intra-query parallelism configuration for the subjoin executor.
+
+A query over partitioned tables is a union of independent subjoins (one per
+:class:`~repro.query.executor.ComboSpec`), which makes it embarrassingly
+parallel: the executor shards the combination list across a worker pool,
+each worker folds its subjoins into a private grouped state, and the
+partials are merged back in combination order — so a parallel run performs
+the *same floating-point additions in the same order* as a serial run and
+the results are bit-identical.
+
+:class:`ParallelConfig` carries the knobs; the serial fallback triggers
+automatically when the combination list or the scanned row volume is too
+small to amortize task dispatch.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+#: Environment variable overriding the auto-detected worker count.
+N_WORKERS_ENV = "REPRO_N_WORKERS"
+
+MEMO_SHARED = "shared"
+MEMO_PRIVATE = "private"
+
+
+def default_workers() -> int:
+    """Worker count to use for ``n_workers=None``: the ``REPRO_N_WORKERS``
+    environment variable if set, otherwise the machine's CPU count."""
+    env = os.environ.get(N_WORKERS_ENV)
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return os.cpu_count() or 1
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """Knobs for parallel subjoin execution.
+
+    ``n_workers``
+        Pool size.  ``1`` disables parallelism entirely.
+    ``min_combos``
+        Serial fallback when fewer combinations than this are submitted —
+        a 3-combination compensation query gains nothing from a pool.
+    ``min_rows``
+        Serial fallback when the summed physical row count of all
+        referenced partitions (a cheap upper bound on scan work) is below
+        this — tiny tables are dominated by dispatch overhead.
+    ``memo``
+        ``"shared"`` — one lock-striped scan/hash-table memo shared by all
+        workers (work never duplicated, stripes contend);
+        ``"private"`` — one memo per worker thread (zero contention, a
+        partition scanned by subjoins on different workers is scanned once
+        per worker).  ``bench_parallel_subjoins.py`` measures both.
+    """
+
+    n_workers: int = 1
+    min_combos: int = 2
+    min_rows: int = 2048
+    memo: str = MEMO_SHARED
+
+    def __post_init__(self):
+        if self.n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        if self.memo not in (MEMO_SHARED, MEMO_PRIVATE):
+            raise ValueError(f"unknown memo mode {self.memo!r}")
+
+    @classmethod
+    def auto(cls, **overrides) -> "ParallelConfig":
+        """A config sized to the machine (or ``REPRO_N_WORKERS``)."""
+        overrides.setdefault("n_workers", default_workers())
+        return cls(**overrides)
+
+    def should_parallelize(self, n_combos: int, physical_rows: int) -> bool:
+        """Whether a combination list of this size is worth the pool."""
+        return (
+            self.n_workers > 1
+            and n_combos >= self.min_combos
+            and physical_rows >= self.min_rows
+        )

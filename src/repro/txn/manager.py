@@ -16,6 +16,7 @@ read snapshot.
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, List, Optional
 
 from ..errors import TransactionError
@@ -131,32 +132,38 @@ class TransactionManager:
     """
 
     def __init__(self):
+        self._lock = threading.Lock()
         self._next_tid = 1
         self._latest_tid = 0
         self.finish_hooks: List[Callable[[Transaction], None]] = []
 
     def begin(self) -> Transaction:
-        """Start a new transaction with the next tid."""
-        txn = Transaction(self._next_tid, self)
-        self._latest_tid = self._next_tid
-        self._next_tid += 1
-        return txn
+        """Start a new transaction with the next tid (thread-safe: two
+        concurrent ``begin`` calls never share a tid)."""
+        with self._lock:
+            txn = Transaction(self._next_tid, self)
+            self._latest_tid = self._next_tid
+            self._next_tid += 1
+            return txn
 
     @property
     def latest_tid(self) -> int:
         """The most recently issued tid — the global read snapshot."""
-        return self._latest_tid
+        with self._lock:
+            return self._latest_tid
 
     def advance_to(self, tid: int) -> None:
         """Fast-forward past ``tid`` (snapshot restore): future transactions
         receive ids strictly greater than everything already stamped."""
-        if tid > self._latest_tid:
-            self._latest_tid = tid
-            self._next_tid = tid + 1
+        with self._lock:
+            if tid > self._latest_tid:
+                self._latest_tid = tid
+                self._next_tid = tid + 1
 
     def global_snapshot(self) -> int:
         """Snapshot covering everything committed so far."""
-        return self._latest_tid
+        with self._lock:
+            return self._latest_tid
 
     def _on_finish(self, txn: Transaction) -> None:
         for hook in list(self.finish_hooks):

@@ -13,6 +13,7 @@ from repro.query import (
     ExecutionStats,
     JoinEdge,
     Lit,
+    OrderItem,
     QueryExecutor,
     QueryResult,
     TableRef,
@@ -226,6 +227,70 @@ class TestBinding:
         )
         with pytest.raises(QueryError):
             QueryExecutor(catalog).execute(query, txn.latest_tid)
+
+    def test_order_by_unknown_output_column(self, env):
+        catalog, _ = env
+        query = parse_sql(
+            "SELECT cat, SUM(price) AS s FROM item GROUP BY cat ORDER BY nope"
+        )
+        with pytest.raises(QueryError, match="ORDER BY.*nope"):
+            QueryExecutor(catalog).bind(query)
+
+    def test_order_by_ambiguous_output_column(self, env):
+        catalog, _ = env
+        # Group label renamed to collide with the aggregate output: "s" now
+        # names two result columns, so ORDER BY s cannot pick one.
+        query = AggregateQuery(
+            tables=[TableRef("item", "i")],
+            aggregates=[AggregateSpec(AggFunc.SUM, Col("price", "i"), "s")],
+            group_by=[Col("cat", "i")],
+            group_labels=["s"],
+            order_by=[OrderItem("s")],
+        )
+        with pytest.raises(QueryError, match="ambiguous"):
+            QueryExecutor(catalog).bind(query)
+
+    def test_having_unknown_output_column(self, env):
+        catalog, _ = env
+        query = parse_sql(
+            "SELECT cat, SUM(price) AS s FROM item GROUP BY cat HAVING zz > 1"
+        )
+        with pytest.raises(QueryError, match="HAVING.*zz"):
+            QueryExecutor(catalog).bind(query)
+
+    def test_having_ambiguous_output_column(self, env):
+        catalog, _ = env
+        query = AggregateQuery(
+            tables=[TableRef("item", "i")],
+            aggregates=[AggregateSpec(AggFunc.SUM, Col("price", "i"), "s")],
+            group_by=[Col("cat", "i")],
+            group_labels=["s"],
+            having=Cmp(">", Col("s"), Lit(0)),
+        )
+        with pytest.raises(QueryError, match="ambiguous"):
+            QueryExecutor(catalog).bind(query)
+
+    def test_having_qualified_reference_rejected(self, env):
+        catalog, _ = env
+        # HAVING addresses output columns, which carry no table alias.
+        query = AggregateQuery(
+            tables=[TableRef("item", "i")],
+            aggregates=[AggregateSpec(AggFunc.SUM, Col("price", "i"), "s")],
+            group_by=[Col("cat", "i")],
+            having=Cmp(">", Col("s", "i"), Lit(0)),
+        )
+        with pytest.raises(QueryError, match="HAVING"):
+            QueryExecutor(catalog).bind(query)
+
+    def test_valid_order_by_and_having_bind(self, env):
+        catalog, txn = env
+        query = parse_sql(
+            "SELECT cat, SUM(price) AS s FROM item GROUP BY cat "
+            "HAVING s > 5 ORDER BY s DESC"
+        )
+        grouped = QueryExecutor(catalog).execute(query, txn.latest_tid)
+        result = QueryResult.from_grouped(query, grouped)
+        assert [row[0] for row in result.rows] == ["A", "B"]
 
 
 class TestComboHelpers:

@@ -50,6 +50,95 @@ class TestAccumulateGroups:
         assert grouped.finalize()[0][1] == 10.0
 
 
+class TestMergeEdgeCases:
+    """The merge paths the parallel executor leans on: partial folding."""
+
+    def test_avg_partials_combine_exactly(self):
+        # AVG carries (sum, non-null count) partials; merging two partials
+        # must equal aggregating all rows at once, including NULL handling.
+        avg_specs = [AggregateSpec(AggFunc.AVG, Col("v", "t"), "a")]
+        left = GroupedAggregates(avg_specs)
+        left.accumulate([("g",), ("g",)], [np.array([2.0, None], dtype=object)])
+        right = left.new_like()
+        right.accumulate([("g",), ("g",)], [np.array([4.0, 6.0], dtype=object)])
+        left.merge(right)
+        # sum 12.0 over 3 non-null values; the NULL row counts for COUNT(*)
+        # but not for the average.
+        assert left.finalize() == [("g", 4.0)]
+        assert left.count_star(("g",)) == 4
+
+    def test_distinct_count_union(self):
+        distinct = [AggregateSpec(AggFunc.COUNT, Col("v", "t"), "d", distinct=True)]
+        left = GroupedAggregates(distinct)
+        left.accumulate([("g",)] * 3, [np.array([1, 2, 2], dtype=object)])
+        right = left.new_like()
+        right.accumulate([("g",)] * 3, [np.array([2, 3, None], dtype=object)])
+        left.merge(right)
+        # {1, 2} ∪ {2, 3} = {1, 2, 3}; NULL never enters the set.
+        assert left.finalize() == [("g", 3)]
+
+    def test_min_max_merge_takes_extrema(self):
+        mm = [
+            AggregateSpec(AggFunc.MIN, Col("v", "t"), "lo"),
+            AggregateSpec(AggFunc.MAX, Col("v", "t"), "hi"),
+        ]
+        left = GroupedAggregates(mm)
+        left.accumulate([("g",)], [np.array([5], dtype=object)] * 2)
+        right = left.new_like()
+        right.accumulate([("g",), ("g",)], [np.array([1, 9], dtype=object)] * 2)
+        left.merge(right)
+        assert left.finalize() == [("g", 1, 9)]
+
+    def test_sign_minus_one_rejected_for_non_self_maintainable(self):
+        for spec in (
+            AggregateSpec(AggFunc.MIN, Col("v", "t"), "m"),
+            AggregateSpec(AggFunc.MAX, Col("v", "t"), "m"),
+            AggregateSpec(AggFunc.COUNT, Col("v", "t"), "m", distinct=True),
+        ):
+            target = GroupedAggregates([spec])
+            other = target.new_like()
+            other.accumulate([("g",)], [np.array([1], dtype=object)])
+            with pytest.raises(CacheError):
+                target.merge(other, sign=-1)
+
+    def test_merge_rejects_mismatched_specs(self):
+        left = GroupedAggregates(specs())
+        right = GroupedAggregates([AggregateSpec(AggFunc.COUNT, None, "n")])
+        with pytest.raises(CacheError):
+            left.merge(right)
+
+    def test_cancelling_merges_retire_empty_groups(self):
+        # A compensation sequence that nets a group to zero must retire it;
+        # a group merely *passing through* a negative count must survive so
+        # a later positive contribution can cancel back.
+        grouped = GroupedAggregates(specs())
+        positive = grouped.new_like()
+        positive.accumulate(
+            [("a",), ("a",), ("b",)],
+            [np.array([1.0, 2.0, 9.0], dtype=object), np.array([0, 0, 0])],
+        )
+        negative = grouped.new_like()
+        negative.accumulate(
+            [("a",), ("a",)],
+            [np.array([1.0, 2.0], dtype=object), np.array([0, 0])],
+            sign=-1,
+        )
+        grouped.merge(negative)  # "a" now at count -2: retained, not retired
+        assert grouped.count_star(("a",)) == -2
+        assert grouped.group_count() == 1
+        grouped.merge(positive)  # "a" cancels to 0 and retires; "b" stays
+        assert grouped.group_count() == 1
+        assert grouped.finalize() == [("b", 9.0, 1)]
+
+    def test_new_like_shares_specs_identity(self):
+        grouped = GroupedAggregates(specs())
+        fresh = grouped.new_like()
+        assert fresh.specs is grouped.specs
+        assert fresh.group_count() == 0
+        copied = grouped.copy()
+        assert copied.specs is grouped.specs
+
+
 class TestResultRendering:
     def query(self):
         return AggregateQuery(
