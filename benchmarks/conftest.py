@@ -6,6 +6,8 @@ whose rendered summary is printed at the end of the run (and therefore
 lands in ``bench_output.txt``).
 """
 
+import os
+
 import pytest
 
 from repro.bench import FigureCollector
@@ -24,3 +26,10 @@ def pytest_terminal_summary(terminalreporter):
         terminalreporter.write_line("")
         for line in rendered.splitlines():
             terminalreporter.write_line(line)
+    # REPRO_METRICS_OUT=path dumps every metric snapshot the benchmarks
+    # attached (FigureCollector.attach_metrics) alongside the bench JSON.
+    out = os.environ.get("REPRO_METRICS_OUT")
+    if out:
+        path = _collector.dump_metrics_json(out)
+        if path is not None:
+            terminalreporter.write_line(f"metrics snapshots written to {path}")

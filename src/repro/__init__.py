@@ -38,6 +38,7 @@ from .errors import (
     UnsupportedQueryError,
 )
 from .concurrency import ReadWriteLock
+from .obs import EngineMetrics, MetricsRegistry, QueryTrace, Span, parse_prometheus
 from .query import AggregateQuery, ParallelConfig, QueryResult, parse_sql
 from .reliability import FaultInjector, SimulatedCrash
 from .storage import ColumnDef, Schema, SqlType, ratio_aging, threshold_aging, tid_column
@@ -53,6 +54,7 @@ __all__ = [
     "ColumnDef",
     "Database",
     "DurabilityError",
+    "EngineMetrics",
     "ExecutionStrategy",
     "FaultError",
     "FaultInjector",
@@ -60,21 +62,25 @@ __all__ = [
     "LruEviction",
     "MaintenanceMode",
     "MatchingDependency",
+    "MetricsRegistry",
     "ParallelConfig",
     "ProfitAdmission",
     "ProfitEviction",
     "QueryError",
     "QueryResult",
+    "QueryTrace",
     "ReadWriteLock",
     "ReproError",
     "Schema",
     "SchemaError",
     "SimulatedCrash",
+    "Span",
     "SqlSyntaxError",
     "SqlType",
     "StorageError",
     "TransactionError",
     "UnsupportedQueryError",
+    "parse_prometheus",
     "parse_sql",
     "ratio_aging",
     "threshold_aging",

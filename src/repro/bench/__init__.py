@@ -4,6 +4,8 @@ from .harness import (
     STRATEGY_LABELS,
     FigureCollector,
     FigureReport,
+    dump_metrics,
+    metrics_snapshot,
     normalize,
     strategy_sweep,
     time_call,
@@ -14,6 +16,8 @@ __all__ = [
     "FigureCollector",
     "FigureReport",
     "STRATEGY_LABELS",
+    "dump_metrics",
+    "metrics_snapshot",
     "normalize",
     "strategy_sweep",
     "time_call",

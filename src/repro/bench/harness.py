@@ -10,8 +10,10 @@ EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import json
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence
 
 from ..core.strategies import ExecutionStrategy
@@ -116,11 +118,46 @@ class FigureReport:
         return "\n".join(lines)
 
 
+def metrics_snapshot(db: Database) -> Dict[str, float]:
+    """The benchmark database's metric samples (empty if obs is off)."""
+    return db.metrics_snapshot()
+
+
+def dump_metrics(db: Database, path, label: Optional[str] = None) -> Path:
+    """Write the database's metric samples next to the benchmark JSON.
+
+    The file is a JSON object ``{"label": ..., "metrics": {name: value}}``
+    so a benchmark run's counters (subjoins pruned/evaluated, compensation
+    latencies, cache hit rate) can be correlated with its timings.
+    Returns the path written.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {"label": label, "metrics": metrics_snapshot(db)}
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
 class FigureCollector:
     """Session-wide registry of figure reports (printed at session end)."""
 
     def __init__(self):
         self._reports: Dict[str, FigureReport] = {}
+        #: Metric snapshots attached by benchmarks, keyed by label.
+        self.metrics: Dict[str, Dict[str, float]] = {}
+
+    def attach_metrics(self, label: str, db: Database) -> None:
+        """Record one benchmark database's metric samples under a label."""
+        self.metrics[label] = metrics_snapshot(db)
+
+    def dump_metrics_json(self, path) -> Optional[Path]:
+        """Write every attached snapshot as one JSON file (None if empty)."""
+        if not self.metrics:
+            return None
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.metrics, indent=2, sort_keys=True) + "\n")
+        return path
 
     def report(
         self, figure: str, title: str, paper_claim: str, headers: List[str]

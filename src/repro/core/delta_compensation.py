@@ -12,7 +12,8 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
-from ..query.executor import ComboSpec, all_partition_combos
+from ..obs.trace import Span
+from ..query.executor import ComboSpec, all_partition_combos, describe_partitions
 from ..query.query import AggregateQuery
 from ..storage.catalog import Catalog
 from ..storage.partition import Partition
@@ -43,11 +44,16 @@ def build_compensation_combos(
     cached_combos: Sequence[Dict[str, Partition]],
     pruner: Optional[JoinPruner],
     report: Optional[PruneReport] = None,
+    span_sink: Optional[List[Span]] = None,
 ) -> List[ComboSpec]:
     """Enumerate, prune, and annotate the delta-compensation subjoins.
 
     ``pruner=None`` disables all pruning (the CACHED_NO_PRUNING strategy).
-    The ``report`` collects per-reason counters for benchmarks and tests.
+    The ``report`` collects per-reason counters for benchmarks and tests;
+    ``span_sink`` (EXPLAIN ANALYZE) receives one trace span per *pruned*
+    subjoin carrying its prune reason — the evaluated ones get their spans
+    from the executor, so together the sink sees every compensation
+    subjoin exactly once.
     """
     assignments = compensation_assignments(query, catalog, cached_combos)
     combos: List[ComboSpec] = []
@@ -68,6 +74,17 @@ def build_compensation_combos(
                     report.pruned_logical += 1
                 else:
                     report.pruned_dynamic += 1
+            if span_sink is not None:
+                span_sink.append(
+                    Span(
+                        name="subjoin",
+                        attrs={
+                            "combo": describe_partitions(assignment),
+                            "status": "pruned",
+                            "prune_reason": reason,
+                        },
+                    )
+                )
             continue
         if report is not None:
             report.evaluated += 1

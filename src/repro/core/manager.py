@@ -26,8 +26,16 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..errors import CacheError
+from ..obs.instruments import EngineMetrics
+from ..obs.trace import QueryTrace, Span
 from ..query.aggregates import GroupedAggregates
-from ..query.executor import ComboSpec, ExecutionStats, QueryExecutor, main_only_combos
+from ..query.executor import (
+    ComboSpec,
+    ExecutionStats,
+    QueryExecutor,
+    describe_partitions,
+    main_only_combos,
+)
 from ..query.query import AggregateQuery
 from ..storage.aging import ConsistentAging
 from ..storage.catalog import Catalog
@@ -91,10 +99,12 @@ class AggregateCacheManager:
         config: Optional[CacheConfig] = None,
         admission: Optional[AdmissionPolicy] = None,
         eviction: Optional[EvictionPolicy] = None,
+        obs: Optional[EngineMetrics] = None,
     ):
         self._catalog = catalog
         self._executor = executor
         self._views = view_manager
+        self.obs = obs if obs is not None else EngineMetrics.disabled()
         self.config = config if config is not None else CacheConfig()
         self._admission = admission if admission is not None else AlwaysAdmit()
         self._eviction = eviction if eviction is not None else ProfitEviction()
@@ -159,15 +169,41 @@ class AggregateCacheManager:
             self._entries.clear()
 
     def counters_snapshot(self) -> Dict[str, int]:
-        """A consistent view of the lifetime counters (for the monitor)."""
+        """A consistent view of the lifetime counters (for the monitor).
+
+        ``value_bytes`` is folded in here, under the same lock acquisition
+        as the other counters: computing it separately from ``entries()``
+        would tear — entries created/evicted between the two lock takes
+        would make the byte total disagree with the entry count.
+        """
         with self._lock:
             return {
                 "entries": len(self._entries),
+                "value_bytes": sum(
+                    e.metrics.size_bytes for e in self._entries.values()
+                ),
                 "hits": self.total_hits,
                 "misses": self.total_misses,
                 "evictions": self.total_evictions,
                 "maintenance_runs": self.total_maintenance_runs,
             }
+
+    def refresh_obs_gauges(self) -> None:
+        """Push the current entry-map state into the metrics gauges.
+
+        Called on scrape (``Database.export_metrics``) rather than per
+        query: gauge freshness is a scrape-time concern and this walk
+        takes the manager lock.
+        """
+        with self._lock:
+            entries = list(self._entries.values())
+            self.obs.cache_entries.set(len(entries))
+            self.obs.cache_value_bytes.set(
+                sum(e.metrics.size_bytes for e in entries)
+            )
+            self.obs.cache_profit_per_byte.set(
+                sum(e.metrics.profit() for e in entries)
+            )
 
     def evict_for_table(self, table_name: str) -> int:
         """Drop only the entries whose key references ``table_name``.
@@ -185,6 +221,8 @@ class AggregateCacheManager:
             for key in victims:
                 del self._entries[key]
                 self.total_evictions += 1
+            if victims:
+                self.obs.cache_evictions.inc(len(victims))
             return len(victims)
 
     def explain(self, query, strategy=None):
@@ -201,29 +239,71 @@ class AggregateCacheManager:
         query: AggregateQuery,
         txn: Transaction,
         strategy: Optional[ExecutionStrategy] = None,
+        trace: Optional[QueryTrace] = None,
     ) -> Tuple[GroupedAggregates, CacheQueryReport]:
         """Answer a query through the cache pipeline (Fig. 3); returns (grouped result, report)."""
         strategy = strategy if strategy is not None else self.config.default_strategy
         report = CacheQueryReport(strategy=strategy)
         started = time.perf_counter()
+        bind_span = trace.child("bind") if trace is not None else None
         bound = self._executor.bind(query)
+        if bind_span is not None:
+            bind_span.finish()
         if not strategy.uses_cache or not bound.is_self_maintainable():
             if strategy.uses_cache:
                 report.fallback_uncached = True
+            scan_span = (
+                trace.child("uncached_scan", fallback=report.fallback_uncached)
+                if trace is not None
+                else None
+            )
             grouped = self._executor.execute(
                 bound, txn.snapshot, stats=report.executor_stats
             )
+            if scan_span is not None:
+                scan_span.finish()
             report.time_total = time.perf_counter() - started
+            self._record_query_obs(report)
             return grouped, report
         with self._lock:
             self._clock += 1
         result = GroupedAggregates(bound.aggregates)
         cached_combos = main_only_combos(bound, self._catalog)
         for combo in cached_combos:
-            self._apply_main_entry(bound, combo, txn, result, report)
-        self._apply_delta_compensation(bound, cached_combos, txn, strategy, result, report)
+            self._apply_main_entry(bound, combo, txn, result, report, trace)
+        self._apply_delta_compensation(
+            bound, cached_combos, txn, strategy, result, report, trace
+        )
         report.time_total = time.perf_counter() - started
+        self._record_query_obs(report)
         return result, report
+
+    def _record_query_obs(self, report: CacheQueryReport) -> None:
+        """Fold one finished query's report into the metrics registry.
+
+        The subjoin counters come from the executor stats (evaluated and
+        empty subjoins, rows aggregated); the per-reason prune counters are
+        incremented by the :class:`JoinPruner` at the decision site, so
+        nothing here double-counts.
+        """
+        obs = self.obs
+        if not obs.enabled:
+            return
+        obs.queries.labels(report.strategy.name.lower()).inc()
+        obs.query_seconds.observe(report.time_total)
+        stats = report.executor_stats
+        if stats.combos_evaluated:
+            obs.subjoins_evaluated.inc(stats.combos_evaluated)
+        if stats.combos_empty:
+            obs.subjoins_empty.inc(stats.combos_empty)
+        if stats.rows_aggregated:
+            obs.rows_aggregated.inc(stats.rows_aggregated)
+        if report.time_main_compensation:
+            obs.main_compensation_seconds.observe(report.time_main_compensation)
+        if report.time_delta_compensation:
+            obs.delta_compensation_seconds.observe(report.time_delta_compensation)
+        if report.invalidated_rows_compensated:
+            obs.compensated_rows.inc(report.invalidated_rows_compensated)
 
     # ------------------------------------------------------------------
     def _apply_main_entry(
@@ -233,67 +313,111 @@ class AggregateCacheManager:
         txn: Transaction,
         result: GroupedAggregates,
         report: CacheQueryReport,
+        trace: Optional[QueryTrace] = None,
     ) -> None:
         """Look up / create the entry for one all-main combination and fold
         its main-compensated value into ``result``."""
+        span = (
+            trace.child("cache_lookup", combo=describe_partitions(combo))
+            if trace is not None
+            else None
+        )
         lookup_started = time.perf_counter()
         key = cache_key_for(bound, self._catalog, combo)
         with self._lock:
             entry = self._entries.get(key)
-            if entry is not None and (
+            recomputed = entry is not None and (
                 not entry.is_active or not entry.matches_current_partitions()
-            ):
+            )
+            if recomputed:
                 self._entries.pop(key, None)
                 report.entries_recomputed += 1
                 entry = None
             if entry is None:
                 self.total_misses += 1
+                outcome = "recomputed" if recomputed else "miss"
             else:
                 report.cache_hits += 1
                 self.total_hits += 1
+                outcome = "hit"
+        self.obs.cache_lookups.labels(outcome).inc()
+        if span is not None:
+            span.attrs["outcome"] = outcome
         if entry is None:
+            build_span = span.child("build_entry") if span is not None else None
             entry = self._create_entry(bound, combo, key, report)
+            if build_span is not None:
+                build_span.finish()
+                build_span.attrs["admitted"] = entry is not None
         report.time_cache_lookup_or_build += time.perf_counter() - lookup_started
-        if entry is None:
-            # Admission rejected: compute this query's main contribution
-            # directly at the transaction snapshot, uncached.
-            self._executor.execute(
-                bound,
-                txn.snapshot,
-                combos=[ComboSpec(dict(combo))],
-                into=result,
-                stats=report.executor_stats,
+        try:
+            if entry is None:
+                # Admission rejected: compute this query's main contribution
+                # directly at the transaction snapshot, uncached.
+                self._direct_main_scan(
+                    bound, combo, txn, result, report, span, "admission_rejected"
+                )
+                return
+            if txn.snapshot < entry.snapshot:
+                # The entry is anchored at a newer snapshot than this reader
+                # (time travel, or a transaction begun before the last merge).
+                # Main compensation can only *subtract*; rows the old reader
+                # should see that the entry no longer carries cannot be added
+                # back, so answer this combination directly from the base data.
+                self._direct_main_scan(
+                    bound, combo, txn, result, report, span, "entry_too_new"
+                )
+                return
+            with self._lock:
+                entry.metrics.record_use(self._clock)
+            if entry.is_clean_for(txn.snapshot):
+                # Fast path: nothing was invalidated since the entry snapshot,
+                # so the cached value contributes as-is (merge copies states).
+                result.merge(entry.value)
+                return
+            contribution = entry.value.copy()
+            comp_span = span.child("main_compensation") if span is not None else None
+            comp_started = time.perf_counter()
+            rows = apply_main_compensation(
+                entry, self._executor, txn.snapshot, contribution
             )
-            return
-        if txn.snapshot < entry.snapshot:
-            # The entry is anchored at a newer snapshot than this reader
-            # (time travel, or a transaction begun before the last merge).
-            # Main compensation can only *subtract*; rows the old reader
-            # should see that the entry no longer carries cannot be added
-            # back, so answer this combination directly from the base data.
-            self._executor.execute(
-                bound,
-                txn.snapshot,
-                combos=[ComboSpec(dict(combo))],
-                into=result,
-                stats=report.executor_stats,
-            )
-            return
-        with self._lock:
-            entry.metrics.record_use(self._clock)
-        if entry.is_clean_for(txn.snapshot):
-            # Fast path: nothing was invalidated since the entry snapshot,
-            # so the cached value contributes as-is (merge copies states).
-            result.merge(entry.value)
-            return
-        contribution = entry.value.copy()
-        comp_started = time.perf_counter()
-        rows = apply_main_compensation(entry, self._executor, txn.snapshot, contribution)
-        elapsed = time.perf_counter() - comp_started
-        entry.metrics.compensation_time_main += elapsed
-        report.time_main_compensation += elapsed
-        report.invalidated_rows_compensated += rows
-        result.merge(contribution)
+            elapsed = time.perf_counter() - comp_started
+            if comp_span is not None:
+                comp_span.finish()
+                comp_span.attrs["rows_compensated"] = rows
+            entry.metrics.compensation_time_main += elapsed
+            report.time_main_compensation += elapsed
+            report.invalidated_rows_compensated += rows
+            result.merge(contribution)
+        finally:
+            if span is not None:
+                span.finish()
+
+    def _direct_main_scan(
+        self,
+        bound: AggregateQuery,
+        combo: Dict,
+        txn: Transaction,
+        result: GroupedAggregates,
+        report: CacheQueryReport,
+        parent_span: Optional[Span],
+        why: str,
+    ) -> None:
+        """Answer one all-main combination straight from the base data."""
+        scan_span = (
+            parent_span.child("direct_scan", reason=why)
+            if parent_span is not None
+            else None
+        )
+        self._executor.execute(
+            bound,
+            txn.snapshot,
+            combos=[ComboSpec(dict(combo))],
+            into=result,
+            stats=report.executor_stats,
+        )
+        if scan_span is not None:
+            scan_span.finish()
 
     def _create_entry(
         self,
@@ -315,6 +439,7 @@ class AggregateCacheManager:
             bound, global_snapshot, combos=[ComboSpec(dict(combo))]
         )
         creation_time = time.perf_counter() - build_started
+        self.obs.cache_build_seconds.observe(creation_time)
         records = value.total_rows_aggregated()
         request = AdmissionRequest(bound, value, creation_time, records)
         visibility = {
@@ -365,6 +490,8 @@ class AggregateCacheManager:
             for key in victims:
                 del self._entries[key]
                 self.total_evictions += 1
+            if victims:
+                self.obs.cache_evictions.inc(len(victims))
 
     def _apply_delta_compensation(
         self,
@@ -374,7 +501,13 @@ class AggregateCacheManager:
         strategy: ExecutionStrategy,
         result: GroupedAggregates,
         report: CacheQueryReport,
+        trace: Optional[QueryTrace] = None,
     ) -> None:
+        span = trace.child("delta_compensation") if trace is not None else None
+        # Pruned subjoins never reach the executor, so their spans are
+        # appended during combo enumeration; the evaluated ones are appended
+        # by the executor in combination order.  One sink, every subjoin once.
+        span_sink = span.children if span is not None else None
         pruner: Optional[JoinPruner] = None
         if strategy.prunes_empty or strategy.prunes_dynamic:
             pruner = JoinPruner(
@@ -384,9 +517,11 @@ class AggregateCacheManager:
                 strategy,
                 predicate_pushdown=self.config.predicate_pushdown,
                 assume_md_integrity=self.config.enforce_referential_integrity,
+                obs=self.obs if self.obs.enabled else None,
             )
         combos = build_compensation_combos(
-            bound, self._catalog, cached_combos, pruner, report.prune
+            bound, self._catalog, cached_combos, pruner, report.prune,
+            span_sink=span_sink,
         )
         comp_started = time.perf_counter()
         self._executor.execute(
@@ -395,9 +530,14 @@ class AggregateCacheManager:
             combos=combos,
             into=result,
             stats=report.executor_stats,
+            span_sink=span_sink,
         )
         elapsed = time.perf_counter() - comp_started
         report.time_delta_compensation += elapsed
+        if span is not None:
+            span.finish()
+            span.attrs["subjoins_total"] = report.prune.combos_total
+            span.attrs["subjoins_pruned"] = report.prune.pruned_total
 
     # ------------------------------------------------------------------
     # merge maintenance (MergeListener protocol)
@@ -451,6 +591,7 @@ class AggregateCacheManager:
                     self._pending_drops.add(pending.entry.key)
                     continue
                 self.total_maintenance_runs += 1
+                self.obs.cache_maintenance_runs.inc()
             for key in self._pending_drops:
                 self._entries.pop(key, None)
             self._pending_drops = set()

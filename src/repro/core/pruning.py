@@ -84,9 +84,13 @@ class JoinPruner:
         strategy: ExecutionStrategy,
         predicate_pushdown: bool = False,
         assume_md_integrity: bool = True,
+        obs=None,
     ):
         self._query = query
         self._strategy = strategy
+        # Optional EngineMetrics: per-reason prune counters and pushdown
+        # counts feed the metrics registry straight from the decision site.
+        self._obs = obs
         self._pushdown = predicate_pushdown and strategy.prunes_dynamic
         self._assume_md_integrity = assume_md_integrity
         self._edges: List[_EdgeInfo] = []
@@ -115,6 +119,19 @@ class JoinPruner:
         ``extra_filters`` is empty), or ``None`` when it must be evaluated —
         possibly with pushdown filters per alias.
         """
+        reason, pushdown = self._check(assignment)
+        if self._obs is not None:
+            if reason is not None:
+                self._obs.subjoins_pruned.labels(reason).inc()
+            elif pushdown:
+                self._obs.pushdown_filters.inc(
+                    sum(len(filters) for filters in pushdown.values())
+                )
+        return reason, pushdown
+
+    def _check(
+        self, assignment: Dict[str, Partition]
+    ) -> Tuple[Optional[str], Dict[str, List[Expr]]]:
         if self._strategy.prunes_empty:
             for partition in assignment.values():
                 if partition.row_count == 0:

@@ -26,6 +26,7 @@ aggregate cache manager into the single object applications talk to:
 
 from __future__ import annotations
 
+import threading
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
@@ -37,6 +38,8 @@ from .core.manager import AggregateCacheManager, CacheQueryReport
 from .core.matching_dependency import MatchingDependency
 from .core.strategies import CacheConfig, ExecutionStrategy
 from .errors import CatalogError, DurabilityError, QueryError
+from .obs import EngineMetrics
+from .obs.trace import QueryTrace
 from .query.executor import QueryExecutor
 from .query.parallel import ParallelConfig
 from .query.query import AggregateQuery
@@ -97,6 +100,7 @@ class Database:
         fault_injector: Optional[FaultInjector] = None,
         n_workers: Optional[int] = None,
         parallel: Optional[ParallelConfig] = None,
+        observability: bool = True,
     ):
         if parallel is None and n_workers is not None:
             parallel = ParallelConfig(n_workers=n_workers) if n_workers > 1 else None
@@ -107,6 +111,9 @@ class Database:
         self.executor = QueryExecutor(self.catalog, parallel=parallel)
         config = cache_config if cache_config is not None else CacheConfig()
         self.faults = fault_injector if fault_injector is not None else FaultInjector()
+        # ``observability=False`` swaps in the shared no-op registry: every
+        # hook stays wired but each increment/observe is an empty call.
+        self.obs = EngineMetrics() if observability else EngineMetrics.disabled()
         self.cache = AggregateCacheManager(
             self.catalog,
             self.executor,
@@ -114,13 +121,14 @@ class Database:
             config=config,
             admission=admission,
             eviction=eviction,
+            obs=self.obs,
         )
         self.cache.fault_injector = self.faults
         self.enforcer = MDEnforcer(
             self.catalog,
             enforce_referential_integrity=config.enforce_referential_integrity,
         )
-        self.last_report: Optional[CacheQueryReport] = None
+        self._thread_state = threading.local()
         self._write_listeners: List[object] = []
         self._merge_listeners: List[object] = []
         # Durability state (all None/inert for in-memory databases).
@@ -159,7 +167,9 @@ class Database:
         with self.lock.write():  # recovery is exclusive, like any DDL/DML
             self.path = Path(path)
             self.path.mkdir(parents=True, exist_ok=True)
-            self._wal = WriteAheadLog(self.path / "wal.jsonl", faults=self.faults)
+            self._wal = WriteAheadLog(
+                self.path / "wal.jsonl", faults=self.faults, obs=self.obs
+            )
             self._replaying = True
             try:
                 self.recovery_stats = recover_database(
@@ -600,6 +610,7 @@ class Database:
                         group_name=group_name,
                         keep_history=keep_history,
                         faults=self.faults,
+                        obs=self.obs,
                     )
                 )
                 if self._wal is not None and not self._replaying:
@@ -634,6 +645,21 @@ class Database:
         """Parse SQL text into an :class:`AggregateQuery`."""
         return parse_sql(sql)
 
+    @property
+    def last_report(self) -> Optional[CacheQueryReport]:
+        """The :class:`CacheQueryReport` of *this thread's* most recent query.
+
+        Thread-local: concurrent queries on a shared ``Database`` each see
+        their own report, never another thread's.  Prefer ``result.report``
+        — the report travels with the result it describes — when the result
+        object is in hand.
+        """
+        return getattr(self._thread_state, "report", None)
+
+    @last_report.setter
+    def last_report(self, report: Optional[CacheQueryReport]) -> None:
+        self._thread_state.report = report
+
     def query(
         self,
         query: Union[str, AggregateQuery],
@@ -646,8 +672,45 @@ class Database:
         ``as_of`` pins the read to a past transaction id (time travel); it
         sees whatever that snapshot saw, provided history was retained
         (``merge(keep_history=True)`` keeps invalidated rows).  The
-        per-query :class:`CacheQueryReport` is kept in ``last_report``.
+        per-query :class:`CacheQueryReport` rides on the returned result
+        (``result.report``); ``db.last_report`` keeps a thread-local copy.
         """
+        return self._run_query(query, strategy, txn, as_of, trace=None)
+
+    def explain_analyze(
+        self,
+        query: Union[str, AggregateQuery],
+        strategy: Optional[ExecutionStrategy] = None,
+        txn: Optional[Transaction] = None,
+        as_of: Optional[int] = None,
+    ) -> QueryTrace:
+        """Run the query for real and return its structured trace.
+
+        Unlike :meth:`explain` (a dry run), the query executes end to end;
+        the returned :class:`~repro.obs.QueryTrace` is a tree of timed
+        spans — bind, per-combination cache lookup (entry build / main
+        compensation), and one span per delta-compensation subjoin with its
+        partition assignment and either its prune reason or the rows it
+        scanned.  ``trace.result`` and ``trace.report`` carry the query's
+        outcome; ``print(trace.render())`` gives the EXPLAIN ANALYZE view.
+        """
+        sql_text = query if isinstance(query, str) else None
+        trace = QueryTrace(sql=sql_text)
+        result = self._run_query(query, strategy, txn, as_of, trace=trace)
+        trace.finish()
+        trace.result = result
+        trace.report = result.report
+        result.trace = trace
+        return trace
+
+    def _run_query(
+        self,
+        query: Union[str, AggregateQuery],
+        strategy: Optional[ExecutionStrategy],
+        txn: Optional[Transaction],
+        as_of: Optional[int],
+        trace: Optional[QueryTrace],
+    ) -> QueryResult:
         if isinstance(query, str):
             query = parse_sql(query)
         if as_of is not None:
@@ -655,22 +718,28 @@ class Database:
                 raise QueryError("pass either txn or as_of, not both")
             reader = SnapshotReader(as_of)
             with self.lock.read():
-                grouped, report = self.cache.execute(query, reader, strategy=strategy)
-            self.last_report = report
-            return QueryResult.from_grouped(query, grouped)
+                grouped, report = self.cache.execute(
+                    query, reader, strategy=strategy, trace=trace
+                )
+            return self._finish_query(query, grouped, report)
         transaction, own = self._txn_or_begin(txn)
         with self.lock.read():
             try:
                 grouped, report = self.cache.execute(
-                    query, transaction, strategy=strategy
+                    query, transaction, strategy=strategy, trace=trace
                 )
             except BaseException:
                 self._abort_own(transaction, own)
                 raise
             if own:
                 transaction.commit()
+        return self._finish_query(query, grouped, report)
+
+    def _finish_query(self, query, grouped, report) -> QueryResult:
+        result = QueryResult.from_grouped(query, grouped)
+        result.report = report
         self.last_report = report
-        return QueryResult.from_grouped(query, grouped)
+        return result
 
     def explain(
         self,
@@ -708,6 +777,21 @@ class Database:
 
         with self.lock.read():
             return collect_statistics(self)
+
+    def export_metrics(self) -> str:
+        """The metrics registry in Prometheus text exposition format.
+
+        Refreshes the cache gauges (entry count, value bytes, profit) from
+        the live entry map first, so a scrape always reflects the current
+        state.  Returns ``""`` when observability is disabled.
+        """
+        self.cache.refresh_obs_gauges()
+        return self.obs.registry.render_prometheus()
+
+    def metrics_snapshot(self) -> Dict[str, float]:
+        """Every metric sample as a flat ``{name{labels}: value}`` dict."""
+        self.cache.refresh_obs_gauges()
+        return self.obs.registry.snapshot()
 
     def table(self, name: str) -> Table:
         """The live :class:`Table` object by name."""

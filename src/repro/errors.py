@@ -87,3 +87,11 @@ class CacheError(ReproError):
 
 class UnsupportedQueryError(CacheError):
     """The query does not qualify for the aggregate cache (Section 2.1)."""
+
+
+class ObservabilityError(ReproError):
+    """Misuse of the observability layer.
+
+    Duplicate metric registration, a decreasing counter, mismatched label
+    sets, or malformed Prometheus text handed to the parser.
+    """

@@ -117,6 +117,9 @@ class DatabaseStats:
     cache: CacheStats
     enforcement: EnforcementSnapshot
     durability: Optional[DurabilityStats] = None
+    #: Flat ``{name{labels}: value}`` view of the metrics registry at
+    #: snapshot time (empty when observability is disabled).
+    metrics: Dict[str, float] = field(default_factory=dict)
 
     def table(self, name: str) -> TableStats:
         """The stats of one table by name (KeyError if absent)."""
@@ -179,6 +182,14 @@ class DatabaseStats:
                     f"torn-dropped={d.recovery_torn_records_dropped} "
                     f"tid={d.recovered_tid}"
                 )
+        if self.metrics:
+            lines += ["", "metrics:"]
+            for name, value in sorted(self.metrics.items()):
+                # Histogram bucket samples are a scrape-format detail; the
+                # _sum/_count pair already summarizes each histogram.
+                if "_bucket{" in name:
+                    continue
+                lines.append(f"  {name} {value:g}")
         return "\n".join(lines)
 
 
@@ -204,11 +215,15 @@ def collect_statistics(db: Database) -> DatabaseStats:
     manager = db.cache
     # One locked snapshot of the lifetime counters: reading the attributes
     # one by one could interleave with a concurrent query's bookkeeping and
-    # report e.g. more hits than lookups.
+    # report e.g. more hits than lookups.  ``value_bytes`` comes from the
+    # same snapshot — computing it from a separate ``manager.entries()``
+    # call would take the lock a second time, and entries created or
+    # evicted in between would make the byte total disagree with
+    # ``entries`` (a torn read).
     counters = manager.counters_snapshot()
     cache = CacheStats(
         entries=counters["entries"],
-        total_value_bytes=sum(e.metrics.size_bytes for e in manager.entries()),
+        total_value_bytes=counters["value_bytes"],
         total_hits=counters["hits"],
         total_misses=counters["misses"],
         total_evictions=counters["evictions"],
@@ -250,4 +265,5 @@ def collect_statistics(db: Database) -> DatabaseStats:
         cache=cache,
         enforcement=enforcement,
         durability=durability,
+        metrics=db.metrics_snapshot(),
     )

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import itertools
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -33,6 +34,7 @@ import numpy as np
 
 from ..concurrency import DictMemo, StripedMemo
 from ..errors import QueryError
+from ..obs.trace import Span
 from ..storage.catalog import Catalog
 from ..storage.partition import Partition
 from .aggregates import GroupedAggregates
@@ -69,10 +71,16 @@ class ComboSpec:
 
     def describe(self) -> str:
         """Compact '(alias:partition, ...)' rendering for stats/plans."""
-        inner = ", ".join(
-            f"{alias}:{part.name}" for alias, part in sorted(self.partitions.items())
-        )
-        return f"({inner})"
+        return describe_partitions(self.partitions)
+
+
+def describe_partitions(partitions: Dict[str, Partition]) -> str:
+    """Canonical '(alias:partition, ...)' label of a partition assignment —
+    shared by stats, plans, and trace spans so they compare textually."""
+    inner = ", ".join(
+        f"{alias}:{part.name}" for alias, part in sorted(partitions.items())
+    )
+    return f"({inner})"
 
 
 @dataclass
@@ -367,6 +375,7 @@ class QueryExecutor:
         sign: int = 1,
         stats: Optional[ExecutionStats] = None,
         parallel: Optional[ParallelConfig] = None,
+        span_sink: Optional[List[Span]] = None,
     ) -> GroupedAggregates:
         """Evaluate the union of the given subjoins into a grouped state.
 
@@ -380,6 +389,12 @@ class QueryExecutor:
         combination order**, for serial and parallel runs alike — the two
         modes perform the same floating-point operations in the same order
         and return bit-identical results and stats.
+
+        ``span_sink`` collects one trace :class:`Span` per evaluated
+        subjoin (partition assignment, rows scanned, probe side, pushdown
+        filter counts, worker id).  Spans are appended in combination
+        order, so serial and parallel runs produce the same span sequence
+        up to timings and worker names.
         """
         bound = self.bind(query)
         if combos is None:
@@ -393,6 +408,7 @@ class QueryExecutor:
         residuals = bound.residual_filters()
         local_filters = {ref.alias: bound.local_filters(ref.alias) for ref in bound.tables}
         want_stats = stats is not None
+        want_spans = span_sink is not None
         config = parallel if parallel is not None else self._parallel
         partial_factory = grouped.new_like
         if config is not None and config.should_parallelize(
@@ -400,7 +416,7 @@ class QueryExecutor:
         ):
             partials = self._run_parallel(
                 bound, residuals, local_filters, snapshot, combos, sign,
-                want_stats, config, partial_factory,
+                want_stats, config, partial_factory, want_spans,
             )
         else:
             scan_memo, hash_memo = DictMemo(), DictMemo()
@@ -408,12 +424,15 @@ class QueryExecutor:
                 self._execute_combo(
                     bound, residuals, local_filters, snapshot, combo, sign,
                     scan_memo, hash_memo, want_stats, partial_factory,
+                    want_spans,
                 )
                 for combo in combos
             )
-        for partial, combo_stats in partials:
+        for partial, combo_stats, span in partials:
             if want_stats:
                 stats.merge(combo_stats)
+            if want_spans and span is not None:
+                span_sink.append(span)
             if partial is not None:
                 grouped.merge(partial)
         return grouped
@@ -429,6 +448,7 @@ class QueryExecutor:
         want_stats: bool,
         config: ParallelConfig,
         partial_factory,
+        want_spans: bool = False,
     ):
         """Submit one task per subjoin; yield results in combination order."""
         if config.memo == MEMO_PRIVATE:
@@ -454,7 +474,7 @@ class QueryExecutor:
             scan_memo, hash_memo = memos()
             return self._execute_combo(
                 query, residuals, local_filters, snapshot, combo, sign,
-                scan_memo, hash_memo, want_stats, partial_factory,
+                scan_memo, hash_memo, want_stats, partial_factory, want_spans,
             )
 
         pool = self._ensure_pool(config.n_workers)
@@ -503,13 +523,61 @@ class QueryExecutor:
         hash_memo,
         want_stats: bool,
         partial_factory,
-    ) -> Tuple[Optional[GroupedAggregates], Optional[ExecutionStats]]:
+        want_spans: bool = False,
+    ) -> Tuple[Optional[GroupedAggregates], Optional[ExecutionStats], Optional[Span]]:
         """Evaluate one subjoin into a fresh partial grouped state.
 
-        Returns ``(partial, stats)``; the partial is None when the subjoin
-        is empty.  The caller folds partials (and stats) back in
-        combination order.
+        Returns ``(partial, stats, span)``; the partial is None when the
+        subjoin is empty and the span is None unless requested.  The
+        caller folds everything back in combination order.
         """
+        if not want_spans:
+            return (*self._execute_combo_inner(
+                query, residuals, local_filters, snapshot, combo, sign,
+                scan_memo, hash_memo, want_stats, partial_factory, None,
+            ), None)
+        attrs: Dict[str, object] = {
+            "combo": combo.describe(),
+            "status": "evaluated",
+            "worker": threading.current_thread().name,
+        }
+        if combo.extra_filters:
+            attrs["pushdown_filters"] = {
+                alias: len(filters)
+                for alias, filters in sorted(combo.extra_filters.items())
+                if filters
+            }
+        if combo.fixed_rows:
+            attrs["fixed_rows"] = sorted(combo.fixed_rows)
+        if sign != 1:
+            attrs["sign"] = sign
+        started = time.perf_counter()
+        partial, stats = self._execute_combo_inner(
+            query, residuals, local_filters, snapshot, combo, sign,
+            scan_memo, hash_memo, want_stats, partial_factory, attrs,
+        )
+        span = Span(
+            name="subjoin",
+            start=started,
+            duration=time.perf_counter() - started,
+            attrs=attrs,
+        )
+        return partial, stats, span
+
+    def _execute_combo_inner(
+        self,
+        query: AggregateQuery,
+        residuals: List[Expr],
+        local_filters: Dict[str, List[Expr]],
+        snapshot: int,
+        combo: ComboSpec,
+        sign: int,
+        scan_memo,
+        hash_memo,
+        want_stats: bool,
+        partial_factory,
+        attrs: Optional[Dict[str, object]],
+    ) -> Tuple[Optional[GroupedAggregates], Optional[ExecutionStats]]:
         missing = {ref.alias for ref in query.tables} - set(combo.partitions)
         if missing:
             raise QueryError(f"combo misses partitions for aliases {sorted(missing)}")
@@ -527,9 +595,14 @@ class QueryExecutor:
         first, steps = self._join_plan(query, row_counts)
         if stats is not None:
             stats.probe_sides.append(first)
+        if attrs is not None:
+            attrs["rows_scanned"] = dict(sorted(row_counts.items()))
+            attrs["probe_side"] = first
         if row_counts[first] == 0:
             if stats is not None:
                 stats.combos_empty += 1
+            if attrs is not None:
+                attrs["status"] = "empty"
             return None, stats
         provider = JoinedProvider(
             {first: combo.partitions[first]}, {first: scans[first]}
@@ -553,6 +626,8 @@ class QueryExecutor:
             if not table:
                 if stats is not None:
                     stats.combos_empty += 1
+                if attrs is not None:
+                    attrs["status"] = "empty"
                 return None, stats
             probe_columns = [edge.other(step.alias) for edge in step.edges]
             provider = probe_hash_join(
@@ -561,6 +636,8 @@ class QueryExecutor:
             if provider.row_count() == 0:
                 if stats is not None:
                     stats.combos_empty += 1
+                if attrs is not None:
+                    attrs["status"] = "empty"
                 return None, stats
         for residual in residuals:
             mask = residual.evaluate(provider).astype(bool)
@@ -568,11 +645,15 @@ class QueryExecutor:
             if provider.row_count() == 0:
                 if stats is not None:
                     stats.combos_empty += 1
+                if attrs is not None:
+                    attrs["status"] = "empty"
                 return None, stats
         partial = partial_factory()
         n = aggregate_into(partial, provider, query.group_by, query.aggregates, sign)
         if stats is not None:
             stats.rows_aggregated += n
+        if attrs is not None:
+            attrs["rows_aggregated"] = n
         return partial, stats
 
 

@@ -26,6 +26,13 @@ class QueryResult:
     def __init__(self, columns: Sequence[str], rows: Sequence[Tuple]):
         self.columns: List[str] = list(columns)
         self.rows: List[Tuple] = list(rows)
+        #: The CacheQueryReport of the query that produced this result.
+        #: Attached by ``Database.query`` so concurrent callers each get
+        #: their own report with their own result (``db.last_report`` is
+        #: only a convenience view of the calling thread's last query).
+        self.report = None
+        #: The QueryTrace when the result came from ``explain_analyze``.
+        self.trace = None
         for row in self.rows:
             if len(row) != len(self.columns):
                 raise QueryError(

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import json
 import os
+import time
 import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -100,12 +101,15 @@ class WalStats:
 class WriteAheadLog:
     """Append/scan handle for one ``wal.jsonl`` file."""
 
-    def __init__(self, path, faults: Optional[FaultInjector] = None):
+    def __init__(self, path, faults: Optional[FaultInjector] = None, obs=None):
         self.path = Path(path)
         self._faults = faults if faults is not None else FaultInjector()
         self._fh = None
         self._next_lsn = 1
         self.stats = WalStats()
+        # Optional EngineMetrics: append counters and the fsync latency
+        # histogram, the dominant term in commit latency.
+        self.obs = obs
 
     # ------------------------------------------------------------------
     # reading (recovery side)
@@ -196,7 +200,12 @@ class WriteAheadLog:
             raise
         self._fh.write(payload)
         self._fh.flush()
+        fsync_started = time.perf_counter()
         os.fsync(self._fh.fileno())
+        if self.obs is not None:
+            self.obs.wal_fsync_seconds.observe(time.perf_counter() - fsync_started)
+            self.obs.wal_appends.inc()
+            self.obs.wal_bytes.inc(len(payload))
         self._next_lsn = lsn + 1
         self.stats.records_appended += 1
         self.stats.bytes_written += len(payload)

@@ -12,9 +12,11 @@ the engine:
 ``\\strategy [s]``  show or set the strategy (uncached / cached_no_pruning
                    / cached_empty_delta / cached_full_pruning)
 ``\\explain SQL``   the cache plan for a query, without executing it
+``\\analyze SQL``   execute the query and show its span trace
 ``\\merge [T]``     run the delta merge (for one table or all)
 ``\\entries``       aggregate cache entries and their metrics
 ``\\stats``         storage / cache / enforcement statistics
+``\\metrics``       the metrics registry in Prometheus text format
 ``\\save DIR``      write a snapshot of the database to a directory
 ``\\open DIR``      replace the session database with a saved snapshot
 ``\\report``        the report of the last executed query
@@ -96,10 +98,12 @@ class Shell:
             "\\schema": self._cmd_schema,
             "\\strategy": self._cmd_strategy,
             "\\explain": self._cmd_explain,
+            "\\analyze": self._cmd_analyze,
             "\\merge": self._cmd_merge,
             "\\entries": self._cmd_entries,
             "\\report": self._cmd_report,
             "\\stats": self._cmd_stats,
+            "\\metrics": self._cmd_metrics,
             "\\save": self._cmd_save,
             "\\open": self._cmd_open,
             "\\quit": self._cmd_quit,
@@ -122,7 +126,7 @@ class Shell:
             self._print(f"error: {error}")
             return
         self._print(result.to_text())
-        report = self.db.last_report
+        report = result.report
         pruned = report.prune.pruned_total if report else 0
         self._print(
             f"({len(result)} rows, {elapsed * 1000:.2f} ms, "
@@ -195,6 +199,15 @@ class Shell:
             return
         self._print(self.db.explain(argument.rstrip(";"), strategy=self.strategy))
 
+    def _cmd_analyze(self, argument: str) -> None:
+        if not argument:
+            self._print("usage: \\analyze <sql>")
+            return
+        trace = self.db.explain_analyze(
+            argument.rstrip(";"), strategy=self.strategy
+        )
+        self._print(trace.render())
+
     def _cmd_merge(self, argument: str) -> None:
         stats = self.db.merge(argument or None)
         moved = sum(s.rows_moved for s in stats)
@@ -233,6 +246,13 @@ class Shell:
 
     def _cmd_stats(self, _argument: str) -> None:
         self._print(self.db.statistics().render())
+
+    def _cmd_metrics(self, _argument: str) -> None:
+        text = self.db.export_metrics()
+        if not text:
+            self._print("(observability is disabled for this database)")
+            return
+        self._print(text.rstrip("\n"))
 
     def _cmd_save(self, argument: str) -> None:
         if not argument:

@@ -27,6 +27,7 @@ partitions.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Protocol, Sequence, Tuple
 
@@ -98,6 +99,7 @@ def merge_table(
     group_name: Optional[str] = None,
     keep_history: bool = False,
     faults=None,
+    obs=None,
 ) -> MergeStats:
     """Atomically merge the delta(s) of ``table`` into rebuilt main partition(s).
 
@@ -121,12 +123,17 @@ def merge_table(
     faults:
         Optional :class:`~repro.reliability.FaultInjector`; the merge fires
         ``merge.stage``, ``merge.before_swap``, and ``merge.after_swap``.
+    obs:
+        Optional :class:`~repro.obs.EngineMetrics`; a successful merge
+        observes its wall time and row-movement counters.  Aborted merges
+        record nothing — the table did not change.
 
     Any failure before the swap — including a listener's ``before_merge`` —
     leaves the table untouched: listeners get ``cancel_merge(event)`` for
     every event already announced, then the exception propagates.
     """
     stats = MergeStats(table=table.name)
+    merge_started = time.perf_counter()
     groups = [table.group(group_name)] if group_name else table.groups()
     staged: List[_StagedGroup] = []
     announced: List[MergeEvent] = []
@@ -175,6 +182,12 @@ def merge_table(
     for item in staged:
         for listener in listeners:
             listener.after_merge(item.event)
+    if obs is not None:
+        obs.merge_seconds.observe(time.perf_counter() - merge_started)
+        if stats.rows_moved:
+            obs.merge_rows_moved.inc(stats.rows_moved)
+        if stats.rows_dropped:
+            obs.merge_rows_dropped.inc(stats.rows_dropped)
     return stats
 
 

