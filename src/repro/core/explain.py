@@ -4,21 +4,23 @@ Renders, without executing the query, how the cache manager would answer
 it: which all-main combinations are cached (hit/miss), and for every
 compensation subjoin whether it would be evaluated or pruned — and by which
 mechanism (empty partition, logical hot/cold, dynamic tid range) — plus any
-join-predicate-pushdown filters that would be attached.  This is the
-introspection surface for understanding the paper's optimizations on a live
-database.
+join-predicate-pushdown filters and the cost-seeded join order that would
+be used.  This is the introspection surface for understanding the paper's
+optimizations on a live database.
+
+All the fates rendered here come straight from the
+:class:`~repro.plan.physical.PhysicalPlan` the manager's planner built —
+the same object :meth:`~repro.core.manager.AggregateCacheManager.execute`
+interprets — so EXPLAIN can never disagree with execution.  Only the
+HIT/MISS entry states are resolved here, against the live entry map.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
-from ..query.executor import main_only_combos
 from ..query.query import AggregateQuery
-from .cache_key import cache_key_for
-from .delta_compensation import compensation_assignments
-from .pruning import JoinPruner
 from .strategies import ExecutionStrategy
 
 
@@ -30,19 +32,25 @@ class SubjoinPlan:
     action: str  # "evaluate" | "pruned"
     reason: str = ""  # "", "empty", "logical", "dynamic"
     pushdown: Dict[str, List[str]] = field(default_factory=dict)
+    #: Cost-seeded probe side / left-deep join order (multi-table only).
+    probe_side: Optional[str] = None
+    join_order: List[str] = field(default_factory=list)
 
     def describe(self) -> str:
         """One-line rendering of this subjoin's fate."""
         inner = ", ".join(f"{a}:{p}" for a, p in sorted(self.partitions.items()))
         if self.action == "pruned":
             return f"({inner})  PRUNED [{self.reason}]"
+        tail = ""
+        if len(self.join_order) > 1:
+            tail = f"  [probe={self.probe_side}, order={'->'.join(self.join_order)}]"
         if self.pushdown:
             filters = "; ".join(
                 f"{alias}: {' AND '.join(exprs)}"
                 for alias, exprs in sorted(self.pushdown.items())
             )
-            return f"({inner})  EVALUATE with pushdown {{{filters}}}"
-        return f"({inner})  EVALUATE"
+            return f"({inner})  EVALUATE with pushdown {{{filters}}}{tail}"
+        return f"({inner})  EVALUATE{tail}"
 
 
 @dataclass
@@ -85,24 +93,24 @@ class QueryPlan:
         return "\n".join(lines)
 
 
-def explain_query(manager, query: AggregateQuery, strategy: Optional[ExecutionStrategy] = None) -> QueryPlan:
+def explain_query(
+    manager,
+    query: Union[str, AggregateQuery],
+    strategy: Optional[ExecutionStrategy] = None,
+) -> QueryPlan:
     """Build the :class:`QueryPlan` for ``query`` under ``strategy``.
 
     ``manager`` is the :class:`~repro.core.manager.AggregateCacheManager`;
-    nothing is executed and no entry is created.
+    nothing is executed and no entry is created.  The fates are taken from
+    the manager's (possibly cached) physical plan, never re-derived.
     """
     strategy = strategy if strategy is not None else manager.config.default_strategy
-    bound = manager._executor.bind(query)
-    plan = QueryPlan(strategy=strategy, cacheable=bound.is_self_maintainable())
+    physical = manager.plan_for(query, strategy)
+    plan = QueryPlan(strategy=strategy, cacheable=physical.cacheable)
     if not plan.cacheable:
         return plan
-    cached = main_only_combos(bound, manager._catalog)
-    if strategy is ExecutionStrategy.UNCACHED:
-        cached_for_compensation = []
-    else:
-        cached_for_compensation = cached
-        for combo in cached:
-            key = cache_key_for(bound, manager._catalog, combo)
+    for combo, key in zip(physical.cached_combos, physical.cache_keys):
+        with manager._lock:
             entry = manager._entries.get(key)
             state = (
                 "HIT"
@@ -111,36 +119,24 @@ def explain_query(manager, query: AggregateQuery, strategy: Optional[ExecutionSt
                 and entry.matches_current_partitions()
                 else "MISS (would be computed and admitted)"
             )
-            plan.cached_combos.append(
-                {alias: p.name for alias, p in combo.items()}
-            )
-            plan.entry_states.append(state)
-    pruner = None
-    if strategy.prunes_empty or strategy.prunes_dynamic:
-        pruner = JoinPruner(
-            bound,
-            manager._mds,
-            manager._agings,
-            strategy,
-            predicate_pushdown=manager.config.predicate_pushdown,
-            assume_md_integrity=manager.config.enforce_referential_integrity,
-        )
-    for assignment in compensation_assignments(
-        bound, manager._catalog, cached_for_compensation
-    ):
-        names = {alias: p.name for alias, p in assignment.items()}
-        if pruner is None:
-            plan.subjoins.append(SubjoinPlan(names, "evaluate"))
+        plan.cached_combos.append({alias: p.name for alias, p in combo.items()})
+        plan.entry_states.append(state)
+    for sub in physical.subjoins:
+        names = sub.partition_names()
+        if sub.action == "pruned":
+            plan.subjoins.append(SubjoinPlan(names, "pruned", sub.reason))
             continue
-        reason, pushdown = pruner.check(assignment)
-        if reason is not None:
-            plan.subjoins.append(SubjoinPlan(names, "pruned", reason))
-        else:
-            rendered = {
-                alias: [e.canonical() for e in exprs]
-                for alias, exprs in pushdown.items()
-            }
-            plan.subjoins.append(
-                SubjoinPlan(names, "evaluate", pushdown=rendered)
+        rendered = {
+            alias: [e.canonical() for e in exprs]
+            for alias, exprs in sub.pushdown.items()
+        }
+        plan.subjoins.append(
+            SubjoinPlan(
+                names,
+                "evaluate",
+                pushdown=rendered,
+                probe_side=sub.probe_side,
+                join_order=list(sub.join_order),
             )
+        )
     return plan

@@ -22,21 +22,24 @@ from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple, Union
 
 from ..errors import CacheError
 from ..obs.instruments import EngineMetrics
 from ..obs.trace import QueryTrace, Span
+from ..plan.cache import PlanCache
+from ..plan.logical import Binder
+from ..plan.physical import PhysicalPlan, Planner, plan_signature
 from ..query.aggregates import GroupedAggregates
 from ..query.executor import (
     ComboSpec,
     ExecutionStats,
     QueryExecutor,
     describe_partitions,
-    main_only_combos,
 )
 from ..query.query import AggregateQuery
+from ..query.sql import parse_sql
 from ..storage.aging import ConsistentAging
 from ..storage.catalog import Catalog
 from ..storage.merge import MergeEvent
@@ -44,8 +47,7 @@ from ..txn.consistent_view import ConsistentViewManager
 from ..txn.manager import Transaction
 from .admission import AdmissionPolicy, AdmissionRequest, AlwaysAdmit
 from .cache_entry import AggregateCacheEntry
-from .cache_key import CacheKey, cache_key_for
-from .delta_compensation import build_compensation_combos
+from .cache_key import CacheKey
 from .enforcement import MDEnforcer
 from .eviction import EvictionPolicy, ProfitEviction
 from .main_compensation import StaleEntryError, apply_main_compensation
@@ -56,7 +58,7 @@ from .maintenance import (
 )
 from .matching_dependency import MatchingDependency
 from .metrics import CacheMetrics
-from .pruning import JoinPruner, PruneReport
+from .pruning import PruneReport
 from .strategies import CacheConfig, ExecutionStrategy, MaintenanceMode
 
 
@@ -77,6 +79,8 @@ class CacheQueryReport:
     time_cache_lookup_or_build: float = 0.0
     time_main_compensation: float = 0.0
     time_delta_compensation: float = 0.0
+    #: The physical plan the query ran (carries the bound statement).
+    plan: Optional[PhysicalPlan] = None
 
 
 class AggregateCacheManager:
@@ -108,6 +112,9 @@ class AggregateCacheManager:
         self.config = config if config is not None else CacheConfig()
         self._admission = admission if admission is not None else AlwaysAdmit()
         self._eviction = eviction if eviction is not None else ProfitEviction()
+        self._binder = Binder(catalog)
+        self._planner = Planner(catalog, self.config)
+        self.plan_cache = PlanCache(self.config.plan_cache_size)
         self._lock = threading.RLock()
         self._entries: Dict[CacheKey, AggregateCacheEntry] = {}
         self._mds: List[MatchingDependency] = []
@@ -131,11 +138,27 @@ class AggregateCacheManager:
         """Activate an MD for pruning/pushdown decisions."""
         with self._lock:
             self._mds.append(md)
+        self._bump_plan_versions((md.parent_table, md.child_table))
 
     def register_consistent_aging(self, declaration: ConsistentAging) -> None:
         """Activate a consistent-aging declaration for logical pruning."""
         with self._lock:
             self._agings.append(declaration)
+        self._bump_plan_versions(
+            (declaration.left_table, declaration.right_table)
+        )
+
+    def _bump_plan_versions(self, table_names) -> None:
+        """Invalidate cached plans over the given tables.
+
+        Object-awareness registrations change pruning/pushdown decisions
+        for exactly the plans referencing these tables; bumping the table
+        versions fails their signature compare while unrelated plans stay
+        hot.
+        """
+        for name in table_names:
+            if self._catalog.has_table(name):
+                self._catalog.table(name).bump_version()
 
     @property
     def matching_dependencies(self) -> List[MatchingDependency]:
@@ -204,6 +227,7 @@ class AggregateCacheManager:
             self.obs.cache_profit_per_byte.set(
                 sum(e.metrics.profit() for e in entries)
             )
+        self.obs.plan_cache_entries.set(len(self.plan_cache))
 
     def evict_for_table(self, table_name: str) -> int:
         """Drop only the entries whose key references ``table_name``.
@@ -223,7 +247,10 @@ class AggregateCacheManager:
                 self.total_evictions += 1
             if victims:
                 self.obs.cache_evictions.inc(len(victims))
-            return len(victims)
+        dropped_plans = self.plan_cache.evict_for_table(table_name)
+        if dropped_plans:
+            self.obs.plan_cache_evictions.inc(dropped_plans)
+        return len(victims)
 
     def explain(self, query, strategy=None):
         """Dry-run plan: see :func:`repro.core.explain.explain_query`."""
@@ -232,11 +259,84 @@ class AggregateCacheManager:
         return explain_query(self, query, strategy)
 
     # ------------------------------------------------------------------
+    # planning
+    # ------------------------------------------------------------------
+    def plan_for(
+        self,
+        query: Union[str, AggregateQuery],
+        strategy: Optional[ExecutionStrategy] = None,
+        trace: Optional[QueryTrace] = None,
+    ) -> PhysicalPlan:
+        """The :class:`PhysicalPlan` answering ``query`` under ``strategy``.
+
+        Accepts raw SQL text or a query object.  The plan cache is probed
+        first — for SQL text by the raw statement (a hit skips parse *and*
+        bind), then by the bound statement's canonical key (a hit covers
+        re-spellings of the same statement).  A valid cached plan is an
+        integer-compare away (:func:`~repro.plan.physical.plan_signature`);
+        otherwise the statement is bound and lowered, and the fresh plan is
+        admitted under both slots.
+
+        EXPLAIN, EXPLAIN ANALYZE, and :meth:`execute` all call this — they
+        consume the same plan object, so they cannot drift.
+        """
+        strategy = strategy if strategy is not None else self.config.default_strategy
+        sql = query if isinstance(query, str) else None
+        sql_key = ("sql", sql, strategy.value) if sql is not None else None
+        bind_span = trace.child("bind") if trace is not None else None
+        plan = None
+        outcome: Optional[str] = None
+        if sql_key is not None:
+            plan, outcome = self.plan_cache.get(sql_key, self._signature_of)
+        bound = None
+        if plan is None:
+            parsed = parse_sql(sql) if sql is not None else query
+            bound = self._binder.bind(parsed)
+        if bind_span is not None:
+            bind_span.finish()
+        plan_span = trace.child("plan") if trace is not None else None
+        if plan is None:
+            canon_key = ("canon", bound.canonical_key(), strategy.value)
+            plan, canon_outcome = self.plan_cache.get(canon_key, self._signature_of)
+            if outcome is None or plan is not None or canon_outcome == "invalidated":
+                outcome = canon_outcome
+            if plan is None:
+                build_started = time.perf_counter()
+                with self._lock:
+                    mds, agings = list(self._mds), list(self._agings)
+                plan = self._planner.build(
+                    self._binder.plan(bound), strategy, mds, agings
+                )
+                self.obs.plan_build_seconds.observe(
+                    time.perf_counter() - build_started
+                )
+                self.plan_cache.put(
+                    canon_key,
+                    plan,
+                    alias_keys=(sql_key,) if sql_key is not None else (),
+                )
+            elif sql_key is not None:
+                # Canonical hit for a new spelling: future repeats of this
+                # exact text skip parse/bind too.
+                self.plan_cache.add_alias(sql_key, canon_key)
+        if plan_span is not None:
+            plan_span.finish()
+            if self.plan_cache.enabled and outcome is not None:
+                plan_span.attrs["plan_cache"] = outcome
+        if self.plan_cache.enabled and outcome is not None:
+            self.obs.plan_cache_lookups.labels(outcome).inc()
+        return plan
+
+    def _signature_of(self, plan: PhysicalPlan) -> Tuple:
+        """The current validity fingerprint of a cached plan's tables."""
+        return plan_signature(self._catalog, self.config, plan.table_names())
+
+    # ------------------------------------------------------------------
     # query execution (Fig. 3)
     # ------------------------------------------------------------------
     def execute(
         self,
-        query: AggregateQuery,
+        query: Union[str, AggregateQuery],
         txn: Transaction,
         strategy: Optional[ExecutionStrategy] = None,
         trace: Optional[QueryTrace] = None,
@@ -245,11 +345,10 @@ class AggregateCacheManager:
         strategy = strategy if strategy is not None else self.config.default_strategy
         report = CacheQueryReport(strategy=strategy)
         started = time.perf_counter()
-        bind_span = trace.child("bind") if trace is not None else None
-        bound = self._executor.bind(query)
-        if bind_span is not None:
-            bind_span.finish()
-        if not strategy.uses_cache or not bound.is_self_maintainable():
+        plan = self.plan_for(query, strategy, trace)
+        report.plan = plan
+        bound = plan.query
+        if not strategy.uses_cache or not plan.cacheable:
             if strategy.uses_cache:
                 report.fallback_uncached = True
             scan_span = (
@@ -258,7 +357,10 @@ class AggregateCacheManager:
                 else None
             )
             grouped = self._executor.execute(
-                bound, txn.snapshot, stats=report.executor_stats
+                bound,
+                txn.snapshot,
+                combos=plan.evaluated_specs(),
+                stats=report.executor_stats,
             )
             if scan_span is not None:
                 scan_span.finish()
@@ -268,12 +370,9 @@ class AggregateCacheManager:
         with self._lock:
             self._clock += 1
         result = GroupedAggregates(bound.aggregates)
-        cached_combos = main_only_combos(bound, self._catalog)
-        for combo in cached_combos:
-            self._apply_main_entry(bound, combo, txn, result, report, trace)
-        self._apply_delta_compensation(
-            bound, cached_combos, txn, strategy, result, report, trace
-        )
+        for combo, key in zip(plan.cached_combos, plan.cache_keys):
+            self._apply_main_entry(bound, combo, key, txn, result, report, trace)
+        self._apply_delta_compensation(plan, txn, result, report, trace)
         report.time_total = time.perf_counter() - started
         self._record_query_obs(report)
         return result, report
@@ -283,8 +382,8 @@ class AggregateCacheManager:
 
         The subjoin counters come from the executor stats (evaluated and
         empty subjoins, rows aggregated); the per-reason prune counters are
-        incremented by the :class:`JoinPruner` at the decision site, so
-        nothing here double-counts.
+        folded once per query from the plan's prune report (see
+        :meth:`_record_prune_obs`), so nothing here double-counts.
         """
         obs = self.obs
         if not obs.enabled:
@@ -310,20 +409,24 @@ class AggregateCacheManager:
         self,
         bound: AggregateQuery,
         combo: Dict,
+        key: CacheKey,
         txn: Transaction,
         result: GroupedAggregates,
         report: CacheQueryReport,
         trace: Optional[QueryTrace] = None,
     ) -> None:
         """Look up / create the entry for one all-main combination and fold
-        its main-compensated value into ``result``."""
+        its main-compensated value into ``result``.
+
+        ``key`` was computed by the planner — on a plan-cache hit the key
+        derivation is skipped entirely.
+        """
         span = (
             trace.child("cache_lookup", combo=describe_partitions(combo))
             if trace is not None
             else None
         )
         lookup_started = time.perf_counter()
-        key = cache_key_for(bound, self._catalog, combo)
         with self._lock:
             entry = self._entries.get(key)
             recomputed = entry is not None and (
@@ -495,37 +598,43 @@ class AggregateCacheManager:
 
     def _apply_delta_compensation(
         self,
-        bound: AggregateQuery,
-        cached_combos,
+        plan: PhysicalPlan,
         txn: Transaction,
-        strategy: ExecutionStrategy,
         result: GroupedAggregates,
         report: CacheQueryReport,
         trace: Optional[QueryTrace] = None,
     ) -> None:
+        """Aggregate the plan's surviving compensation subjoins into ``result``.
+
+        The pruning work already happened at plan time; here the pruned
+        subjoins only emit their trace spans, and the evaluated ones run
+        through the executor with their pushdown filters attached.
+        """
         span = trace.child("delta_compensation") if trace is not None else None
         # Pruned subjoins never reach the executor, so their spans are
-        # appended during combo enumeration; the evaluated ones are appended
+        # appended while walking the plan; the evaluated ones are appended
         # by the executor in combination order.  One sink, every subjoin once.
         span_sink = span.children if span is not None else None
-        pruner: Optional[JoinPruner] = None
-        if strategy.prunes_empty or strategy.prunes_dynamic:
-            pruner = JoinPruner(
-                bound,
-                self._mds,
-                self._agings,
-                strategy,
-                predicate_pushdown=self.config.predicate_pushdown,
-                assume_md_integrity=self.config.enforce_referential_integrity,
-                obs=self.obs if self.obs.enabled else None,
-            )
-        combos = build_compensation_combos(
-            bound, self._catalog, cached_combos, pruner, report.prune,
-            span_sink=span_sink,
-        )
+        report.prune = replace(plan.prune)
+        combos: List[ComboSpec] = []
+        for sub in plan.subjoins:
+            if sub.action == "pruned":
+                if span_sink is not None:
+                    span_sink.append(
+                        Span(
+                            name="subjoin",
+                            attrs={
+                                "combo": describe_partitions(sub.partitions),
+                                "status": "pruned",
+                                "prune_reason": sub.reason,
+                            },
+                        )
+                    )
+                continue
+            combos.append(sub.to_spec())
         comp_started = time.perf_counter()
         self._executor.execute(
-            bound,
+            plan.query,
             txn.snapshot,
             combos=combos,
             into=result,
@@ -534,10 +643,31 @@ class AggregateCacheManager:
         )
         elapsed = time.perf_counter() - comp_started
         report.time_delta_compensation += elapsed
+        self._record_prune_obs(report.prune)
         if span is not None:
             span.finish()
             span.attrs["subjoins_total"] = report.prune.combos_total
             span.attrs["subjoins_pruned"] = report.prune.pruned_total
+
+    def _record_prune_obs(self, prune: PruneReport) -> None:
+        """Fold a query's prune report into the per-reason counters.
+
+        The planner prunes without metrics (a cached plan would otherwise
+        stop counting); instead every execution folds its plan's report
+        here, so plan-cache hits and misses count identically.
+        """
+        obs = self.obs
+        if not obs.enabled:
+            return
+        for reason, count in (
+            ("empty", prune.pruned_empty),
+            ("logical", prune.pruned_logical),
+            ("dynamic", prune.pruned_dynamic),
+        ):
+            if count:
+                obs.subjoins_pruned.labels(reason).inc(count)
+        if prune.pushdown_filters:
+            obs.pushdown_filters.inc(prune.pushdown_filters)
 
     # ------------------------------------------------------------------
     # merge maintenance (MergeListener protocol)

@@ -70,3 +70,6 @@ class CacheConfig:
     max_bytes: Optional[int] = None
     # Enforce referential integrity on matching-dependency lookups.
     enforce_referential_integrity: bool = True
+    # Physical plans cached per (statement, strategy); 0 disables the plan
+    # cache (every query re-binds and re-plans).
+    plan_cache_size: int = 128

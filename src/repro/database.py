@@ -229,6 +229,12 @@ class Database:
         if self._wal is not None:
             self._wal.close()
 
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
     def recover(self) -> "Database":
         """Abandon this instance and return a freshly recovered one.
 
@@ -711,8 +717,9 @@ class Database:
         as_of: Optional[int],
         trace: Optional[QueryTrace],
     ) -> QueryResult:
-        if isinstance(query, str):
-            query = parse_sql(query)
+        # Raw SQL passes through untouched: the manager's plan cache hits on
+        # the literal text, skipping parse *and* bind for repeated
+        # statements.  The bound query comes back on the report's plan.
         if as_of is not None:
             if txn is not None:
                 raise QueryError("pass either txn or as_of, not both")
@@ -721,7 +728,7 @@ class Database:
                 grouped, report = self.cache.execute(
                     query, reader, strategy=strategy, trace=trace
                 )
-            return self._finish_query(query, grouped, report)
+            return self._finish_query(report.plan.query, grouped, report)
         transaction, own = self._txn_or_begin(txn)
         with self.lock.read():
             try:
@@ -733,7 +740,7 @@ class Database:
                 raise
             if own:
                 transaction.commit()
-        return self._finish_query(query, grouped, report)
+        return self._finish_query(report.plan.query, grouped, report)
 
     def _finish_query(self, query, grouped, report) -> QueryResult:
         result = QueryResult.from_grouped(query, grouped)
@@ -750,10 +757,9 @@ class Database:
 
         Shows the cached all-main combinations (hit/miss) and the fate of
         every delta-compensation subjoin — evaluated, or pruned by which
-        mechanism, with any derived pushdown filters.
+        mechanism, with any derived pushdown filters.  Rendered from the
+        same (possibly cached) physical plan :meth:`query` would run.
         """
-        if isinstance(query, str):
-            query = parse_sql(query)
         with self.lock.read():
             return self.cache.explain(query, strategy).render()
 
@@ -792,6 +798,11 @@ class Database:
         """Every metric sample as a flat ``{name{labels}: value}`` dict."""
         self.cache.refresh_obs_gauges()
         return self.obs.registry.snapshot()
+
+    @property
+    def plan_cache(self):
+        """The cache manager's :class:`~repro.plan.cache.PlanCache`."""
+        return self.cache.plan_cache
 
     def table(self, name: str) -> Table:
         """The live :class:`Table` object by name."""

@@ -78,6 +78,24 @@ class EngineMetrics:
             names.COMPENSATED_ROWS_TOTAL,
             "Invalidated main rows compensated across all queries.",
         )
+        # --- planner / plan cache -----------------------------------------
+        self.plan_build_seconds = r.histogram(
+            names.PLAN_BUILD_SECONDS,
+            "Time to bind and lower a statement to a physical plan.",
+            LATENCY_BUCKETS,
+        )
+        self.plan_cache_lookups = r.counter(
+            names.PLAN_CACHE_LOOKUPS_TOTAL,
+            "Plan cache lookups, by outcome (hit/miss/invalidated).",
+            labels=("outcome",),
+        )
+        self.plan_cache_entries = r.gauge(
+            names.PLAN_CACHE_ENTRIES, "Live cached physical plans."
+        )
+        self.plan_cache_evictions = r.counter(
+            names.PLAN_CACHE_EVICTIONS_TOTAL,
+            "Cached plans dropped (invalidated, evicted, or cleared).",
+        )
         # --- subjoin execution / pruning ----------------------------------
         self.subjoins_evaluated = r.counter(
             names.SUBJOINS_EVALUATED_TOTAL, "Subjoins handed to the executor."

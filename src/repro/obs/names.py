@@ -31,6 +31,12 @@ MAIN_COMPENSATION_SECONDS = "repro_main_compensation_seconds"
 DELTA_COMPENSATION_SECONDS = "repro_delta_compensation_seconds"
 COMPENSATED_ROWS_TOTAL = "repro_compensated_rows_total"
 
+# --- planner / plan cache --------------------------------------------------
+PLAN_BUILD_SECONDS = "repro_plan_build_seconds"
+PLAN_CACHE_LOOKUPS_TOTAL = "repro_plan_cache_lookups_total"
+PLAN_CACHE_ENTRIES = "repro_plan_cache_entries"
+PLAN_CACHE_EVICTIONS_TOTAL = "repro_plan_cache_evictions_total"
+
 # --- subjoin execution / pruning ------------------------------------------
 SUBJOINS_EVALUATED_TOTAL = "repro_subjoins_evaluated_total"
 SUBJOINS_EMPTY_TOTAL = "repro_subjoins_empty_total"

@@ -1,0 +1,167 @@
+"""Binding: raw :class:`AggregateQuery` → :class:`LogicalPlan`.
+
+The :class:`Binder` resolves every unqualified column reference against the
+catalog, validates join edges and ORDER BY / HAVING output references, and
+produces the *bound* query — the normalized statement every downstream
+layer (planner, plan cache, executor, cache keys) agrees on.  Binding
+happens once per statement; a bound query is marked with the catalog it was
+bound against so re-binding is a no-op identity check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..errors import QueryError
+from ..query.expr import Col
+from ..query.query import AggregateQuery, JoinEdge, TableRef
+from ..storage.catalog import Catalog
+
+
+@dataclass
+class LogicalPlan:
+    """The bound statement: query, join graph, and aggregate shape.
+
+    Everything here is catalog-resolved but partition-agnostic — the
+    physical layer (partition assignments, pruning, join order) is the
+    :class:`~repro.plan.physical.Planner`'s job.
+    """
+
+    query: AggregateQuery  # bound: every Col carries its owning alias
+    tables: List[TableRef] = field(default_factory=list)
+    join_edges: List[JoinEdge] = field(default_factory=list)
+    cacheable: bool = False  # every aggregate is self-maintainable
+
+    @property
+    def canonical_key(self) -> str:
+        """The bound statement's stable textual identity."""
+        return self.query.canonical_key()
+
+    def table_names(self) -> List[str]:
+        """Distinct referenced table names, sorted (plan-cache signatures)."""
+        return sorted({ref.table for ref in self.tables})
+
+
+class Binder:
+    """Resolves and validates queries against one catalog."""
+
+    def __init__(self, catalog: Catalog):
+        self._catalog = catalog
+
+    def bind(self, query: AggregateQuery) -> AggregateQuery:
+        """Resolve unqualified column references and validate columns.
+
+        Returns a new query in which every ``Col`` carries the alias of the
+        unique table that owns the column; raises ``QueryError`` for unknown
+        or ambiguous names — including ORDER BY and HAVING references, which
+        address *output* columns (group labels and aggregate outputs).
+        Binding is idempotent: a query produced by this method is returned
+        unchanged, so hot paths may re-bind freely.
+        """
+        if getattr(query, "_bound_by", None) is self._catalog:
+            return query
+        schemas = {
+            ref.alias: self._catalog.table(ref.table).schema for ref in query.tables
+        }
+
+        def resolve(col: Col) -> Col:
+            if col.alias is not None:
+                schema = schemas.get(col.alias)
+                if schema is None:
+                    raise QueryError(f"unknown alias {col.alias!r}")
+                if not schema.has_column(col.name):
+                    raise QueryError(
+                        f"table alias {col.alias!r} has no column {col.name!r}"
+                    )
+                return col
+            owners = [
+                alias for alias, schema in schemas.items() if schema.has_column(col.name)
+            ]
+            if not owners:
+                raise QueryError(f"unknown column {col.name!r}")
+            if len(owners) > 1:
+                raise QueryError(
+                    f"ambiguous column {col.name!r} (owned by {sorted(owners)})"
+                )
+            return Col(col.name, owners[0])
+
+        for edge in query.join_edges:
+            for alias, col in (
+                (edge.left_alias, edge.left_col),
+                (edge.right_alias, edge.right_col),
+            ):
+                if not schemas[alias].has_column(col):
+                    raise QueryError(
+                        f"join edge references missing column {alias}.{col}"
+                    )
+        self._bind_output_refs(query)
+        bound = AggregateQuery(
+            tables=query.tables,
+            aggregates=[
+                spec if spec.arg is None else type(spec)(
+                    spec.func, spec.arg.map_columns(resolve), spec.output,
+                    spec.distinct,
+                )
+                for spec in query.aggregates
+            ],
+            group_by=[resolve(col) for col in query.group_by],
+            join_edges=query.join_edges,
+            filters=[f.map_columns(resolve) for f in query.filters],
+            order_by=query.order_by,
+            limit=query.limit,
+            group_labels=query.group_labels,
+            having=query.having,
+        )
+        bound._bound_by = self._catalog
+        return bound
+
+    def plan(self, query: AggregateQuery) -> LogicalPlan:
+        """Bind and wrap the statement as a :class:`LogicalPlan`."""
+        bound = self.bind(query)
+        return LogicalPlan(
+            query=bound,
+            tables=list(bound.tables),
+            join_edges=list(bound.join_edges),
+            cacheable=bound.is_self_maintainable(),
+        )
+
+    @staticmethod
+    def _bind_output_refs(query: AggregateQuery) -> None:
+        """Validate ORDER BY / HAVING references against the output columns.
+
+        Both clauses address result columns, so unlike ``filters`` they are
+        never rewritten to table-qualified form — but an unknown name must
+        fail *here*, at bind time, not deep in result rendering (or, for a
+        cached query, silently late on some future execution path).
+        """
+        outputs = query.output_columns()
+        counts: Dict[str, int] = {}
+        for name in outputs:
+            counts[name] = counts.get(name, 0) + 1
+
+        def check(name: str, clause: str) -> None:
+            n = counts.get(name, 0)
+            if n == 0:
+                raise QueryError(
+                    f"{clause} references unknown output column {name!r} "
+                    f"(available: {outputs})"
+                )
+            if n > 1:
+                raise QueryError(
+                    f"{clause} reference {name!r} is ambiguous: {n} output "
+                    f"columns share that name"
+                )
+
+        for item in query.order_by:
+            check(item.column, "ORDER BY")
+        if query.having is not None:
+            for alias, name in sorted(
+                query.having.column_refs(), key=lambda ref: (ref[0] or "", ref[1])
+            ):
+                if alias is not None:
+                    raise QueryError(
+                        f"HAVING references {alias}.{name}; HAVING addresses "
+                        f"output columns, which are unqualified"
+                    )
+                check(name, "HAVING")

@@ -25,7 +25,7 @@ from .expr import (
 from .parallel import ParallelConfig, default_workers
 from .query import AggregateQuery, JoinEdge, OrderItem, TableRef
 from .result import QueryResult
-from .sql import parse_sql
+from .sql import clear_parse_cache, parse_cache_stats, parse_sql
 
 __all__ = [
     "AggFunc",
@@ -51,9 +51,11 @@ __all__ = [
     "QueryResult",
     "TableRef",
     "all_partition_combos",
+    "clear_parse_cache",
     "conjuncts_of",
     "default_workers",
     "main_only_combos",
+    "parse_cache_stats",
     "parse_sql",
     "single_alias_of",
 ]

@@ -35,10 +35,12 @@ import numpy as np
 from ..concurrency import DictMemo, StripedMemo
 from ..errors import QueryError
 from ..obs.trace import Span
+from ..plan.cost import choose_join_order
+from ..plan.logical import Binder
 from ..storage.catalog import Catalog
 from ..storage.partition import Partition
 from .aggregates import GroupedAggregates
-from .expr import Col, Expr
+from .expr import Expr
 from .operators import (
     JoinedProvider,
     aggregate_into,
@@ -47,7 +49,7 @@ from .operators import (
     scan_partition,
 )
 from .parallel import MEMO_PRIVATE, ParallelConfig
-from .query import AggregateQuery, JoinEdge
+from .query import AggregateQuery
 
 
 @dataclass
@@ -155,21 +157,12 @@ def _filter_fixed_rows(
     return rows[keep]
 
 
-class _JoinStep:
-    """One step of the left-deep join plan: the alias to add and its edges."""
-
-    __slots__ = ("alias", "edges")
-
-    def __init__(self, alias: str, edges: List[JoinEdge]):
-        self.alias = alias
-        self.edges = edges
-
-
 class QueryExecutor:
     """Evaluates aggregate queries over explicit partition combinations."""
 
     def __init__(self, catalog: Catalog, parallel: Optional[ParallelConfig] = None):
         self._catalog = catalog
+        self._binder = Binder(catalog)
         self._parallel = parallel
         self._pool: Optional[ThreadPoolExecutor] = None
         self._pool_size = 0
@@ -207,161 +200,10 @@ class QueryExecutor:
     # binding
     # ------------------------------------------------------------------
     def bind(self, query: AggregateQuery) -> AggregateQuery:
-        """Resolve unqualified column references and validate columns.
-
-        Returns a new query in which every ``Col`` carries the alias of the
-        unique table that owns the column; raises ``QueryError`` for unknown
-        or ambiguous names — including ORDER BY and HAVING references, which
-        address *output* columns (group labels and aggregate outputs).
-        Binding is idempotent: a query produced by this method is returned
-        unchanged, so hot paths may re-bind freely.
-        """
-        if getattr(query, "_bound_by", None) is self._catalog:
-            return query
-        schemas = {
-            ref.alias: self._catalog.table(ref.table).schema for ref in query.tables
-        }
-
-        def resolve(col: Col) -> Col:
-            if col.alias is not None:
-                schema = schemas.get(col.alias)
-                if schema is None:
-                    raise QueryError(f"unknown alias {col.alias!r}")
-                if not schema.has_column(col.name):
-                    raise QueryError(
-                        f"table alias {col.alias!r} has no column {col.name!r}"
-                    )
-                return col
-            owners = [
-                alias for alias, schema in schemas.items() if schema.has_column(col.name)
-            ]
-            if not owners:
-                raise QueryError(f"unknown column {col.name!r}")
-            if len(owners) > 1:
-                raise QueryError(
-                    f"ambiguous column {col.name!r} (owned by {sorted(owners)})"
-                )
-            return Col(col.name, owners[0])
-
-        for edge in query.join_edges:
-            for alias, col in (
-                (edge.left_alias, edge.left_col),
-                (edge.right_alias, edge.right_col),
-            ):
-                if not schemas[alias].has_column(col):
-                    raise QueryError(
-                        f"join edge references missing column {alias}.{col}"
-                    )
-        self._bind_output_refs(query)
-        bound = AggregateQuery(
-            tables=query.tables,
-            aggregates=[
-                spec if spec.arg is None else type(spec)(
-                    spec.func, spec.arg.map_columns(resolve), spec.output,
-                    spec.distinct,
-                )
-                for spec in query.aggregates
-            ],
-            group_by=[resolve(col) for col in query.group_by],
-            join_edges=query.join_edges,
-            filters=[f.map_columns(resolve) for f in query.filters],
-            order_by=query.order_by,
-            limit=query.limit,
-            group_labels=query.group_labels,
-            having=query.having,
-        )
-        bound._bound_by = self._catalog
-        return bound
-
-    @staticmethod
-    def _bind_output_refs(query: AggregateQuery) -> None:
-        """Validate ORDER BY / HAVING references against the output columns.
-
-        Both clauses address result columns, so unlike ``filters`` they are
-        never rewritten to table-qualified form — but an unknown name must
-        fail *here*, at bind time, not deep in result rendering (or, for a
-        cached query, silently late on some future execution path).
-        """
-        outputs = query.output_columns()
-        counts: Dict[str, int] = {}
-        for name in outputs:
-            counts[name] = counts.get(name, 0) + 1
-
-        def check(name: str, clause: str) -> None:
-            n = counts.get(name, 0)
-            if n == 0:
-                raise QueryError(
-                    f"{clause} references unknown output column {name!r} "
-                    f"(available: {outputs})"
-                )
-            if n > 1:
-                raise QueryError(
-                    f"{clause} reference {name!r} is ambiguous: {n} output "
-                    f"columns share that name"
-                )
-
-        for item in query.order_by:
-            check(item.column, "ORDER BY")
-        if query.having is not None:
-            for alias, name in sorted(
-                query.having.column_refs(), key=lambda ref: (ref[0] or "", ref[1])
-            ):
-                if alias is not None:
-                    raise QueryError(
-                        f"HAVING references {alias}.{name}; HAVING addresses "
-                        f"output columns, which are unqualified"
-                    )
-                check(name, "HAVING")
-
-    # ------------------------------------------------------------------
-    # planning
-    # ------------------------------------------------------------------
-    def _join_plan(
-        self,
-        query: AggregateQuery,
-        row_counts: Optional[Dict[str, int]] = None,
-    ) -> Tuple[str, List[_JoinStep]]:
-        """Left-deep join order following the (connected) join graph.
-
-        With ``row_counts`` (scanned rows per alias for the current subjoin)
-        the probe side is seeded from the *largest* input and every joined
-        alias — the side a hash table is built on — is picked smallest-first
-        among the connectable candidates.  Without counts the FROM order is
-        kept (the legacy plan; only used when inputs are unknown).
-        """
-        from_order = {ref.alias: i for i, ref in enumerate(query.tables)}
-        remaining = [ref.alias for ref in query.tables]
-        if row_counts is None:
-            first = remaining.pop(0)
-        else:
-            # Probe the biggest side so hash tables are built on the small
-            # ones; ties resolve in FROM order for determinism.
-            first = max(remaining, key=lambda a: (row_counts[a], -from_order[a]))
-            remaining.remove(first)
-        joined = {first}
-        steps: List[_JoinStep] = []
-        while remaining:
-            candidates = []
-            for alias in remaining:
-                edges = [
-                    edge
-                    for edge in query.join_edges
-                    if alias in edge.aliases() and edge.other(alias)[0] in joined
-                ]
-                if edges:
-                    candidates.append((alias, edges))
-            if not candidates:  # pragma: no cover - guarded by query validation
-                raise QueryError(f"disconnected join graph at {remaining}")
-            if row_counts is None:
-                chosen = candidates
-            else:
-                candidates.sort(key=lambda c: (row_counts[c[0]], from_order[c[0]]))
-                chosen = candidates[:1]
-            for alias, edges in chosen:
-                steps.append(_JoinStep(alias, edges))
-                joined.add(alias)
-                remaining.remove(alias)
-        return first, steps
+        """Resolve and validate column references; see
+        :meth:`repro.plan.logical.Binder.bind` (the executor delegates to
+        the planner layer's binder, which owns the binding rules)."""
+        return self._binder.bind(query)
 
     # ------------------------------------------------------------------
     # execution
@@ -592,7 +434,7 @@ class QueryExecutor:
             for ref in query.tables
         }
         row_counts = {alias: len(rows) for alias, rows in scans.items()}
-        first, steps = self._join_plan(query, row_counts)
+        first, steps = choose_join_order(query, row_counts)
         if stats is not None:
             stats.probe_sides.append(first)
         if attrs is not None:

@@ -190,6 +190,30 @@ class AggregateQuery:
         return all(spec.self_maintainable for spec in self.aggregates)
 
     # ------------------------------------------------------------------
+    def clone(self) -> "AggregateQuery":
+        """An independent shallow copy sharing only immutable parts.
+
+        The constructor list-copies every sequence, so mutating the clone's
+        ``tables``/``filters``/... lists cannot reach the original — which
+        is what lets the SQL parse cache hand out clones of one cached
+        template without risking poisoning.  Element objects (TableRef,
+        JoinEdge, Col, Expr trees) are immutable by convention and shared.
+        Binding markers are *not* copied: a clone is always unbound.
+        """
+        dup = AggregateQuery(
+            tables=self.tables,
+            aggregates=self.aggregates,
+            group_by=self.group_by,
+            join_edges=self.join_edges,
+            filters=self.filters,
+            order_by=self.order_by,
+            limit=self.limit,
+            group_labels=self.group_labels,
+            having=self.having,
+        )
+        dup._canonical_key = self._canonical_key
+        return dup
+
     def canonical_key(self) -> str:
         """Stable canonical form (without ORDER BY / LIMIT, which do not
         change the cached extent).  Memoized — queries are treated as

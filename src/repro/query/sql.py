@@ -27,6 +27,8 @@ is split into equi-join edges and filters; expressions support comparisons,
 from __future__ import annotations
 
 import re
+import threading
+from collections import OrderedDict
 from typing import List, Optional, Tuple
 
 from ..errors import SqlSyntaxError
@@ -448,6 +450,55 @@ class _Parser:
         return edges, filters
 
 
+# ---------------------------------------------------------------------------
+# parse cache
+# ---------------------------------------------------------------------------
+# Byte-identical statements are common (the aggregate cache exists because
+# workloads repeat queries), so raw SQL → parsed template is memoized in a
+# small bounded LRU.  Callers receive a *clone* of the cached template: the
+# clone shares only immutable parts, so mutating a returned query (or
+# binding it against a catalog) can never poison the cache.
+_PARSE_CACHE_CAPACITY = 256
+_parse_cache: "OrderedDict[str, AggregateQuery]" = OrderedDict()
+_parse_cache_lock = threading.Lock()
+_parse_cache_hits = 0
+_parse_cache_misses = 0
+
+
 def parse_sql(sql: str) -> AggregateQuery:
-    """Parse a SELECT statement into an :class:`AggregateQuery`."""
-    return _Parser(sql).parse()
+    """Parse a SELECT statement into an :class:`AggregateQuery`.
+
+    Cached per byte-identical statement text; the returned object is a
+    private copy, safe to mutate or bind.
+    """
+    global _parse_cache_hits, _parse_cache_misses
+    with _parse_cache_lock:
+        template = _parse_cache.get(sql)
+        if template is not None:
+            _parse_cache.move_to_end(sql)
+            _parse_cache_hits += 1
+    if template is None:
+        template = _Parser(sql).parse()
+        with _parse_cache_lock:
+            _parse_cache_misses += 1
+            _parse_cache[sql] = template
+            while len(_parse_cache) > _PARSE_CACHE_CAPACITY:
+                _parse_cache.popitem(last=False)
+    return template.clone()
+
+
+def parse_cache_stats() -> dict:
+    """Lifetime hit/miss/size counters of the parse cache."""
+    with _parse_cache_lock:
+        return {
+            "entries": len(_parse_cache),
+            "hits": _parse_cache_hits,
+            "misses": _parse_cache_misses,
+            "capacity": _PARSE_CACHE_CAPACITY,
+        }
+
+
+def clear_parse_cache() -> None:
+    """Empty the parse cache (tests; counters keep accumulating)."""
+    with _parse_cache_lock:
+        _parse_cache.clear()

@@ -15,6 +15,7 @@ the engine:
 ``\\analyze SQL``   execute the query and show its span trace
 ``\\merge [T]``     run the delta merge (for one table or all)
 ``\\entries``       aggregate cache entries and their metrics
+``\\plans``         plan cache contents and hit/miss/invalidation counters
 ``\\stats``         storage / cache / enforcement statistics
 ``\\metrics``       the metrics registry in Prometheus text format
 ``\\save DIR``      write a snapshot of the database to a directory
@@ -101,6 +102,7 @@ class Shell:
             "\\analyze": self._cmd_analyze,
             "\\merge": self._cmd_merge,
             "\\entries": self._cmd_entries,
+            "\\plans": self._cmd_plans,
             "\\report": self._cmd_report,
             "\\stats": self._cmd_stats,
             "\\metrics": self._cmd_metrics,
@@ -229,6 +231,22 @@ class Shell:
                 f"size~{metrics.size_bytes}B"
             )
 
+    def _cmd_plans(self, _argument: str) -> None:
+        cache = self.db.plan_cache
+        stats = cache.stats()
+        self._print(
+            f"plan cache: entries={stats['entries']} hits={stats['hits']} "
+            f"misses={stats['misses']} invalidations={stats['invalidations']} "
+            f"evictions={stats['evictions']}"
+        )
+        for plan in cache.cached_plans():
+            evaluated = sum(1 for s in plan.subjoins if s.action == "evaluate")
+            self._print(
+                f"  [{plan.strategy.value}] tables={','.join(plan.table_names())} "
+                f"subjoins={len(plan.subjoins)} (evaluate={evaluated}) "
+                f"{plan.query.canonical_key()}"
+            )
+
     def _cmd_report(self, _argument: str) -> None:
         report = self.db.last_report
         if report is None:
@@ -269,7 +287,11 @@ class Shell:
             return
         from .storage.snapshot import load_database
 
+        replaced = self.db
         self.db = load_database(argument)
+        # The old database's worker pool (and WAL handle) would otherwise
+        # leak its threads for the rest of the session.
+        replaced.close()
         self._print(
             f"snapshot loaded; tables: {', '.join(self.db.catalog.table_names())}"
         )

@@ -58,6 +58,11 @@ class Partition:
         # Cache entries snapshot it to detect "nothing was invalidated since
         # entry creation" in O(1), skipping the bit-vector diff entirely.
         self.invalidation_epoch = 0
+        # Monotonic write counter: bumped on every append and invalidation.
+        # The plan cache keys on the owning table's version (which folds
+        # this in), so "has anything changed since this plan was built?"
+        # is an integer compare instead of a content inspection.
+        self.version = 0
 
     # ------------------------------------------------------------------
     # construction
@@ -94,6 +99,7 @@ class Partition:
             self._columns[col.name].append(row[col.name])
         self._cts.append(cts)
         self._dts.append(LIVE)
+        self.version += 1
         return len(self._cts) - 1
 
     def invalidate(self, row: int, dts: int) -> None:
@@ -106,6 +112,7 @@ class Partition:
             )
         self._dts[row] = dts
         self.invalidation_epoch += 1
+        self.version += 1
 
     # ------------------------------------------------------------------
     # row access

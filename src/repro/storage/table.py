@@ -110,6 +110,16 @@ class Table:
             }
         # Primary-key index: current (latest) version of each live key.
         self._pk_index: Dict[object, RowLocator] = {}
+        # Monotonic change counter covering DML, merges (partition swaps),
+        # and schema evolution.  Cached query plans are keyed on it: a plan
+        # is valid exactly while every referenced table's version is
+        # unchanged, so plan-cache invalidation is an integer compare.
+        self.version = 0
+
+    def bump_version(self) -> int:
+        """Advance and return the table's change counter (any write path)."""
+        self.version += 1
+        return self.version
 
     # ------------------------------------------------------------------
     # partition access
@@ -194,6 +204,7 @@ class Table:
         locator = RowLocator(group.delta.name, row_idx)
         if pk_col is not None:
             self._pk_index[row[pk_col]] = locator
+        self.bump_version()
         return locator
 
     def update(self, pk_value, changes: Dict[str, object], tid: int) -> RowLocator:
@@ -220,6 +231,7 @@ class Table:
         row_idx = target.append_row(new_row, tid)
         locator = RowLocator(target.name, row_idx)
         self._pk_index[pk_value] = locator
+        self.bump_version()
         return locator
 
     def delete(self, pk_value, tid: int) -> None:
@@ -227,6 +239,7 @@ class Table:
         locator = self._require_pk(pk_value)
         self.partition(locator.partition).invalidate(locator.row, tid)
         del self._pk_index[pk_value]
+        self.bump_version()
 
     def _require_pk(self, pk_value) -> RowLocator:
         if self.schema.primary_key is None:
@@ -296,6 +309,7 @@ class Table:
                 group.update_delta = Partition(
                     group.update_delta.name, "delta", self.schema
                 )
+        self.bump_version()
 
     # ------------------------------------------------------------------
     # merge support (used by repro.storage.merge)
@@ -317,6 +331,7 @@ class Table:
                     group.update_delta.name, "delta", self.schema
                 )
             group.update_delta = new_update_delta
+        self.bump_version()
 
     def rebuild_pk_index(self) -> None:
         """Recompute the primary-key index after partitions were rebuilt."""

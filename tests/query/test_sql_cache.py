@@ -1,0 +1,104 @@
+"""The bounded SQL→AST parse cache: hits, bounds, and poisoning immunity."""
+
+import threading
+
+import pytest
+
+from repro.query.sql import (
+    _PARSE_CACHE_CAPACITY,
+    clear_parse_cache,
+    parse_cache_stats,
+    parse_sql,
+)
+
+SQL = (
+    "SELECT i.cid AS cid, SUM(i.price) AS profit, COUNT(*) AS n "
+    "FROM header h, item i WHERE h.hid = i.hid GROUP BY i.cid"
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_parse_cache()
+    yield
+    clear_parse_cache()
+
+
+class TestParseCache:
+    def test_repeat_parse_hits(self):
+        before = parse_cache_stats()
+        parse_sql(SQL)
+        parse_sql(SQL)
+        parse_sql(SQL)
+        after = parse_cache_stats()
+        assert after["misses"] == before["misses"] + 1
+        assert after["hits"] == before["hits"] + 2
+
+    def test_distinct_texts_cache_separately(self):
+        parse_sql(SQL)
+        parse_sql(SQL + " ")  # byte-identity, not canonical equivalence
+        assert parse_cache_stats()["entries"] == 2
+
+    def test_capacity_is_bounded(self):
+        for i in range(_PARSE_CACHE_CAPACITY + 50):
+            parse_sql(
+                f"SELECT i.cid AS cid, SUM(i.price) AS s FROM item i "
+                f"WHERE i.iid > {i} GROUP BY i.cid"
+            )
+        assert parse_cache_stats()["entries"] <= _PARSE_CACHE_CAPACITY
+
+    def test_mutating_a_returned_query_cannot_poison_the_cache(self):
+        first = parse_sql(SQL)
+        # Mutate every mutable part of the returned object.
+        first.aggregates.clear()
+        first.group_by.clear()
+        first.filters.clear()
+        first.join_edges.clear()
+        first.tables.clear()
+        second = parse_sql(SQL)
+        assert second.aggregates  # untouched by the first caller's vandalism
+        assert second.group_by
+        assert second.tables
+        assert second.join_edges
+
+    def test_returned_queries_are_distinct_objects(self):
+        a = parse_sql(SQL)
+        b = parse_sql(SQL)
+        assert a is not b
+        assert a.tables is not b.tables
+        assert a.aggregates is not b.aggregates
+        assert a.canonical_key() == b.canonical_key()
+
+    def test_binding_a_returned_query_cannot_poison_the_cache(self):
+        """Binding stamps `_bound_by`; a cached template must never carry
+        one caller's binding into another caller's copy."""
+        from ..conftest import load_erp, make_erp_db
+
+        db = make_erp_db()
+        load_erp(db, n_headers=2, merge=True)
+        q1 = parse_sql(SQL)
+        bound = db.cache._binder.bind(q1)
+        assert bound is not None
+        q2 = parse_sql(SQL)
+        assert getattr(q2, "_bound_by", None) is None
+
+    def test_thread_safety_under_concurrent_parse(self):
+        errors = []
+
+        def worker(k: int) -> None:
+            try:
+                for i in range(50):
+                    q = parse_sql(
+                        f"SELECT i.cid AS cid, SUM(i.price) AS s FROM item i "
+                        f"WHERE i.iid > {i % 7} GROUP BY i.cid"
+                    )
+                    assert q.tables
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(k,)) for k in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert not errors
