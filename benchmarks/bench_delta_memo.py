@@ -1,0 +1,116 @@
+"""Delta-compensation memo — repeated-hit latency as the deltas grow.
+
+A cache hit pays for the entry lookup plus the compensation of every
+delta-touching subjoin.  Without the memo that compensation rescans the
+*entire* delta on every hit; with it, only the rows appended since the
+previous hit are scanned and folded into the per-entry memo.  This
+benchmark runs CH-benCHmark Q3 (4 tables) and Q5 (7 tables) through the
+full ``Database.query`` path against two otherwise identical databases —
+``CacheConfig(delta_memo=True)`` vs ``False`` — first growing the deltas
+between hits (the incremental-advance path), then timing the steady
+state where the memo-on database rescans nothing at all.
+
+Amounts are generated on a 0.25 quantum (``ChConfig.amount_quantum``),
+so every partial sum is exactly representable and the results are
+asserted bit-identical across memo on/off: the memo changes *what is
+rescanned*, never the answer.
+"""
+
+import os
+
+import pytest
+
+from repro import Database, ExecutionStrategy
+from repro.core.strategies import CacheConfig
+from repro.workloads import CH_QUERIES, ChBenchmark, ChConfig
+
+#: (label, CacheConfig.delta_memo).
+MODES = [
+    ("memo-on", True),
+    ("memo-off", False),
+]
+
+QUERY_NAMES = ["Q3", "Q5"]
+
+_SCALE = int(os.environ.get("BENCH_DELTA_MEMO_SCALE", "2"))
+#: Orders appended to the deltas before the timed phase of each query.
+_GROW_ORDERS = int(os.environ.get("BENCH_DELTA_MEMO_ORDERS", str(60 * _SCALE)))
+
+_STATE = {}
+
+
+def get_benchmark(memo: bool) -> ChBenchmark:
+    if memo not in _STATE:
+        db = Database(cache_config=CacheConfig(delta_memo=memo))
+        bench = ChBenchmark(
+            db,
+            ChConfig(
+                warehouses=_SCALE,
+                districts_per_warehouse=4,
+                customers_per_district=25,
+                orders_per_district=60,
+                orderlines_per_order=8,
+                items=300,
+                suppliers=20,
+                delta_fraction=0.05,
+                seed=77,
+                amount_quantum=0.25,
+            ),
+        )
+        bench.load()
+        _STATE[memo] = bench
+    return _STATE[memo]
+
+
+CELLS = [(name, mode) for name in QUERY_NAMES for mode in MODES]
+
+
+@pytest.mark.parametrize(
+    "query_name,mode", CELLS, ids=[f"{n}-{m[0]}" for n, m in CELLS]
+)
+def test_delta_memo_hit_latency(benchmark, figures, query_name, mode):
+    label, memo = mode
+    bench = get_benchmark(memo)
+    db = bench.db
+    sql = CH_QUERIES[query_name]
+
+    def run():
+        return db.query(sql)
+
+    run()  # warm: admits the entry; memo-on folds and stores the memo
+    if memo:
+        assert db.last_report.delta_memo_mode in ("full", "incremental")
+    else:
+        assert db.last_report.delta_memo_mode == "bypass"
+        assert db.last_report.delta_memo_reason == "disabled"
+
+    # Append-only growth: the entry stays valid, the compensation grows.
+    bench.grow_delta(_GROW_ORDERS)
+    result = run()
+    if memo:
+        assert db.last_report.delta_memo_mode == "incremental"
+        assert db.last_report.delta_memo_rows_saved > 0, (
+            "incremental hit must skip the covered delta prefix"
+        )
+    # Both mode databases replay the identical seeded load + growth, so
+    # the answers must match bit-for-bit — and match the uncached truth.
+    reference = _STATE.setdefault(("rows", query_name), result.rows)
+    assert result.rows == reference, f"{query_name} {label} diverged"
+    uncached = db.query(sql, strategy=ExecutionStrategy.UNCACHED)
+    assert result.rows == uncached.rows
+
+    # Steady state: no new appends, so memo-on rescans nothing while
+    # memo-off rescans every delta row on every hit.
+    benchmark.pedantic(run, rounds=5, iterations=2)
+    if memo:
+        assert db.last_report.delta_memo_mode == "incremental"
+    elapsed = benchmark.stats.stats.min if benchmark.stats is not None else float("nan")
+    delta_rows = sum(bench.delta_counts().values())
+    report = figures.report(
+        "Delta memo",
+        "CH-benCHmark Q3/Q5: cache-hit latency vs. delta size, memo on vs. off",
+        "an incremental hit replays the memoized fold and scans only rows "
+        "past the per-partition watermarks; results are bit-identical",
+        ["query", "mode", "delta_rows", "seconds"],
+    )
+    report.add_row(query_name, label, delta_rows, elapsed)

@@ -42,6 +42,11 @@ class AggregateCacheEntry:
     # alias -> partition.invalidation_epoch at snapshot time (O(1) clean check)
     invalidation_epochs: Dict[str, int] = field(default_factory=dict)
     metrics: CacheMetrics = field(default_factory=CacheMetrics)
+    # The entry's delta-compensation memo (repro.core.delta_memo.DeltaMemo),
+    # or None.  Memo objects are immutable; the manager swaps them
+    # compare-and-set style under its lock, and any lifecycle event that
+    # re-anchors the entry (merge maintenance via rebase) resets it.
+    delta_memo: "object" = None
 
     def __post_init__(self):
         missing = set(self.main_partitions) ^ set(self.visibility)
@@ -117,6 +122,9 @@ class AggregateCacheEntry:
         self.metrics.size_bytes = new_value.approximate_nbytes()
         self.metrics.aggregated_records_main = new_value.total_rows_aggregated()
         self.metrics.dirty_counter = 0
+        # The merge rebuilt at least one referenced partition, so the memo's
+        # watermarks and identity set no longer describe the live layout.
+        self.delta_memo = None
 
     def __repr__(self) -> str:
         return (

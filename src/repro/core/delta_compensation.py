@@ -6,6 +6,12 @@ combination: ``JwithCache(t) = JnoCache(t) \\ {main}^t``.  This module
 enumerates that compensation set, runs each subjoin through the
 :class:`JoinPruner`, and returns the surviving :class:`ComboSpec` list
 (with pushdown filters attached) ready for the executor.
+
+Repeated hits do not necessarily re-evaluate the surviving set from
+scratch: the cache manager keeps a per-entry :class:`~repro.core.
+delta_memo.DeltaMemo` of the folded compensation value and, while the
+delta partitions have only grown (append-only suffix, no invalidations),
+restricts the rescans to the rows past the memo's watermarks.
 """
 
 from __future__ import annotations

@@ -65,6 +65,11 @@ def apply_main_compensation(
             invalidated[alias] = np.asarray(inv.set_indices(), dtype=np.int64)
         surviving[alias] = np.flatnonzero((stored & current).to_numpy())
     if not invalidated:
+        # The epoch check above said "something changed", but none of the
+        # *stored* rows was invalidated (e.g. the stamps hit rows outside
+        # the entry's visibility).  The counter still reflects an earlier
+        # compensation run; reset it — this entry currently owes nothing.
+        entry.metrics.dirty_counter = 0
         return 0
     dirty_aliases = sorted(invalidated)
     total_rows = int(sum(len(rows) for rows in invalidated.values()))

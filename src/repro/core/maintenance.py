@@ -43,8 +43,9 @@ class _PendingMaintenance:
     # The merge event this plan belongs to.  The atomic two-phase merge
     # announces *all* group events before any swap, so the manager holds
     # plans for several events at once and must pair each with its
-    # after_merge (or cancel_merge) by identity.
-    event: MergeEvent = None
+    # after_merge (or cancel_merge) by identity.  Required: a plan with no
+    # event could never be paired (or cancelled) and would leak forever.
+    event: MergeEvent
 
 
 def plan_entry_maintenance(

@@ -49,6 +49,14 @@ from .admission import AdmissionPolicy, AdmissionRequest, AlwaysAdmit
 from .cache_entry import AggregateCacheEntry
 from .cache_key import CacheKey
 from .enforcement import MDEnforcer
+from .delta_memo import (
+    DeltaMemo,
+    advance_memo,
+    build_memo,
+    classify_memo,
+    incremental_specs,
+    plan_partitions,
+)
 from .eviction import EvictionPolicy, ProfitEviction
 from .main_compensation import StaleEntryError, apply_main_compensation
 from .maintenance import (
@@ -79,8 +87,28 @@ class CacheQueryReport:
     time_cache_lookup_or_build: float = 0.0
     time_main_compensation: float = 0.0
     time_delta_compensation: float = 0.0
+    #: How delta compensation ran: "incremental" (reused a memo and scanned
+    #: only the delta suffix), "full" (recomputed everything, memo rebuilt),
+    #: "bypass" (memo layer not applicable — see delta_memo_reason), or ""
+    #: for queries that never reach delta compensation.
+    delta_memo_mode: str = ""
+    delta_memo_reason: str = ""
+    #: Covered prefix rows an incremental run did not rescan.
+    delta_memo_rows_saved: int = 0
     #: The physical plan the query ran (carries the bound statement).
     plan: Optional[PhysicalPlan] = None
+
+
+def _pruned_span(sub) -> Span:
+    """The zero-cost trace span of one pruned compensation subjoin."""
+    return Span(
+        name="subjoin",
+        attrs={
+            "combo": describe_partitions(sub.partitions),
+            "status": "pruned",
+            "prune_reason": sub.reason,
+        },
+    )
 
 
 class AggregateCacheManager:
@@ -130,6 +158,9 @@ class AggregateCacheManager:
         self.total_misses = 0
         self.total_evictions = 0
         self.total_maintenance_runs = 0
+        self.total_memo_hits = 0  # incremental delta-compensation reuses
+        self.total_memo_misses = 0  # full recomputes that (re)built a memo
+        self.total_memo_bypass = 0  # queries the memo layer stepped aside for
 
     # ------------------------------------------------------------------
     # object-awareness registration
@@ -209,6 +240,9 @@ class AggregateCacheManager:
                 "misses": self.total_misses,
                 "evictions": self.total_evictions,
                 "maintenance_runs": self.total_maintenance_runs,
+                "memo_hits": self.total_memo_hits,
+                "memo_misses": self.total_memo_misses,
+                "memo_bypass": self.total_memo_bypass,
             }
 
     def refresh_obs_gauges(self) -> None:
@@ -370,9 +404,11 @@ class AggregateCacheManager:
         with self._lock:
             self._clock += 1
         result = GroupedAggregates(bound.aggregates)
-        for combo, key in zip(plan.cached_combos, plan.cache_keys):
+        entries = [
             self._apply_main_entry(bound, combo, key, txn, result, report, trace)
-        self._apply_delta_compensation(plan, txn, result, report, trace)
+            for combo, key in zip(plan.cached_combos, plan.cache_keys)
+        ]
+        self._apply_delta_compensation(plan, txn, result, report, trace, entries)
         report.time_total = time.perf_counter() - started
         self._record_query_obs(report)
         return result, report
@@ -414,12 +450,16 @@ class AggregateCacheManager:
         result: GroupedAggregates,
         report: CacheQueryReport,
         trace: Optional[QueryTrace] = None,
-    ) -> None:
+    ) -> Optional[AggregateCacheEntry]:
         """Look up / create the entry for one all-main combination and fold
         its main-compensated value into ``result``.
 
         ``key`` was computed by the planner — on a plan-cache hit the key
-        derivation is skipped entirely.
+        derivation is skipped entirely.  Returns the entry whose cached
+        value answered this combination, or None when the combination was
+        answered by a direct scan (admission rejected / entry too new) —
+        the delta-memo routing needs to know which entry, if any, owns the
+        compensation state this query is about to compute.
         """
         span = (
             trace.child("cache_lookup", combo=describe_partitions(combo))
@@ -460,7 +500,7 @@ class AggregateCacheManager:
                 self._direct_main_scan(
                     bound, combo, txn, result, report, span, "admission_rejected"
                 )
-                return
+                return None
             if txn.snapshot < entry.snapshot:
                 # The entry is anchored at a newer snapshot than this reader
                 # (time travel, or a transaction begun before the last merge).
@@ -470,14 +510,14 @@ class AggregateCacheManager:
                 self._direct_main_scan(
                     bound, combo, txn, result, report, span, "entry_too_new"
                 )
-                return
+                return None
             with self._lock:
                 entry.metrics.record_use(self._clock)
             if entry.is_clean_for(txn.snapshot):
                 # Fast path: nothing was invalidated since the entry snapshot,
                 # so the cached value contributes as-is (merge copies states).
                 result.merge(entry.value)
-                return
+                return entry
             contribution = entry.value.copy()
             comp_span = span.child("main_compensation") if span is not None else None
             comp_started = time.perf_counter()
@@ -492,6 +532,7 @@ class AggregateCacheManager:
             report.time_main_compensation += elapsed
             report.invalidated_rows_compensated += rows
             result.merge(contribution)
+            return entry
         finally:
             if span is not None:
                 span.finish()
@@ -603,51 +644,233 @@ class AggregateCacheManager:
         result: GroupedAggregates,
         report: CacheQueryReport,
         trace: Optional[QueryTrace] = None,
+        entries: Optional[List[Optional[AggregateCacheEntry]]] = None,
     ) -> None:
         """Aggregate the plan's surviving compensation subjoins into ``result``.
 
         The pruning work already happened at plan time; here the pruned
         subjoins only emit their trace spans, and the evaluated ones run
         through the executor with their pushdown filters attached.
+
+        When the query was answered by exactly one cache entry, the entry's
+        delta memo (see :mod:`repro.core.delta_memo`) routes the work:
+
+        * ``incremental`` — the memo's folded compensation value is merged
+          as-is and only the rows appended past its watermarks are scanned;
+        * ``full`` — everything is recomputed and the result installed as a
+          fresh memo for the next hit;
+        * ``bypass`` — the memo layer steps aside (disabled, hot/cold
+          multi-entry plans, direct-scan answers, older readers) and the
+          compensation union runs exactly as without it.
         """
         span = trace.child("delta_compensation") if trace is not None else None
         # Pruned subjoins never reach the executor, so their spans are
         # appended while walking the plan; the evaluated ones are appended
-        # by the executor in combination order.  One sink, every subjoin once.
+        # by the executor in combination order (full/bypass) or synthesized
+        # from the planned subjoin list (incremental).  One sink, every
+        # subjoin exactly once — EXPLAIN ANALYZE parity depends on it.
         span_sink = span.children if span is not None else None
         report.prune = replace(plan.prune)
-        combos: List[ComboSpec] = []
-        for sub in plan.subjoins:
-            if sub.action == "pruned":
-                if span_sink is not None:
-                    span_sink.append(
-                        Span(
-                            name="subjoin",
-                            attrs={
-                                "combo": describe_partitions(sub.partitions),
-                                "status": "pruned",
-                                "prune_reason": sub.reason,
-                            },
-                        )
-                    )
-                continue
-            combos.append(sub.to_spec())
+        mode, reason, entry, memo = self._route_delta_memo(plan, txn, entries)
+        report.delta_memo_mode = mode
+        report.delta_memo_reason = reason
         comp_started = time.perf_counter()
-        self._executor.execute(
-            plan.query,
-            txn.snapshot,
-            combos=combos,
-            into=result,
-            stats=report.executor_stats,
-            span_sink=span_sink,
-        )
+        if mode == "incremental":
+            self._delta_compensation_incremental(
+                plan, txn, result, report, span_sink, entry, memo
+            )
+        else:
+            self._delta_compensation_full(
+                plan,
+                txn,
+                result,
+                report,
+                span_sink,
+                entry if mode == "full" else None,
+                memo,
+            )
         elapsed = time.perf_counter() - comp_started
         report.time_delta_compensation += elapsed
         self._record_prune_obs(report.prune)
+        outcome = {"incremental": "hit", "full": "miss", "bypass": "bypass"}[mode]
+        with self._lock:
+            if mode == "incremental":
+                self.total_memo_hits += 1
+            elif mode == "full":
+                self.total_memo_misses += 1
+            else:
+                self.total_memo_bypass += 1
+        if self.obs.enabled:
+            self.obs.delta_memo_lookups.labels(outcome).inc()
+            if report.delta_memo_rows_saved:
+                self.obs.delta_memo_rows_saved.inc(report.delta_memo_rows_saved)
         if span is not None:
             span.finish()
             span.attrs["subjoins_total"] = report.prune.combos_total
             span.attrs["subjoins_pruned"] = report.prune.pruned_total
+            span.attrs["compensation"] = mode
+            if reason:
+                span.attrs["compensation_reason"] = reason
+            if mode == "incremental":
+                span.attrs["rows_saved"] = report.delta_memo_rows_saved
+
+    def _route_delta_memo(
+        self,
+        plan: PhysicalPlan,
+        txn: Transaction,
+        entries: Optional[List[Optional[AggregateCacheEntry]]],
+    ) -> Tuple[str, str, Optional[AggregateCacheEntry], Optional[DeltaMemo]]:
+        """Pick the delta-compensation mode for this query.
+
+        Returns ``(mode, reason, entry, observed_memo)``; ``observed_memo``
+        is the memo object read under the lock — install/advance later
+        compare-and-swaps against exactly this object, so a concurrent
+        reader that raced past us cannot have its newer memo clobbered.
+        """
+        if not self.config.delta_memo:
+            return "bypass", "disabled", None, None
+        if entries is None or len(plan.cache_keys) != 1:
+            # Hot/cold plans answer through several entries; the folded
+            # compensation value is shared across them and belongs to no
+            # single entry, so the memo layer does not engage.
+            return "bypass", "multi_entry", None, None
+        if len(entries) != 1 or entries[0] is None:
+            return "bypass", "no_entry", None, None
+        entry = entries[0]
+        with self._lock:
+            memo = entry.delta_memo
+        verdict = classify_memo(
+            memo, txn.snapshot, plan_partitions(plan.subjoins), plan.signature
+        )
+        if verdict == "older_reader":
+            # This reader predates the memo's anchor; the memo stays put
+            # for newer readers and this query compensates from scratch.
+            return "bypass", "older_reader", entry, memo
+        if verdict == "rebuild":
+            return "full", "" if memo is None else "stale", entry, memo
+        return "incremental", "", entry, memo
+
+    def _delta_compensation_full(
+        self,
+        plan: PhysicalPlan,
+        txn: Transaction,
+        result: GroupedAggregates,
+        report: CacheQueryReport,
+        span_sink: Optional[List[Span]],
+        entry: Optional[AggregateCacheEntry],
+        observed: Optional[DeltaMemo],
+    ) -> None:
+        """Evaluate every surviving subjoin; with ``entry`` set, capture the
+        folded compensation value as a fresh memo on it."""
+        combos: List[ComboSpec] = []
+        for sub in plan.subjoins:
+            if sub.action == "pruned":
+                if span_sink is not None:
+                    span_sink.append(_pruned_span(sub))
+                continue
+            combos.append(sub.to_spec())
+        into = result if entry is None else result.new_like()
+        self._executor.execute(
+            plan.query,
+            txn.snapshot,
+            combos=combos,
+            into=into,
+            stats=report.executor_stats,
+            span_sink=span_sink,
+        )
+        if entry is None:
+            return
+        result.merge(into)
+        fresh = build_memo(
+            into, txn.snapshot, plan_partitions(plan.subjoins), plan.signature
+        )
+        with self._lock:
+            if entry.delta_memo is observed and entry.is_active:
+                entry.delta_memo = fresh
+
+    def _delta_compensation_incremental(
+        self,
+        plan: PhysicalPlan,
+        txn: Transaction,
+        result: GroupedAggregates,
+        report: CacheQueryReport,
+        span_sink: Optional[List[Span]],
+        entry: AggregateCacheEntry,
+        memo: DeltaMemo,
+    ) -> None:
+        """Merge the memo's folded value and scan only the delta suffix.
+
+        The executor evaluates the inclusion–exclusion expansion of the
+        grown subjoins (see :func:`~repro.core.delta_memo.incremental_specs`)
+        into a private aggregate, which is merged into both the result and
+        the advanced memo.  The advance is installed compare-and-swap: a
+        losing racer keeps its correct local result and discards its memo.
+        """
+        specs, spec_counts, rows_saved = incremental_specs(
+            plan.subjoins, memo.watermarks
+        )
+        report.delta_memo_rows_saved = rows_saved
+        result.merge(memo.folded)
+        inc: Optional[GroupedAggregates] = None
+        inner: List[Span] = []
+        if specs:
+            inc = result.new_like()
+            self._executor.execute(
+                plan.query,
+                txn.snapshot,
+                combos=specs,
+                into=inc,
+                stats=report.executor_stats,
+                span_sink=inner if span_sink is not None else None,
+            )
+            result.merge(inc)
+        if span_sink is not None:
+            self._synthesize_memo_spans(plan, spec_counts, inner, span_sink)
+        if specs or txn.snapshot != memo.anchor:
+            advanced = advance_memo(memo, txn.snapshot, inc, plan.signature)
+            with self._lock:
+                if entry.delta_memo is memo and entry.is_active:
+                    entry.delta_memo = advanced
+
+    @staticmethod
+    def _synthesize_memo_spans(
+        plan: PhysicalPlan,
+        spec_counts: Dict[int, int],
+        inner: List[Span],
+        span_sink: List[Span],
+    ) -> None:
+        """Emit one "subjoin" span per planned subjoin for an incremental run.
+
+        The executor produced one span per *expanded* spec; those become
+        "memo_scan" children of their planned subjoin's span so trace
+        consumers (parity tests, EXPLAIN ANALYZE) see the same one-span-
+        per-planned-subjoin shape in every compensation mode.
+        """
+        worker = threading.current_thread().name
+        cursor = 0
+        for index, sub in enumerate(plan.subjoins):
+            if sub.action == "pruned":
+                span_sink.append(_pruned_span(sub))
+                continue
+            count = spec_counts.get(index, 0)
+            children = inner[cursor : cursor + count]
+            cursor += count
+            duration = 0.0
+            for child in children:
+                child.name = "memo_scan"
+                duration += child.duration
+            span_sink.append(
+                Span(
+                    name="subjoin",
+                    duration=duration,
+                    attrs={
+                        "combo": describe_partitions(sub.partitions),
+                        "status": "evaluated" if count else "memoized",
+                        "worker": worker,
+                    },
+                    children=children,
+                )
+            )
 
     def _record_prune_obs(self, prune: PruneReport) -> None:
         """Fold a query's prune report into the per-reason counters.

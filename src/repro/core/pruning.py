@@ -153,19 +153,43 @@ class JoinPruner:
             left = assignment[info.edge.left_alias]
             right = assignment[info.edge.right_alias]
             tid = info.md.tid_column
+            # The dictionary ranges below cover only non-NULL tids.  Under
+            # enforced RI a NULL tid implies a NULL or dangling foreign key —
+            # a row with no join partner — so range reasoning covers every
+            # joinable row.  With RI off a NULL-tid row may still join
+            # (a dangling child whose parent arrived later), which poisons
+            # range reasoning in two directions: NULLs on *either* side make
+            # a range-based prune unsound, and NULLs on one side make any
+            # filter derived from that side's range unsound on the *other*
+            # side (the NULL partner's tid is not in the range).
+            left_nulls = not self._assume_md_integrity and (
+                left.column(tid).has_nulls()
+            )
+            right_nulls = not self._assume_md_integrity and (
+                right.column(tid).has_nulls()
+            )
+            nullable_tids = left_nulls or right_nulls
             left_range = (left.min_value(tid), left.max_value(tid))
             right_range = (right.min_value(tid), right.max_value(tid))
             if left_range[0] is None or right_range[0] is None:
-                # One side has no tid values at all: no tuple can satisfy the
-                # MD-implied equality, so the subjoin is empty ("for an empty
-                # partition we define min()/max() such that the prefilter is
-                # true").  NULL-tid rows cannot match an MD-covered edge
-                # either: their fk has no parent, hence no join partner.
+                # One side has no non-NULL tid values at all.  With trusted
+                # MDs no tuple can satisfy the implied equality, so the
+                # subjoin is empty ("for an empty partition we define
+                # min()/max() such that the prefilter is true").
+                if nullable_tids:
+                    continue  # all-NULL side may still join; nothing to push
                 return "dynamic", {}
             if left_range[1] < right_range[0] or left_range[0] > right_range[1]:
-                return "dynamic", {}
+                if not nullable_tids:
+                    return "dynamic", {}
+                # Disjoint ranges with NULLs present: only pairs with a NULL
+                # tid on one side can match.  The pushdown below narrows
+                # whichever side still admits a sound filter.
             if self._pushdown:
-                self._collect_pushdown(info, left_range, right_range, pushdown)
+                self._collect_pushdown(
+                    info, left_range, right_range, pushdown,
+                    left_nulls, right_nulls,
+                )
         return None, pushdown
 
     def _collect_pushdown(
@@ -174,15 +198,25 @@ class JoinPruner:
         left_range: Tuple,
         right_range: Tuple,
         pushdown: Dict[str, List[Expr]],
+        left_nulls: bool = False,
+        right_nulls: bool = False,
     ) -> None:
-        """Narrow each side to the intersection of the two tid ranges."""
+        """Narrow each side to the intersection of the two tid ranges.
+
+        A side's filter bounds its tids by the *partner's* dictionary range,
+        so it is only sound while every joinable partner row actually has
+        its tid in that range — i.e. while the partner side is NULL-free.
+        The side's own NULL rows are preserved by the null-safe filter form.
+        """
         tid = info.md.tid_column
         lo = max(left_range[0], right_range[0])
         hi = min(left_range[1], right_range[1])
-        for alias, own in (
-            (info.edge.left_alias, left_range),
-            (info.edge.right_alias, right_range),
+        for alias, own, partner_nulls in (
+            (info.edge.left_alias, left_range, right_nulls),
+            (info.edge.right_alias, right_range, left_nulls),
         ):
+            if partner_nulls:
+                continue  # a NULL partner may join outside any range
             if own[0] >= lo and own[1] <= hi:
                 continue  # the side is already inside the intersection
             filters = pushdown.setdefault(alias, [])

@@ -73,3 +73,8 @@ class CacheConfig:
     # Physical plans cached per (statement, strategy); 0 disables the plan
     # cache (every query re-binds and re-plans).
     plan_cache_size: int = 128
+    # Keep a per-entry delta-compensation memo and advance it incrementally
+    # over the append-only delta suffix on repeated hits (see
+    # repro.core.delta_memo).  Off = recompute the full compensation union
+    # on every hit, as the paper describes it.
+    delta_memo: bool = True

@@ -66,12 +66,22 @@ class CacheStats:
     total_misses: int
     total_evictions: int
     total_maintenance_runs: int
+    # Delta-compensation memo routing (see repro.core.delta_memo).
+    memo_hits: int = 0  # incremental reuses
+    memo_misses: int = 0  # full rebuilds
+    memo_bypass: int = 0
 
     @property
     def hit_rate(self) -> float:
         """Lifetime hits / (hits + misses), 0.0 before any lookup."""
         lookups = self.total_hits + self.total_misses
         return self.total_hits / lookups if lookups else 0.0
+
+    @property
+    def memo_hit_rate(self) -> float:
+        """Incremental reuses / routed compensations, 0.0 before any."""
+        routed = self.memo_hits + self.memo_misses + self.memo_bypass
+        return self.memo_hits / routed if routed else 0.0
 
 
 @dataclass
@@ -152,6 +162,9 @@ class DatabaseStats:
             f"hits={cache.total_hits} misses={cache.total_misses} "
             f"hit-rate={cache.hit_rate:.1%} evictions={cache.total_evictions} "
             f"maintenance-runs={cache.total_maintenance_runs}",
+            f"  delta-memo: incremental={cache.memo_hits} "
+            f"full={cache.memo_misses} bypass={cache.memo_bypass} "
+            f"incremental-rate={cache.memo_hit_rate:.1%}",
             "",
             "matching dependencies:",
             f"  declared={self.enforcement.matching_dependencies} "
@@ -228,6 +241,9 @@ def collect_statistics(db: Database) -> DatabaseStats:
         total_misses=counters["misses"],
         total_evictions=counters["evictions"],
         total_maintenance_runs=counters["maintenance_runs"],
+        memo_hits=counters["memo_hits"],
+        memo_misses=counters["memo_misses"],
+        memo_bypass=counters["memo_bypass"],
     )
     enforcement = EnforcementSnapshot(
         matching_dependencies=len(db.enforcer.dependencies()),

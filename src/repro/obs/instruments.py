@@ -78,6 +78,16 @@ class EngineMetrics:
             names.COMPENSATED_ROWS_TOTAL,
             "Invalidated main rows compensated across all queries.",
         )
+        self.delta_memo_lookups = r.counter(
+            names.DELTA_MEMO_LOOKUPS_TOTAL,
+            "Delta-compensation memo routing decisions, by outcome "
+            "(hit = incremental reuse, miss = full rebuild, bypass).",
+            labels=("outcome",),
+        )
+        self.delta_memo_rows_saved = r.counter(
+            names.DELTA_MEMO_ROWS_SAVED_TOTAL,
+            "Covered delta-prefix rows incremental compensation skipped.",
+        )
         # --- planner / plan cache -----------------------------------------
         self.plan_build_seconds = r.histogram(
             names.PLAN_BUILD_SECONDS,

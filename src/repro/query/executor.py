@@ -28,7 +28,7 @@ import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -52,6 +52,25 @@ from .parallel import MEMO_PRIVATE, ParallelConfig
 from .query import AggregateQuery
 
 
+@dataclass(frozen=True)
+class RowRange:
+    """A contiguous physical row interval ``[start, stop)`` of one partition.
+
+    Used as a ``ComboSpec.fixed_rows`` value: unlike an explicit index
+    array (which bypasses visibility entirely), a range restricts the
+    normal *snapshot-visibility* scan to the interval, and the stamp
+    vectors are sliced before the visibility compare — the scan never
+    materializes rows outside the range.  Delta-memo compensation uses
+    this to touch only the rows appended since a watermark.
+    """
+
+    start: int
+    stop: int
+
+    def __len__(self) -> int:
+        return max(0, self.stop - self.start)
+
+
 @dataclass
 class ComboSpec:
     """One subjoin: a partition per alias, plus per-alias pushdown filters.
@@ -65,11 +84,13 @@ class ComboSpec:
     compensation: the "invalidated rows" side and the "rows visible at entry
     creation" sides of the subtraction are both fixed sets that no current
     snapshot describes.  Local and extra filters still apply on top.
+    A :class:`RowRange` value instead *keeps* the snapshot-visibility scan
+    but restricts it to the contiguous interval (delta-memo compensation).
     """
 
     partitions: Dict[str, Partition]
     extra_filters: Dict[str, List[Expr]] = field(default_factory=dict)
-    fixed_rows: Dict[str, np.ndarray] = field(default_factory=dict)
+    fixed_rows: Dict[str, Union[np.ndarray, RowRange]] = field(default_factory=dict)
 
     def describe(self) -> str:
         """Compact '(alias:partition, ...)' rendering for stats/plans."""
@@ -136,6 +157,22 @@ def main_only_combos(
         for combo in all_partition_combos(query, catalog)
         if all(p.kind == "main" for p in combo.values())
     ]
+
+
+def _fixed_rows_key(fixed) -> object:
+    """Memo-key component for a ``fixed_rows`` value.
+
+    Ranges key by value — two subjoins pinning the same interval share one
+    scan — while index arrays key by identity (their contents are not
+    hashable and callers reuse the same array object across subjoins).
+    ``None`` (plain snapshot scan) stays None so it cannot collide with an
+    array id.
+    """
+    if fixed is None:
+        return None
+    if isinstance(fixed, RowRange):
+        return (fixed.start, fixed.stop)
+    return id(fixed)
 
 
 def _filter_fixed_rows(
@@ -339,10 +376,15 @@ class QueryExecutor:
             alias,
             id(partition),
             tuple(sorted(e.canonical() for e in extra)),
-            id(fixed) if fixed is not None else None,
+            _fixed_rows_key(fixed),
         )
 
         def compute() -> np.ndarray:
+            if isinstance(fixed, RowRange):
+                rows = partition.visible_rows_in(snapshot, fixed.start, fixed.stop)
+                return _filter_fixed_rows(
+                    alias, partition, rows, local_filters[alias] + extra
+                )
             if fixed is not None:
                 return _filter_fixed_rows(
                     alias, partition, fixed, local_filters[alias] + extra
@@ -459,7 +501,7 @@ class QueryExecutor:
                 id(partition),
                 key_columns,
                 tuple(sorted(e.canonical() for e in extra)),
-                id(fixed) if fixed is not None else None,
+                _fixed_rows_key(fixed),
             )
             table = hash_memo.get_or_compute(
                 hash_key,

@@ -8,6 +8,7 @@ compare across execution strategies.
 from __future__ import annotations
 
 import math
+import numbers
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..errors import QueryError
@@ -16,7 +17,15 @@ from .query import AggregateQuery, OrderItem
 
 
 def _sort_key_for(value):
-    """Total order with NULLs first and mixed types grouped by type name."""
+    """Total order with NULLs first and mixed types grouped by type name.
+
+    All real numbers share one group regardless of machine type: execution
+    paths that fold partials differently may yield a Python ``float`` where
+    another yields a NumPy ``float64`` for the same quantity, and ORDER BY
+    must not split equal-valued rows into per-type blocks.
+    """
+    if isinstance(value, numbers.Real) and not isinstance(value, bool):
+        return (True, "number", value)
     return (value is not None, type(value).__name__, value)
 
 

@@ -224,11 +224,18 @@ class Shell:
         for entry in entries:
             combo = ", ".join(f"{a}:{p}" for a, p in entry.key.combo)
             metrics = entry.metrics
+            memo = entry.delta_memo
+            memo_text = (
+                f"memo@tid{memo.anchor}"
+                f"(covered={memo.rows_below_watermarks()} rows)"
+                if memo is not None
+                else "memo=none"
+            )
             self._print(
                 f"[{combo}] groups={entry.value.group_count()} "
                 f"records={metrics.aggregated_records_main} "
                 f"uses={metrics.reference_count} "
-                f"size~{metrics.size_bytes}B"
+                f"size~{metrics.size_bytes}B {memo_text}"
             )
 
     def _cmd_plans(self, _argument: str) -> None:
@@ -259,7 +266,13 @@ class Shell:
             f"subjoins: total={prune.combos_total} "
             f"evaluated={prune.evaluated} pruned(empty={prune.pruned_empty}, "
             f"logical={prune.pruned_logical}, dynamic={prune.pruned_dynamic}) "
-            f"time={report.time_total * 1000:.2f}ms"
+            f"compensation={report.delta_memo_mode or 'n/a'}"
+            + (
+                f" rows-saved={report.delta_memo_rows_saved}"
+                if report.delta_memo_mode == "incremental"
+                else ""
+            )
+            + f" time={report.time_total * 1000:.2f}ms"
         )
 
     def _cmd_stats(self, _argument: str) -> None:

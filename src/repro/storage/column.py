@@ -109,6 +109,15 @@ class ColumnFragment:
             return np.zeros(len(self._codes), dtype=bool)
         return self._codes.view() == code
 
+    def has_nulls(self) -> bool:
+        """True when any stored row is NULL.
+
+        The dictionary ranges used for dynamic join pruning ignore NULLs;
+        the pruner must know whether NULL rows exist when referential
+        integrity is not enforced (a NULL-tid row may still join).
+        """
+        return bool((self._codes.view() == NULL_CODE).any())
+
     def min_value(self):
         """Dictionary minimum (the pruning prefilter input), None if empty."""
         return self.dictionary.min_value()

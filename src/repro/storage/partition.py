@@ -176,6 +176,42 @@ class Partition:
         """Indices of visible rows for ``snapshot``."""
         return np.flatnonzero(self.visible_mask(snapshot))
 
+    def visible_rows_in(self, snapshot: int, start: int, stop: int) -> np.ndarray:
+        """Indices of visible rows for ``snapshot`` within ``[start, stop)``.
+
+        The stamp vectors are sliced before the visibility compare, so the
+        cost is O(stop - start) regardless of the partition's total size —
+        this is what lets delta-memo compensation scan only the rows
+        appended since the memo's watermark.
+        """
+        start = max(0, start)
+        stop = min(stop, len(self._cts))
+        if start >= stop:
+            return np.empty(0, dtype=np.int64)
+        cts = self._cts.view()[start:stop]
+        dts = self._dts.view()[start:stop]
+        mask = (cts <= snapshot) & ((dts == LIVE) | (dts > snapshot))
+        return np.flatnonzero(mask) + start
+
+    def min_stamp_after(self, snapshot: int, start: int = 0, stop: Optional[int] = None) -> float:
+        """The smallest MVCC stamp strictly greater than ``snapshot`` in rows
+        ``[start, stop)``, over both stamp vectors; ``inf`` when none exists.
+
+        The delta memo uses this as its validity *horizon*: a memo anchored
+        at snapshot ``S`` stays usable for any reader ``S' < horizon``,
+        because no covered row changes visibility anywhere in ``(S, horizon)``.
+        """
+        stop = len(self._cts) if stop is None else min(stop, len(self._cts))
+        start = max(0, start)
+        horizon = float("inf")
+        if start >= stop:
+            return horizon
+        for stamps in (self._cts.view()[start:stop], self._dts.view()[start:stop]):
+            later = stamps[stamps > snapshot]
+            if len(later):
+                horizon = min(horizon, float(later.min()))
+        return horizon
+
     # ------------------------------------------------------------------
     # statistics
     # ------------------------------------------------------------------

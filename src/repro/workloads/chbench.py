@@ -57,6 +57,12 @@ class ChConfig:
     delta_fraction: float = 0.05  # the paper's 5 % delta population
     new_order_fraction: float = 0.3  # orders still in neworder
     seed: int = 42
+    # When set, prices/amounts are multiples of this quantum instead of
+    # cent-rounded uniforms.  A power-of-two fraction (0.25, 0.5) makes
+    # every value — and every partial sum — exactly representable, so
+    # benchmarks can assert bit-identical aggregates across execution
+    # modes that fold partials in different orders.
+    amount_quantum: Optional[float] = None
 
 
 class ChBenchmark:
@@ -227,6 +233,23 @@ class ChBenchmark:
         self._load_orders(total_orders - main_orders, year_pool=(2014,))
         return self.row_counts()
 
+    def _money(self, lo: float, hi: float) -> float:
+        """A price/amount in [lo, hi] honoring ``amount_quantum``."""
+        quantum = self.config.amount_quantum
+        if quantum is None:
+            return round(self._rng.uniform(lo, hi), 2)
+        steps = int((hi - lo) / quantum)
+        return lo + quantum * self._rng.randint(0, steps)
+
+    def grow_delta(self, orders: int) -> None:
+        """Append ``orders`` fresh orders (with orderlines) to the deltas.
+
+        No merge: the rows land in the delta partitions, growing the
+        compensation workload of every cached query — exactly what the
+        delta-memo benchmark varies between timed hits.
+        """
+        self._load_orders(orders, year_pool=(2014,))
+
     def _load_items_and_stock(self, count: int) -> None:
         db = self.db
         rng = self._rng
@@ -238,7 +261,7 @@ class ChBenchmark:
                 {
                     "i_id": i_id,
                     "i_name": f"item-{i_id:05d}",
-                    "i_price": round(rng.uniform(1.0, 100.0), 2),
+                    "i_price": self._money(1.0, 100.0),
                     "i_category": rng.choice(ITEM_CATEGORIES),
                 },
             )
@@ -319,7 +342,7 @@ class ChBenchmark:
                         "ol_i_id": i_id,
                         "ol_s_key": self._stock_key_by_item_wh[(i_id, warehouse)],
                         "ol_quantity": rng.randint(1, 10),
-                        "ol_amount": round(rng.uniform(10.0, 500.0), 2),
+                        "ol_amount": self._money(10.0, 500.0),
                         "ol_delivery_d": iso_date(rng, year),
                     },
                     txn=txn,

@@ -1,0 +1,295 @@
+"""Delta-compensation memo lifecycle: validity matrix, bypasses, parity.
+
+The memo (repro.core.delta_memo) reuses the folded compensation value of a
+previous hit and rescans only the delta rows appended past its watermarks.
+These tests pin down every way that reuse must *not* happen — DML on each
+referenced table, merges, older readers, future stamps below the watermark
+— and that serial/parallel and memo-on/off runs agree bit for bit.
+"""
+
+import random
+
+import pytest
+
+from repro import CacheConfig, Database, ExecutionStrategy
+from repro.query.parallel import ParallelConfig
+
+from ..conftest import HEADER_ITEM_SQL, PROFIT_SQL, load_erp, make_erp_db
+
+FULL = ExecutionStrategy.CACHED_FULL_PRUNING
+UNCACHED = ExecutionStrategy.UNCACHED
+
+
+def _uncached_rows(db, sql, **kwargs):
+    return db.query(sql, strategy=UNCACHED, **kwargs).rows
+
+
+class TestMemoReuse:
+    def test_first_hit_builds_then_reuses(self, erp_db):
+        erp_db.query(PROFIT_SQL, strategy=FULL)
+        assert erp_db.last_report.delta_memo_mode == "full"
+        result = erp_db.query(PROFIT_SQL, strategy=FULL)
+        report = erp_db.last_report
+        assert report.delta_memo_mode == "incremental"
+        assert report.delta_memo_rows_saved > 0
+        # Nothing changed, so no subjoin needs any rescan at all.
+        assert report.executor_stats.combos_evaluated == 0
+        assert result.rows == _uncached_rows(erp_db, PROFIT_SQL)
+
+    def test_appended_delta_rows_fold_in_incrementally(self, erp_db):
+        erp_db.query(PROFIT_SQL, strategy=FULL)
+        erp_db.query(PROFIT_SQL, strategy=FULL)
+        load_erp(erp_db, n_headers=3, start_hid=200, merge=False)
+        result = erp_db.query(PROFIT_SQL, strategy=FULL)
+        report = erp_db.last_report
+        assert report.delta_memo_mode == "incremental"
+        assert result.rows == _uncached_rows(erp_db, PROFIT_SQL)
+        # The appended rows were scanned; the covered prefix was not.
+        assert report.executor_stats.combos_evaluated > 0
+        assert report.delta_memo_rows_saved > 0
+
+    def test_memo_survives_strategy_changes(self, erp_db):
+        """A memo folded under one strategy is valid under another: pruned
+        subjoins are *truly* empty, so they contribute zero to the fold."""
+        erp_db.query(PROFIT_SQL, strategy=FULL)
+        result = erp_db.query(
+            PROFIT_SQL, strategy=ExecutionStrategy.CACHED_NO_PRUNING
+        )
+        assert erp_db.last_report.delta_memo_mode == "incremental"
+        assert result.rows == _uncached_rows(erp_db, PROFIT_SQL)
+
+    def test_report_counters_reach_statistics(self, erp_db):
+        erp_db.query(PROFIT_SQL, strategy=FULL)
+        erp_db.query(PROFIT_SQL, strategy=FULL)
+        stats = erp_db.statistics().cache
+        assert stats.memo_misses == 1
+        assert stats.memo_hits == 1
+        assert "delta-memo" in erp_db.statistics().render()
+
+
+class TestInvalidationMatrix:
+    @pytest.mark.parametrize("table,pk", [("header", 0), ("item", 1), ("category", 0)])
+    def test_update_on_each_referenced_table_rebuilds(self, erp_db, table, pk):
+        erp_db.query(PROFIT_SQL, strategy=FULL)
+        erp_db.query(PROFIT_SQL, strategy=FULL)
+        changes = {
+            "header": {"year": 2099},
+            "item": {"price": 50.0},
+            "category": {"name": "renamed"},
+        }[table]
+        erp_db.update(table, pk, changes)
+        result = erp_db.query(PROFIT_SQL, strategy=FULL)
+        # The update invalidated a stored row (epoch bump) and appended the
+        # new version: the memo must not be reused as-is.
+        assert erp_db.last_report.delta_memo_mode == "full"
+        assert result.rows == _uncached_rows(erp_db, PROFIT_SQL)
+
+    @pytest.mark.parametrize("table,pk", [("header", 2), ("item", 3), ("category", 1)])
+    def test_delete_on_each_referenced_table_rebuilds(self, erp_db, table, pk):
+        erp_db.query(PROFIT_SQL, strategy=FULL)
+        erp_db.query(PROFIT_SQL, strategy=FULL)
+        erp_db.delete(table, pk)
+        result = erp_db.query(PROFIT_SQL, strategy=FULL)
+        assert erp_db.last_report.delta_memo_mode == "full"
+        assert result.rows == _uncached_rows(erp_db, PROFIT_SQL)
+
+    def test_delta_merge_resets_the_memo(self, erp_db):
+        erp_db.query(PROFIT_SQL, strategy=FULL)
+        erp_db.query(PROFIT_SQL, strategy=FULL)
+        (entry,) = erp_db.cache.entries()
+        assert entry.delta_memo is not None
+        erp_db.merge()
+        assert entry.delta_memo is None  # rebase re-anchored the entry
+        result = erp_db.query(PROFIT_SQL, strategy=FULL)
+        assert erp_db.last_report.delta_memo_mode == "full"
+        assert result.rows == _uncached_rows(erp_db, PROFIT_SQL)
+        # And the freshly installed memo serves the next hit again.
+        erp_db.query(PROFIT_SQL, strategy=FULL)
+        assert erp_db.last_report.delta_memo_mode == "incremental"
+
+    def test_future_cts_below_watermark_forces_rebuild(self, erp_db):
+        """Rows appended by writers *newer* than a pinned reader end up
+        below the watermark when that reader advances the memo.  No epoch
+        ever moves, yet the rows become visible later — the horizon must
+        catch them."""
+        erp_db.query(PROFIT_SQL, strategy=FULL)  # entry + memo installed
+        txn = erp_db.begin()  # snapshot S
+        load_erp(erp_db, n_headers=2, start_hid=300, merge=False)  # cts > S
+        before = _uncached_rows(erp_db, PROFIT_SQL, txn=txn)
+        result = erp_db.query(PROFIT_SQL, strategy=FULL, txn=txn)
+        # The pinned reader reuses the memo (nothing it can see changed),
+        # scans the suffix (finding nothing visible), and advances the
+        # watermarks *over* the still-invisible rows.
+        assert erp_db.last_report.delta_memo_mode == "incremental"
+        assert result.rows == before
+        txn.commit()
+        result = erp_db.query(PROFIT_SQL, strategy=FULL)
+        # The advanced memo covers rows this newer reader must see; its
+        # horizon (the smallest future cts) forces the rebuild.
+        assert erp_db.last_report.delta_memo_mode == "full"
+        assert result.rows == _uncached_rows(erp_db, PROFIT_SQL)
+        assert result.rows != before
+
+    def test_future_dts_below_watermark_forces_rebuild(self, erp_db):
+        """The deleter-side twin: a covered row whose delete committed after
+        the pinned reader's snapshot.  The rebuild triggered by the epoch
+        bump anchors a memo that still *contains* the row (the deleter is
+        invisible to it); only the horizon keeps newer readers away."""
+        erp_db.query(PROFIT_SQL, strategy=FULL)  # entry exists
+        txn = erp_db.begin()  # snapshot S sees hid=100's first item
+        erp_db.delete("item", 100 * 100)  # dts > S, epoch bump
+        result = erp_db.query(PROFIT_SQL, strategy=FULL, txn=txn)
+        assert erp_db.last_report.delta_memo_mode == "full"  # epoch moved
+        assert result.rows == _uncached_rows(erp_db, PROFIT_SQL, txn=txn)
+        txn.commit()
+        # The fresh memo's epochs match current state; without the horizon
+        # its folded value — deleted row included — would be served stale.
+        result = erp_db.query(PROFIT_SQL, strategy=FULL)
+        assert erp_db.last_report.delta_memo_mode == "full"
+        assert result.rows == _uncached_rows(erp_db, PROFIT_SQL)
+
+
+class TestBypasses:
+    def test_disabled_by_config(self):
+        db = make_erp_db(cache_config=CacheConfig(delta_memo=False))
+        load_erp(db, n_headers=4, merge=True)
+        load_erp(db, n_headers=2, start_hid=100, merge=False)
+        db.query(PROFIT_SQL, strategy=FULL)
+        result = db.query(PROFIT_SQL, strategy=FULL)
+        report = db.last_report
+        assert report.delta_memo_mode == "bypass"
+        assert report.delta_memo_reason == "disabled"
+        assert result.rows == _uncached_rows(db, PROFIT_SQL)
+        (entry,) = db.cache.entries()
+        assert entry.delta_memo is None
+
+    def test_older_reader_bypasses_and_keeps_the_memo(self, erp_db):
+        erp_db.query(PROFIT_SQL, strategy=FULL)  # entry at snapshot S0
+        txn = erp_db.begin()  # reader R >= S0
+        load_erp(erp_db, n_headers=1, start_hid=400, merge=False)
+        erp_db.query(PROFIT_SQL, strategy=FULL)  # memo advances past R
+        (entry,) = erp_db.cache.entries()
+        memo = entry.delta_memo
+        assert memo is not None and memo.anchor > txn.snapshot
+        result = erp_db.query(PROFIT_SQL, strategy=FULL, txn=txn)
+        report = erp_db.last_report
+        assert report.delta_memo_mode == "bypass"
+        assert report.delta_memo_reason == "older_reader"
+        assert result.rows == _uncached_rows(erp_db, PROFIT_SQL, txn=txn)
+        assert entry.delta_memo is memo  # kept for newer readers
+        txn.commit()
+        erp_db.query(PROFIT_SQL, strategy=FULL)
+        assert erp_db.last_report.delta_memo_mode == "incremental"
+
+    def test_direct_scan_answers_bypass(self, erp_db):
+        erp_db.query(PROFIT_SQL, strategy=FULL)
+        # A time-travel reader older than the entry's anchor is answered by
+        # a direct scan; no entry owns its compensation, so no memo engages.
+        result = erp_db.query(PROFIT_SQL, strategy=FULL, as_of=1)
+        report = erp_db.last_report
+        assert report.delta_memo_mode == "bypass"
+        assert report.delta_memo_reason == "no_entry"
+        assert result.rows == _uncached_rows(erp_db, PROFIT_SQL, as_of=1)
+
+    def test_plan_cache_disabled_still_reuses_the_memo(self):
+        db = make_erp_db(cache_config=CacheConfig(plan_cache_size=0))
+        load_erp(db, n_headers=4, merge=True)
+        load_erp(db, n_headers=2, start_hid=100, merge=False)
+        db.query(PROFIT_SQL, strategy=FULL)
+        load_erp(db, n_headers=1, start_hid=200, merge=False)
+        result = db.query(PROFIT_SQL, strategy=FULL)
+        # Validity is keyed on partition identity, not plan identity: a
+        # freshly planned query reuses the memo all the same.
+        assert db.last_report.delta_memo_mode == "incremental"
+        assert result.rows == _uncached_rows(db, PROFIT_SQL)
+
+
+def _randomized_run(db, rng_seed: int, queries=(PROFIT_SQL, HEADER_ITEM_SQL)):
+    """One deterministic interleaving of DML, merges, and cached queries.
+
+    Prices are multiples of 0.25 — exactly representable — so any result
+    divergence between configurations is a logic bug, not float noise.
+    """
+    rng = random.Random(rng_seed)
+    outputs = []
+    next_hid, next_iid = 1000, 100000
+    for step in range(40):
+        action = rng.random()
+        if action < 0.35:
+            hid = next_hid
+            next_hid += 1
+            items = []
+            for _ in range(rng.randint(1, 3)):
+                items.append(
+                    {
+                        "iid": next_iid,
+                        "hid": hid,
+                        "cid": rng.randint(0, 1),
+                        "price": rng.randint(1, 400) / 4.0,
+                    }
+                )
+                next_iid += 1
+            db.insert_business_object(
+                "header", {"hid": hid, "year": 2013 + hid % 3}, "item", items
+            )
+        elif action < 0.45 and next_hid > 1000:
+            victim = rng.randrange(1000, next_hid)
+            if db.table("header").get_row(victim) is not None:
+                db.update("header", victim, {"year": 2050})
+        elif action < 0.55 and next_iid > 100000:
+            victim = rng.randrange(100000, next_iid)
+            if db.table("item").get_row(victim) is not None:
+                db.delete("item", victim)
+        elif action < 0.6:
+            db.merge()
+        sql = queries[rng.randrange(len(queries))]
+        outputs.append((step, sql, db.query(sql, strategy=FULL).rows))
+        if rng.random() < 0.2:
+            # Cross-check against the uncached truth mid-stream.
+            assert outputs[-1][2] == _uncached_rows(db, sql)
+    return outputs
+
+
+class TestParity:
+    @pytest.mark.parametrize("seed", [7, 21])
+    def test_memo_on_off_serial_parallel_identical(self, seed):
+        """The same randomized history must produce bit-identical rows under
+        every (memo, parallelism) combination."""
+        configs = {
+            "memo-serial": dict(cache_config=CacheConfig(delta_memo=True)),
+            "nomemo-serial": dict(cache_config=CacheConfig(delta_memo=False)),
+            "memo-parallel": dict(
+                cache_config=CacheConfig(delta_memo=True),
+                parallel=ParallelConfig(n_workers=4, min_combos=1, min_rows=1),
+            ),
+            "nomemo-parallel": dict(
+                cache_config=CacheConfig(delta_memo=False),
+                parallel=ParallelConfig(n_workers=4, min_combos=1, min_rows=1),
+            ),
+        }
+        reference = None
+        for name, kwargs in configs.items():
+            db = make_erp_db(**kwargs)
+            load_erp(db, n_headers=5, merge=True)
+            outputs = _randomized_run(db, seed)
+            if reference is None:
+                reference = outputs
+                # The memo actually engaged in the reference run.
+                assert db.cache.counters_snapshot()["memo_hits"] > 0
+            else:
+                assert outputs == reference, f"{name} diverged"
+
+    def test_concurrent_writer_snapshots(self, erp_db):
+        """Readers pinned across writer commits never see memo'd rows from
+        the future, whichever side of the anchor they land on."""
+        erp_db.query(PROFIT_SQL, strategy=FULL)
+        snapshots = []
+        for round_no in range(4):
+            txn = erp_db.begin()
+            expect = _uncached_rows(erp_db, PROFIT_SQL, txn=txn)
+            snapshots.append((txn, expect))
+            load_erp(erp_db, n_headers=1, start_hid=600 + round_no, merge=False)
+            erp_db.query(PROFIT_SQL, strategy=FULL)  # advances the memo
+        for txn, expect in snapshots:
+            assert erp_db.query(PROFIT_SQL, strategy=FULL, txn=txn).rows == expect
+            txn.commit()
