@@ -1,0 +1,148 @@
+"""Governor overhead — deadline checks on the CH-benCHmark hit path.
+
+A query with a (generous) deadline carries a :class:`CancelToken` through
+the executor, the serial/parallel subjoin folds, and the delta-memo scan;
+every boundary calls ``token.check()`` (a clock read only every
+``CHECK_STRIDE``-th call).  This benchmark measures what those
+cooperative checks cost on cache hits of CH-benCHmark Q3 (4 tables) and
+Q5 (7 tables): the same database is timed with no deadline and with a
+60-second deadline that never fires.  The two modes are interleaved
+round-robin inside one test — cache-hit latency here is ~100 µs, where
+separate-cell timings drift by more than the effect being measured — and
+best-of-round pairs cancel the drift.  Results are asserted
+bit-identical (the token can only abort a query, never change its
+answer) and the measured overhead lands in ``BENCH_governor.json``
+(target: < 2%; see EXPERIMENTS.md).
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import Database, ExecutionStrategy
+from repro.workloads import CH_QUERIES, ChBenchmark, ChConfig
+
+QUERY_NAMES = ["Q3", "Q5"]
+
+#: The never-firing deadline used for the gated mode.
+GENEROUS_TIMEOUT_MS = 60_000.0
+
+_SCALE = int(os.environ.get("BENCH_GOVERNOR_SCALE", "2"))
+_ROUNDS = int(os.environ.get("BENCH_GOVERNOR_ROUNDS", "30"))
+_ITERS = 10
+_OUT = os.environ.get("BENCH_GOVERNOR_OUT", "BENCH_governor.json")
+
+_STATE = {}
+
+
+def get_benchmark() -> ChBenchmark:
+    if "bench" not in _STATE:
+        db = Database()
+        bench = ChBenchmark(
+            db,
+            ChConfig(
+                warehouses=_SCALE,
+                districts_per_warehouse=4,
+                customers_per_district=25,
+                orders_per_district=60,
+                orderlines_per_order=8,
+                items=300,
+                suppliers=20,
+                delta_fraction=0.05,
+                seed=77,
+                amount_quantum=0.25,
+            ),
+        )
+        bench.load()
+        _STATE["bench"] = bench
+    return _STATE["bench"]
+
+
+@pytest.mark.parametrize("query_name", QUERY_NAMES)
+def test_deadline_check_overhead(figures, query_name):
+    db = get_benchmark().db
+    sql = CH_QUERIES[query_name]
+
+    def run(timeout_ms):
+        return db.query(sql, timeout_ms=timeout_ms)
+
+    # Warm the entry, then pin down correctness: a generous deadline must
+    # change nothing about the answer, cached or uncached.
+    baseline_rows = run(None).rows
+    assert run(GENEROUS_TIMEOUT_MS).rows == baseline_rows
+    uncached = db.query(sql, strategy=ExecutionStrategy.UNCACHED)
+    assert baseline_rows == uncached.rows
+
+    # Paired, interleaved best-of-N: both modes are measured inside every
+    # round (order alternating), so clock drift hits both equally.
+    best = {None: float("inf"), GENEROUS_TIMEOUT_MS: float("inf")}
+    for round_no in range(_ROUNDS):
+        modes = (None, GENEROUS_TIMEOUT_MS)
+        if round_no % 2:
+            modes = tuple(reversed(modes))
+        for timeout_ms in modes:
+            started = time.perf_counter()
+            for _ in range(_ITERS):
+                run(timeout_ms)
+            elapsed = (time.perf_counter() - started) / _ITERS
+            best[timeout_ms] = min(best[timeout_ms], elapsed)
+
+    base = best[None]
+    gated = best[GENEROUS_TIMEOUT_MS]
+    _STATE[("seconds", query_name)] = (base, gated)
+
+    report = figures.report(
+        "Governor overhead",
+        "CH-benCHmark Q3/Q5: cache-hit latency with and without a deadline",
+        "cooperative cancellation checks at subjoin/batch boundaries cost "
+        "< 2% on the hit path; results are bit-identical",
+        ["query", "mode", "seconds"],
+    )
+    report.add_row(query_name, "no-deadline", base)
+    report.add_row(query_name, "deadline-60s", gated)
+
+
+def test_write_bench_json(figures):
+    """Summarize per-query overhead and emit ``BENCH_governor.json``."""
+    rows = []
+    for query_name in QUERY_NAMES:
+        seconds = _STATE.get(("seconds", query_name))
+        if seconds is None:
+            continue
+        base, gated = seconds
+        overhead_pct = (gated - base) / base * 100.0
+        rows.append(
+            {
+                "query": query_name,
+                "seconds_no_deadline": base,
+                "seconds_with_deadline": gated,
+                "overhead_pct": overhead_pct,
+            }
+        )
+    payload = {
+        "benchmark": "governor_deadline_overhead",
+        "scale": _SCALE,
+        "rounds": _ROUNDS,
+        "iterations": _ITERS,
+        "target_overhead_pct": 2.0,
+        "rows": rows,
+    }
+    path = Path(_OUT)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    assert path.exists()
+
+    report = figures.report(
+        "Governor overhead",
+        "CH-benCHmark Q3/Q5: cache-hit latency with and without a deadline",
+        "cooperative cancellation checks at subjoin/batch boundaries cost "
+        "< 2% on the hit path; results are bit-identical",
+        ["query", "mode", "seconds"],
+    )
+    for row in rows:
+        report.note(
+            f"{row['query']}: deadline overhead {row['overhead_pct']:+.2f}% "
+            f"(target < 2%)"
+        )

@@ -55,6 +55,9 @@ def main() -> None:
     for span in warm.subjoin_spans():
         if span.attrs["status"] == "pruned":
             print(f"  pruned  {span.attrs['combo']}: {span.attrs['prune_reason']}")
+        elif span.attrs["status"] == "memoized":
+            # Delta-memo replay: the covered prefix is not rescanned.
+            print(f"  memoized {span.attrs['combo']}")
         else:
             pushed = span.attrs.get("pushdown_filters", {})
             print(

@@ -29,15 +29,26 @@ from .errors import (
     DurabilityError,
     FaultError,
     IntegrityError,
+    QueryAborted,
+    QueryCancelled,
     QueryError,
+    QueryTimeout,
     ReproError,
     SchemaError,
     SqlSyntaxError,
     StorageError,
     TransactionError,
     UnsupportedQueryError,
+    WriteRejectedError,
 )
 from .concurrency import ReadWriteLock
+from .governor import (
+    CancelToken,
+    Deadline,
+    GovernorConfig,
+    HealthReport,
+    ResourceGovernor,
+)
 from .obs import EngineMetrics, MetricsRegistry, QueryTrace, Span, parse_prometheus
 from .query import AggregateQuery, ParallelConfig, QueryResult, parse_sql
 from .reliability import FaultInjector, SimulatedCrash
@@ -50,14 +61,18 @@ __all__ = [
     "AlwaysAdmit",
     "CacheConfig",
     "CacheError",
+    "CancelToken",
     "CatalogError",
     "ColumnDef",
     "Database",
+    "Deadline",
     "DurabilityError",
     "EngineMetrics",
     "ExecutionStrategy",
     "FaultError",
     "FaultInjector",
+    "GovernorConfig",
+    "HealthReport",
     "IntegrityError",
     "LruEviction",
     "MaintenanceMode",
@@ -66,11 +81,15 @@ __all__ = [
     "ParallelConfig",
     "ProfitAdmission",
     "ProfitEviction",
+    "QueryAborted",
+    "QueryCancelled",
     "QueryError",
     "QueryResult",
+    "QueryTimeout",
     "QueryTrace",
     "ReadWriteLock",
     "ReproError",
+    "ResourceGovernor",
     "Schema",
     "SchemaError",
     "SimulatedCrash",
@@ -80,6 +99,7 @@ __all__ = [
     "StorageError",
     "TransactionError",
     "UnsupportedQueryError",
+    "WriteRejectedError",
     "parse_prometheus",
     "parse_sql",
     "ratio_aging",

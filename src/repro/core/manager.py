@@ -25,7 +25,7 @@ import time
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple, Union
 
-from ..errors import CacheError
+from ..errors import CacheError, QueryAborted
 from ..obs.instruments import EngineMetrics
 from ..obs.trace import QueryTrace, Span
 from ..plan.cache import PlanCache
@@ -39,7 +39,7 @@ from ..query.executor import (
     describe_partitions,
 )
 from ..query.query import AggregateQuery
-from ..query.sql import parse_sql
+from ..query.sql import clear_parse_cache, parse_cache_stats, parse_sql
 from ..storage.aging import ConsistentAging
 from ..storage.catalog import Catalog
 from ..storage.merge import MergeEvent
@@ -95,8 +95,32 @@ class CacheQueryReport:
     delta_memo_reason: str = ""
     #: Covered prefix rows an incremental run did not rescan.
     delta_memo_rows_saved: int = 0
+    #: Why the query bypassed the cache while degraded: "breaker_open"
+    #: (cache breaker open, cached path skipped upfront) or "fallback"
+    #: (the cached path failed mid-query and the answer was recomputed
+    #: from the base tables).  Empty for healthy execution.
+    degraded_reason: str = ""
     #: The physical plan the query ran (carries the bound statement).
     plan: Optional[PhysicalPlan] = None
+
+
+#: Flat per-entry estimates for the auxiliary caches under the memory
+#: budget.  Plans and parsed statements are small object graphs whose true
+#: size is not worth measuring precisely; the budget only needs them to
+#: count as nonzero pressure so a pathological plan/parse cache cannot
+#: hide from the shedder.
+_PLAN_CACHE_BYTES_PER_ENTRY = 8 * 1024
+_PARSE_CACHE_BYTES_PER_ENTRY = 2 * 1024
+
+
+def _memo_nbytes(memo: DeltaMemo) -> int:
+    """Approximate bytes held by a delta memo's folded aggregate (cached
+    on the memo — it is never mutated after install)."""
+    nbytes = getattr(memo, "_nbytes_cache", None)
+    if nbytes is None:
+        nbytes = memo.folded.approximate_nbytes()
+        memo._nbytes_cache = nbytes
+    return nbytes
 
 
 def _pruned_span(sub) -> Span:
@@ -132,6 +156,7 @@ class AggregateCacheManager:
         admission: Optional[AdmissionPolicy] = None,
         eviction: Optional[EvictionPolicy] = None,
         obs: Optional[EngineMetrics] = None,
+        governor=None,
     ):
         self._catalog = catalog
         self._executor = executor
@@ -153,6 +178,10 @@ class AggregateCacheManager:
         # Optional FaultInjector; the owning Database wires its own in so
         # the ``cache.maintenance`` fault point covers merge maintenance.
         self.fault_injector = None
+        # Optional ResourceGovernor: its cache breaker gates the cached
+        # path (degraded mode answers from the base tables) and its
+        # memory budget drives shedding after each query.
+        self.governor = governor
         # Lifetime counters (the monitor's system view).
         self.total_hits = 0
         self.total_misses = 0
@@ -261,6 +290,7 @@ class AggregateCacheManager:
             self.obs.cache_profit_per_byte.set(
                 sum(e.metrics.profit() for e in entries)
             )
+            self.obs.governor_tracked_bytes.set(self._tracked_bytes_locked())
         self.obs.plan_cache_entries.set(len(self.plan_cache))
 
     def evict_for_table(self, table_name: str) -> int:
@@ -374,17 +404,46 @@ class AggregateCacheManager:
         txn: Transaction,
         strategy: Optional[ExecutionStrategy] = None,
         trace: Optional[QueryTrace] = None,
+        cancel=None,
     ) -> Tuple[GroupedAggregates, CacheQueryReport]:
-        """Answer a query through the cache pipeline (Fig. 3); returns (grouped result, report)."""
+        """Answer a query through the cache pipeline (Fig. 3); returns (grouped result, report).
+
+        ``cancel`` (a :class:`~repro.governor.deadline.CancelToken`) is
+        checked at every subjoin boundary down the pipeline; an expired or
+        cancelled token aborts with a typed
+        :class:`~repro.errors.QueryAborted` and leaves no torn state —
+        memos install only after a fully successful run, and statistics
+        are recorded only for completed queries.
+
+        With a governor attached, the cached path is additionally guarded
+        by the cache circuit breaker: while it is open the query bypasses
+        the cache entirely (``degraded_reason="breaker_open"``), and a
+        failure *inside* cached execution feeds the breaker and falls
+        back to a clean from-scratch run over the base tables
+        (``degraded_reason="fallback"``) instead of failing the query.
+        """
         strategy = strategy if strategy is not None else self.config.default_strategy
         report = CacheQueryReport(strategy=strategy)
         started = time.perf_counter()
         plan = self.plan_for(query, strategy, trace)
         report.plan = plan
         bound = plan.query
-        if not strategy.uses_cache or not plan.cacheable:
+        if cancel is not None:
+            cancel.check()
+        governor = self.governor
+        degraded = ""
+        if (
+            strategy.uses_cache
+            and plan.cacheable
+            and governor is not None
+            and not governor.cache_path_allowed()
+        ):
+            degraded = "breaker_open"
+            governor.record_degraded_query(degraded)
+        if not strategy.uses_cache or not plan.cacheable or degraded:
             if strategy.uses_cache:
                 report.fallback_uncached = True
+            report.degraded_reason = degraded
             scan_span = (
                 trace.child("uncached_scan", fallback=report.fallback_uncached)
                 if trace is not None
@@ -393,25 +452,88 @@ class AggregateCacheManager:
             grouped = self._executor.execute(
                 bound,
                 txn.snapshot,
-                combos=plan.evaluated_specs(),
+                # A degraded query carries a *cached* plan whose subjoins
+                # are compensation-only; the full partition product
+                # (combos=None) is the correct uncached evaluation.
+                combos=None if degraded else plan.evaluated_specs(),
                 stats=report.executor_stats,
+                cancel=cancel,
             )
             if scan_span is not None:
                 scan_span.finish()
             report.time_total = time.perf_counter() - started
             self._record_query_obs(report)
+            self._maybe_shed()
             return grouped, report
-        with self._lock:
-            self._clock += 1
-        result = GroupedAggregates(bound.aggregates)
-        entries = [
-            self._apply_main_entry(bound, combo, key, txn, result, report, trace)
-            for combo, key in zip(plan.cached_combos, plan.cache_keys)
-        ]
-        self._apply_delta_compensation(plan, txn, result, report, trace, entries)
+        try:
+            with self._lock:
+                self._clock += 1
+            result = GroupedAggregates(bound.aggregates)
+            entries = [
+                self._apply_main_entry(
+                    bound, combo, key, txn, result, report, trace, cancel
+                )
+                for combo, key in zip(plan.cached_combos, plan.cache_keys)
+            ]
+            self._apply_delta_compensation(
+                plan, txn, result, report, trace, entries, cancel
+            )
+        except QueryAborted:
+            raise  # a deadline/cancel abort is not a cache failure
+        except Exception as exc:
+            if governor is None:
+                raise
+            governor.record_cache_failure(exc)
+            governor.record_degraded_query("fallback")
+            return self._fallback_uncached(
+                bound, txn, strategy, plan, trace, cancel, started
+            )
+        if governor is not None:
+            governor.record_cache_success()
         report.time_total = time.perf_counter() - started
         self._record_query_obs(report)
+        self._maybe_shed()
         return result, report
+
+    def _fallback_uncached(
+        self,
+        bound: AggregateQuery,
+        txn: Transaction,
+        strategy: ExecutionStrategy,
+        plan: PhysicalPlan,
+        trace: Optional[QueryTrace],
+        cancel,
+        started: float,
+    ) -> Tuple[GroupedAggregates, CacheQueryReport]:
+        """Recompute a failed cached query from the base tables.
+
+        Runs with a **fresh** report (and fresh executor stats) so nothing
+        from the torn cached attempt leaks into what the caller sees.
+        """
+        report = CacheQueryReport(
+            strategy=strategy,
+            plan=plan,
+            fallback_uncached=True,
+            degraded_reason="fallback",
+        )
+        scan_span = (
+            trace.child("uncached_scan", fallback=True, degraded=True)
+            if trace is not None
+            else None
+        )
+        grouped = self._executor.execute(
+            bound,
+            txn.snapshot,
+            combos=None,
+            stats=report.executor_stats,
+            cancel=cancel,
+        )
+        if scan_span is not None:
+            scan_span.finish()
+        report.time_total = time.perf_counter() - started
+        self._record_query_obs(report)
+        self._maybe_shed()
+        return grouped, report
 
     def _record_query_obs(self, report: CacheQueryReport) -> None:
         """Fold one finished query's report into the metrics registry.
@@ -450,6 +572,7 @@ class AggregateCacheManager:
         result: GroupedAggregates,
         report: CacheQueryReport,
         trace: Optional[QueryTrace] = None,
+        cancel=None,
     ) -> Optional[AggregateCacheEntry]:
         """Look up / create the entry for one all-main combination and fold
         its main-compensated value into ``result``.
@@ -467,6 +590,8 @@ class AggregateCacheManager:
             else None
         )
         lookup_started = time.perf_counter()
+        if cancel is not None:
+            cancel.check()  # per-combination boundary
         with self._lock:
             entry = self._entries.get(key)
             recomputed = entry is not None and (
@@ -488,7 +613,7 @@ class AggregateCacheManager:
             span.attrs["outcome"] = outcome
         if entry is None:
             build_span = span.child("build_entry") if span is not None else None
-            entry = self._create_entry(bound, combo, key, report)
+            entry = self._create_entry(bound, combo, key, report, cancel)
             if build_span is not None:
                 build_span.finish()
                 build_span.attrs["admitted"] = entry is not None
@@ -498,7 +623,8 @@ class AggregateCacheManager:
                 # Admission rejected: compute this query's main contribution
                 # directly at the transaction snapshot, uncached.
                 self._direct_main_scan(
-                    bound, combo, txn, result, report, span, "admission_rejected"
+                    bound, combo, txn, result, report, span,
+                    "admission_rejected", cancel,
                 )
                 return None
             if txn.snapshot < entry.snapshot:
@@ -508,7 +634,8 @@ class AggregateCacheManager:
                 # should see that the entry no longer carries cannot be added
                 # back, so answer this combination directly from the base data.
                 self._direct_main_scan(
-                    bound, combo, txn, result, report, span, "entry_too_new"
+                    bound, combo, txn, result, report, span,
+                    "entry_too_new", cancel,
                 )
                 return None
             with self._lock:
@@ -546,6 +673,7 @@ class AggregateCacheManager:
         report: CacheQueryReport,
         parent_span: Optional[Span],
         why: str,
+        cancel=None,
     ) -> None:
         """Answer one all-main combination straight from the base data."""
         scan_span = (
@@ -559,6 +687,7 @@ class AggregateCacheManager:
             combos=[ComboSpec(dict(combo))],
             into=result,
             stats=report.executor_stats,
+            cancel=cancel,
         )
         if scan_span is not None:
             scan_span.finish()
@@ -569,6 +698,7 @@ class AggregateCacheManager:
         combo: Dict,
         key: CacheKey,
         report: CacheQueryReport,
+        cancel=None,
     ) -> Optional[AggregateCacheEntry]:
         """Compute the main aggregate with global visibility; admit or not.
 
@@ -580,7 +710,7 @@ class AggregateCacheManager:
         global_snapshot = self._views.txn_manager.global_snapshot()
         build_started = time.perf_counter()
         value = self._executor.execute(
-            bound, global_snapshot, combos=[ComboSpec(dict(combo))]
+            bound, global_snapshot, combos=[ComboSpec(dict(combo))], cancel=cancel
         )
         creation_time = time.perf_counter() - build_started
         self.obs.cache_build_seconds.observe(creation_time)
@@ -637,6 +767,117 @@ class AggregateCacheManager:
             if victims:
                 self.obs.cache_evictions.inc(len(victims))
 
+    # ------------------------------------------------------------------
+    # memory budget (governor-driven shedding)
+    # ------------------------------------------------------------------
+    def tracked_bytes(self) -> int:
+        """Approximate bytes charged against the memory budget: cached
+        values, delta memos, and the plan/parse caches."""
+        with self._lock:
+            return self._tracked_bytes_locked()
+
+    def _tracked_bytes_locked(self) -> int:
+        total = 0
+        for entry in self._entries.values():
+            total += entry.metrics.size_bytes
+            memo = entry.delta_memo
+            if memo is not None:
+                total += _memo_nbytes(memo)
+        total += len(self.plan_cache) * _PLAN_CACHE_BYTES_PER_ENTRY
+        total += (
+            parse_cache_stats()["entries"] * _PARSE_CACHE_BYTES_PER_ENTRY
+        )
+        return total
+
+    def _maybe_shed(self) -> None:
+        """Post-query hook: shed down to the governor's budget, if any."""
+        governor = self.governor
+        if governor is None or governor.memory_budget_bytes is None:
+            return
+        self.shed_to_budget(governor.memory_budget_bytes)
+
+    def shed_to_budget(self, budget_bytes: int) -> Dict[str, int]:
+        """Shed cache state until ``tracked_bytes() <= budget_bytes``.
+
+        Shedding follows profit order — cheapest-to-rebuild state first:
+
+        1. **delta memos** before entries (a memo only accelerates delta
+           compensation; the entry keeps serving hits without it),
+           least-recently-used entries' memos first;
+        2. **cold entries before hot** via the existing eviction
+           machinery (:class:`ProfitEviction` — lowest profit first);
+        3. the **plan and parse caches** last (pure recompute caches).
+
+        Returns the per-kind shed counts; totals are recorded on the
+        governor (``repro_governor_sheds_total``).
+        """
+        shed = {"memo": 0, "entry": 0, "plan": 0}
+        freed = {"memo": 0, "entry": 0, "plan": 0}
+        evicted = 0
+        plan_dropped = 0
+        with self._lock:
+            tracked = self._tracked_bytes_locked()
+            if tracked <= budget_bytes:
+                if self.governor is not None:
+                    self.governor.set_tracked_bytes(tracked)
+                return shed
+            by_lru = sorted(
+                self._entries.values(),
+                key=lambda e: e.metrics.last_access_clock,
+            )
+            for entry in by_lru:
+                if tracked <= budget_bytes:
+                    break
+                memo = entry.delta_memo
+                if memo is None:
+                    continue
+                nbytes = _memo_nbytes(memo)
+                entry.delta_memo = None
+                tracked -= nbytes
+                freed["memo"] += nbytes
+                shed["memo"] += 1
+            if tracked > budget_bytes:
+                # select_victims budgets over entry value bytes only, so
+                # subtract the non-entry overhead from the global budget.
+                overhead = tracked - sum(
+                    e.metrics.size_bytes for e in self._entries.values()
+                )
+                victims = self._eviction.select_victims(
+                    self._entries,
+                    None,
+                    max(0, budget_bytes - overhead),
+                )
+                for key in victims:
+                    nbytes = self._entries[key].metrics.size_bytes
+                    del self._entries[key]
+                    self.total_evictions += 1
+                    tracked -= nbytes
+                    freed["entry"] += nbytes
+                    shed["entry"] += 1
+                evicted = len(victims)
+            if tracked > budget_bytes:
+                plan_dropped = self.plan_cache.clear()
+                parse_entries = parse_cache_stats()["entries"]
+                clear_parse_cache()
+                shed["plan"] = plan_dropped + parse_entries
+                freed["plan"] = (
+                    plan_dropped * _PLAN_CACHE_BYTES_PER_ENTRY
+                    + parse_entries * _PARSE_CACHE_BYTES_PER_ENTRY
+                )
+                tracked -= freed["plan"]
+            final_tracked = tracked
+        if evicted:
+            self.obs.cache_evictions.inc(evicted)
+        if plan_dropped:
+            self.obs.plan_cache_evictions.inc(plan_dropped)
+        governor = self.governor
+        if governor is not None:
+            for kind, count in shed.items():
+                if count:
+                    governor.record_shed(kind, count, freed[kind])
+            governor.set_tracked_bytes(final_tracked)
+        return shed
+
     def _apply_delta_compensation(
         self,
         plan: PhysicalPlan,
@@ -645,6 +886,7 @@ class AggregateCacheManager:
         report: CacheQueryReport,
         trace: Optional[QueryTrace] = None,
         entries: Optional[List[Optional[AggregateCacheEntry]]] = None,
+        cancel=None,
     ) -> None:
         """Aggregate the plan's surviving compensation subjoins into ``result``.
 
@@ -663,6 +905,8 @@ class AggregateCacheManager:
           multi-entry plans, direct-scan answers, older readers) and the
           compensation union runs exactly as without it.
         """
+        if self.fault_injector is not None:
+            self.fault_injector.fire("cache.compensation")
         span = trace.child("delta_compensation") if trace is not None else None
         # Pruned subjoins never reach the executor, so their spans are
         # appended while walking the plan; the evaluated ones are appended
@@ -677,7 +921,7 @@ class AggregateCacheManager:
         comp_started = time.perf_counter()
         if mode == "incremental":
             self._delta_compensation_incremental(
-                plan, txn, result, report, span_sink, entry, memo
+                plan, txn, result, report, span_sink, entry, memo, cancel
             )
         else:
             self._delta_compensation_full(
@@ -688,6 +932,7 @@ class AggregateCacheManager:
                 span_sink,
                 entry if mode == "full" else None,
                 memo,
+                cancel,
             )
         elapsed = time.perf_counter() - comp_started
         report.time_delta_compensation += elapsed
@@ -759,6 +1004,7 @@ class AggregateCacheManager:
         span_sink: Optional[List[Span]],
         entry: Optional[AggregateCacheEntry],
         observed: Optional[DeltaMemo],
+        cancel=None,
     ) -> None:
         """Evaluate every surviving subjoin; with ``entry`` set, capture the
         folded compensation value as a fresh memo on it."""
@@ -777,6 +1023,7 @@ class AggregateCacheManager:
             into=into,
             stats=report.executor_stats,
             span_sink=span_sink,
+            cancel=cancel,
         )
         if entry is None:
             return
@@ -797,6 +1044,7 @@ class AggregateCacheManager:
         span_sink: Optional[List[Span]],
         entry: AggregateCacheEntry,
         memo: DeltaMemo,
+        cancel=None,
     ) -> None:
         """Merge the memo's folded value and scan only the delta suffix.
 
@@ -822,6 +1070,7 @@ class AggregateCacheManager:
                 into=inc,
                 stats=report.executor_stats,
                 span_sink=inner if span_sink is not None else None,
+                cancel=cancel,
             )
             result.merge(inc)
         if span_sink is not None:

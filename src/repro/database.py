@@ -37,7 +37,19 @@ from .core.eviction import EvictionPolicy
 from .core.manager import AggregateCacheManager, CacheQueryReport
 from .core.matching_dependency import MatchingDependency
 from .core.strategies import CacheConfig, ExecutionStrategy
-from .errors import CatalogError, DurabilityError, QueryError
+from .errors import (
+    CatalogError,
+    DurabilityError,
+    QueryCancelled,
+    QueryError,
+    QueryTimeout,
+)
+from .governor import (
+    CancelToken,
+    GovernorConfig,
+    HealthReport,
+    ResourceGovernor,
+)
 from .obs import EngineMetrics
 from .obs.trace import QueryTrace
 from .query.executor import QueryExecutor
@@ -101,6 +113,7 @@ class Database:
         n_workers: Optional[int] = None,
         parallel: Optional[ParallelConfig] = None,
         observability: bool = True,
+        governor: Optional[Union[ResourceGovernor, GovernorConfig]] = None,
     ):
         if parallel is None and n_workers is not None:
             parallel = ParallelConfig(n_workers=n_workers) if n_workers > 1 else None
@@ -114,6 +127,12 @@ class Database:
         # ``observability=False`` swaps in the shared no-op registry: every
         # hook stays wired but each increment/observe is an empty call.
         self.obs = EngineMetrics() if observability else EngineMetrics.disabled()
+        # The resource governor: pass a ResourceGovernor or a GovernorConfig
+        # to override the REPRO_* environment defaults.
+        if isinstance(governor, ResourceGovernor):
+            self.governor = governor
+        else:
+            self.governor = ResourceGovernor(governor, obs=self.obs)
         self.cache = AggregateCacheManager(
             self.catalog,
             self.executor,
@@ -122,6 +141,7 @@ class Database:
             admission=admission,
             eviction=eviction,
             obs=self.obs,
+            governor=self.governor,
         )
         self.cache.fault_injector = self.faults
         self.enforcer = MDEnforcer(
@@ -129,6 +149,8 @@ class Database:
             enforce_referential_integrity=config.enforce_referential_integrity,
         )
         self._thread_state = threading.local()
+        self._close_lock = threading.Lock()
+        self._closed = False
         self._write_listeners: List[object] = []
         self._merge_listeners: List[object] = []
         # Durability state (all None/inert for in-memory databases).
@@ -168,8 +190,17 @@ class Database:
             self.path = Path(path)
             self.path.mkdir(parents=True, exist_ok=True)
             self._wal = WriteAheadLog(
-                self.path / "wal.jsonl", faults=self.faults, obs=self.obs
+                self.path / "wal.jsonl",
+                faults=self.faults,
+                obs=self.obs,
+                retry=self.governor.retry,
             )
+            # Exhausted retries open the durability breaker (WAL-degraded:
+            # writes rejected, reads served); durable appends feed its
+            # success side so a half-open probe can close it again.
+            self._wal.on_append_failure = self.governor.record_wal_failure
+            self._wal.on_append_success = self.governor.record_wal_success
+            self._wal.on_append_retry = self.governor.record_io_retry
             self._replaying = True
             try:
                 self.recovery_stats = recover_database(
@@ -181,6 +212,19 @@ class Database:
 
     def _checkpoint_dir(self) -> Path:
         return self.path / "checkpoints"
+
+    def _ensure_writable(self) -> None:
+        """Reject mutations while WAL-degraded (durability breaker open).
+
+        Recovery replay is exempt: it re-applies already-durable work and
+        must never be blocked by a breaker left over from the previous
+        incarnation.  Raises
+        :class:`~repro.errors.WriteRejectedError` when degraded; a
+        half-open breaker admits the mutation as its probe.
+        """
+        if self._replaying:
+            return
+        self.governor.ensure_writes_allowed()
 
     def _log_ddl(self, record_type: str, data: Dict) -> None:
         if self._wal is not None and not self._replaying:
@@ -210,24 +254,49 @@ class Database:
         """
         if self._wal is None:
             return None
+        self._ensure_writable()
         from .reliability.checkpoint import write_checkpoint
 
+        def on_retry(attempt, err):
+            self.governor.record_io_retry("checkpoint.write")
+
         with self.lock.write():  # the snapshot must not race ongoing DML
-            path = write_checkpoint(
-                self,
-                self._checkpoint_dir(),
-                self._wal.stats.last_lsn,
-                faults=self.faults,
-            )
+            try:
+                path = write_checkpoint(
+                    self,
+                    self._checkpoint_dir(),
+                    self._wal.stats.last_lsn,
+                    faults=self.faults,
+                    retry=self.governor.retry,
+                    on_retry=on_retry,
+                )
+            except OSError as err:
+                self.governor.record_wal_failure(err)
+                raise DurabilityError(
+                    f"checkpoint write failed after "
+                    f"{self.governor.retry.attempts} attempt(s): {err}"
+                ) from err
+            self.governor.record_wal_success()
             self._wal.stats.checkpoints_written += 1
             return path
 
     def close(self) -> None:
-        """Release the WAL file handle and stop the executor's worker pool
-        (idempotent; in-memory databases only stop the pool)."""
-        self.executor.close()
-        if self._wal is not None:
-            self._wal.close()
+        """Shut the database down (idempotent, thread-safe).
+
+        Exactly one caller performs the shutdown; concurrent and repeated
+        calls return immediately.  The closer takes the database write
+        lock first, so every in-flight query drains before the executor
+        pool stops and the WAL handle is released — closing under
+        concurrent readers never yanks resources out from under them.
+        """
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+        with self.lock.write():  # drain in-flight readers before teardown
+            self.executor.close()
+            if self._wal is not None:
+                self._wal.close()
 
     def __enter__(self) -> "Database":
         return self
@@ -293,6 +362,7 @@ class Database:
         keeping main x insert-delta subjoins dynamically prunable under
         update traffic.
         """
+        self._ensure_writable()
         schema = _as_schema(columns, primary_key)
         if aging_rule is not None and self._wal is not None:
             raise DurabilityError(
@@ -334,6 +404,7 @@ class Database:
 
     def drop_table(self, name: str) -> None:
         """Drop a table, evicting only the cache entries that reference it."""
+        self._ensure_writable()
         with self.lock.write():
             self.catalog.drop_table(name)
             self.cache.evict_for_table(name)
@@ -354,6 +425,7 @@ class Database:
         empty.  From this call on every insert is stamped, so the MD holds
         for all data, which is what keeps pruning sound.
         """
+        self._ensure_writable()
         name = tid_column_name or f"tid_{parent_table}"
         md = MatchingDependency(parent_table, parent_key, child_table, child_fk, name)
         with self.lock.write():
@@ -385,6 +457,7 @@ class Database:
         """Promise that matching tuples of the two tables age together
         (Section 5.4), enabling logical pruning of cross-temperature
         subjoins."""
+        self._ensure_writable()
         with self.lock.write():
             for name in (left_table, right_table):
                 self.catalog.table(name)  # existence check
@@ -428,6 +501,7 @@ class Database:
         txn: Optional[Transaction] = None,
     ):
         """Insert one row; stamps MD tid columns through the enforcer."""
+        self._ensure_writable()
         transaction, own = self._txn_or_begin(txn)
         with self.lock.write():
             try:
@@ -464,6 +538,7 @@ class Database:
         txn: Optional[Transaction] = None,
     ) -> int:
         """Insert several rows in one transaction; returns the count."""
+        self._ensure_writable()
         transaction, own = self._txn_or_begin(txn)
         with self.lock.write():  # one exclusive span for the whole batch
             try:
@@ -489,6 +564,7 @@ class Database:
         """Persist a header and its items in a single transaction — the
         enterprise-application insert pattern of Section 3.2.  Returns the
         number of item rows inserted."""
+        self._ensure_writable()
         transaction, own = self._txn_or_begin(txn)
         with self.lock.write():  # header + items swap in as one unit
             try:
@@ -512,6 +588,7 @@ class Database:
         txn: Optional[Transaction] = None,
     ) -> None:
         """Update one row by primary key (new version goes to the delta)."""
+        self._ensure_writable()
         transaction, own = self._txn_or_begin(txn)
         with self.lock.write():
             self._update_locked(table_name, pk_value, changes, transaction, own)
@@ -549,6 +626,7 @@ class Database:
         txn: Optional[Transaction] = None,
     ) -> None:
         """Delete one row by primary key (invalidation only)."""
+        self._ensure_writable()
         transaction, own = self._txn_or_begin(txn)
         with self.lock.write():
             self._delete_locked(table_name, pk_value, transaction, own)
@@ -599,6 +677,7 @@ class Database:
         not yet logged are simply re-run from the pre-merge state — they
         change the physical layout, never query results.
         """
+        self._ensure_writable()
         with self.lock.write():  # partition swap excludes all readers
             tables = (
                 [self.catalog.table(table_name)]
@@ -672,6 +751,8 @@ class Database:
         strategy: Optional[ExecutionStrategy] = None,
         txn: Optional[Transaction] = None,
         as_of: Optional[int] = None,
+        timeout_ms: Optional[float] = None,
+        cancel: Optional[CancelToken] = None,
     ) -> QueryResult:
         """Answer an aggregate query (SQL text or query object).
 
@@ -680,8 +761,20 @@ class Database:
         (``merge(keep_history=True)`` keeps invalidated rows).  The
         per-query :class:`CacheQueryReport` rides on the returned result
         (``result.report``); ``db.last_report`` keeps a thread-local copy.
+
+        ``timeout_ms`` bounds the query's wall-clock time (default from
+        ``REPRO_QUERY_TIMEOUT_MS``; explicit wins): the deadline is
+        checked cooperatively at every subjoin boundary and an expired
+        query aborts with :class:`~repro.errors.QueryTimeout`, leaving
+        the cache, delta memos, and transaction manager exactly as if the
+        query had never run.  ``cancel`` accepts a
+        :class:`~repro.governor.CancelToken` another thread may trip
+        (:class:`~repro.errors.QueryCancelled`).
         """
-        return self._run_query(query, strategy, txn, as_of, trace=None)
+        return self._run_query(
+            query, strategy, txn, as_of, trace=None,
+            timeout_ms=timeout_ms, cancel=cancel,
+        )
 
     def explain_analyze(
         self,
@@ -689,6 +782,8 @@ class Database:
         strategy: Optional[ExecutionStrategy] = None,
         txn: Optional[Transaction] = None,
         as_of: Optional[int] = None,
+        timeout_ms: Optional[float] = None,
+        cancel: Optional[CancelToken] = None,
     ) -> QueryTrace:
         """Run the query for real and return its structured trace.
 
@@ -702,7 +797,10 @@ class Database:
         """
         sql_text = query if isinstance(query, str) else None
         trace = QueryTrace(sql=sql_text)
-        result = self._run_query(query, strategy, txn, as_of, trace=trace)
+        result = self._run_query(
+            query, strategy, txn, as_of, trace=trace,
+            timeout_ms=timeout_ms, cancel=cancel,
+        )
         trace.finish()
         trace.result = result
         trace.report = result.report
@@ -716,31 +814,46 @@ class Database:
         txn: Optional[Transaction],
         as_of: Optional[int],
         trace: Optional[QueryTrace],
+        timeout_ms: Optional[float] = None,
+        cancel: Optional[CancelToken] = None,
     ) -> QueryResult:
         # Raw SQL passes through untouched: the manager's plan cache hits on
         # the literal text, skipping parse *and* bind for repeated
         # statements.  The bound query comes back on the report's plan.
-        if as_of is not None:
-            if txn is not None:
-                raise QueryError("pass either txn or as_of, not both")
-            reader = SnapshotReader(as_of)
+        token = self.governor.query_token(timeout_ms=timeout_ms, cancel=cancel)
+        try:
+            if as_of is not None:
+                if txn is not None:
+                    raise QueryError("pass either txn or as_of, not both")
+                reader = SnapshotReader(as_of)
+                with self.lock.read():
+                    grouped, report = self.cache.execute(
+                        query, reader, strategy=strategy, trace=trace,
+                        cancel=token,
+                    )
+                return self._finish_query(report.plan.query, grouped, report)
+            transaction, own = self._txn_or_begin(txn)
             with self.lock.read():
-                grouped, report = self.cache.execute(
-                    query, reader, strategy=strategy, trace=trace
-                )
+                try:
+                    grouped, report = self.cache.execute(
+                        query, transaction, strategy=strategy, trace=trace,
+                        cancel=token,
+                    )
+                except BaseException:
+                    # Aborting the auto-begun transaction here (inside the
+                    # ``with``) means a timed-out query leaves no active
+                    # transaction and no held read lock behind.
+                    self._abort_own(transaction, own)
+                    raise
+                if own:
+                    transaction.commit()
             return self._finish_query(report.plan.query, grouped, report)
-        transaction, own = self._txn_or_begin(txn)
-        with self.lock.read():
-            try:
-                grouped, report = self.cache.execute(
-                    query, transaction, strategy=strategy, trace=trace
-                )
-            except BaseException:
-                self._abort_own(transaction, own)
-                raise
-            if own:
-                transaction.commit()
-        return self._finish_query(report.plan.query, grouped, report)
+        except QueryTimeout:
+            self.governor.record_timeout()
+            raise
+        except QueryCancelled:
+            self.governor.record_cancellation()
+            raise
 
     def _finish_query(self, query, grouped, report) -> QueryResult:
         result = QueryResult.from_grouped(query, grouped)
@@ -783,6 +896,13 @@ class Database:
 
         with self.lock.read():
             return collect_statistics(self)
+
+    def health(self) -> HealthReport:
+        """The governor's health snapshot: overall state, active degraded
+        modes (``wal_degraded`` / ``cache_degraded``), breaker details,
+        abort/retry/shed counters, and memory-budget occupancy.  Served
+        without the database lock so it works even while writers stall."""
+        return self.governor.health(tracked_bytes=self.cache.tracked_bytes())
 
     def export_metrics(self) -> str:
         """The metrics registry in Prometheus text exposition format.

@@ -62,6 +62,39 @@ class SqlSyntaxError(QueryError):
         self.position = position
 
 
+class QueryAborted(ReproError):
+    """A query was stopped at a cooperative cancellation checkpoint.
+
+    The abort is clean: any auto-started transaction is released, held
+    read locks are dropped, and no partial cache entry, delta-memo
+    advance, or statistics update survives the aborted run.
+    """
+
+
+class QueryTimeout(QueryAborted):
+    """The query's deadline expired before it finished.
+
+    Carries ``timeout_ms``, the budget the query was admitted with.
+    """
+
+    def __init__(self, message: str, timeout_ms: float = 0.0):
+        super().__init__(message)
+        self.timeout_ms = timeout_ms
+
+
+class QueryCancelled(QueryAborted):
+    """The query's :class:`~repro.governor.CancelToken` was cancelled."""
+
+
+class WriteRejectedError(ReproError):
+    """The database is WAL-degraded: writes are rejected, reads served.
+
+    Raised by every mutating entry point while the durability circuit
+    breaker is open.  Clients should back off and retry; the breaker
+    half-opens after its cooldown and lets a probe write through.
+    """
+
+
 class DurabilityError(ReproError):
     """The write-ahead log or a checkpoint is unusable.
 

@@ -1,0 +1,36 @@
+"""Resource governance: deadlines, budgets, retries, and degraded modes.
+
+See :mod:`repro.governor.governor` for the overview; the pieces are
+
+* :class:`Deadline` / :class:`CancelToken` — cooperative query cancellation;
+* :class:`RetryPolicy` — bounded exponential backoff for transient I/O;
+* :class:`CircuitBreaker` — closed → open → half-open failure isolation;
+* :class:`ResourceGovernor` / :class:`GovernorConfig` / :class:`HealthReport`
+  — the facade-level state machine tying them together.
+"""
+
+from .breaker import BreakerSnapshot, CircuitBreaker
+from .deadline import CancelToken, Deadline
+from .governor import (
+    CACHE_DEGRADED,
+    HEALTHY,
+    WAL_DEGRADED,
+    GovernorConfig,
+    HealthReport,
+    ResourceGovernor,
+)
+from .retry import RetryPolicy
+
+__all__ = [
+    "BreakerSnapshot",
+    "CircuitBreaker",
+    "CancelToken",
+    "Deadline",
+    "GovernorConfig",
+    "HealthReport",
+    "ResourceGovernor",
+    "RetryPolicy",
+    "HEALTHY",
+    "WAL_DEGRADED",
+    "CACHE_DEGRADED",
+]

@@ -1,0 +1,163 @@
+"""Circuit breakers guarding the durability and cache code paths.
+
+A breaker watches consecutive failures of one subsystem and, once a
+threshold is crossed, *opens*: the guarded path is skipped outright
+(writes rejected / aggregate cache bypassed) instead of failing slowly
+over and over.  After a cooldown the breaker *half-opens* and admits a
+single probe; a successful probe closes the breaker, a failed one
+re-opens it and restarts the cooldown.
+
+::
+
+                 failure x threshold              cooldown elapsed
+        CLOSED ───────────────────────▶ OPEN ───────────────────────▶ HALF_OPEN
+          ▲                              ▲                               │
+          │        probe succeeds        │        probe fails            │
+          └──────────────────────────────┴───────────────────────────────┘
+
+All transitions are lock-protected; the clock is injectable for tests.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+#: Numeric encoding used for the ``repro_governor_breaker_state`` gauge.
+STATE_CODES = {CLOSED: 0, OPEN: 1, HALF_OPEN: 2}
+
+
+@dataclass(frozen=True)
+class BreakerSnapshot:
+    """Point-in-time view of one breaker (``db.health()`` / monitor)."""
+
+    name: str
+    state: str
+    consecutive_failures: int
+    failures_total: int
+    opened_total: int
+    last_error: Optional[str]
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with half-open probing.
+
+    ``threshold`` consecutive failures open the breaker; after
+    ``reset_after_s`` a single probe is admitted.  ``on_transition(name,
+    to_state)`` fires (outside the lock) on every state change — the
+    governor uses it to drive the breaker-state gauge and transition
+    counters.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        threshold: int = 5,
+        reset_after_s: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+        on_transition: Optional[Callable[[str, str], None]] = None,
+    ):
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        self.name = name
+        self.threshold = threshold
+        self.reset_after_s = reset_after_s
+        self._clock = clock
+        self._on_transition = on_transition
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._failures_total = 0
+        self._opened_total = 0
+        self._opened_at: Optional[float] = None
+        self._probe_started_at: Optional[float] = None
+        self._last_error: Optional[str] = None
+
+    @property
+    def state(self) -> str:
+        return self._state
+
+    def allow(self) -> bool:
+        """Whether the guarded operation may run right now.
+
+        In ``open``, flips to ``half_open`` (admitting this caller as the
+        probe) once the cooldown has elapsed.  In ``half_open``, admits a
+        replacement probe if the previous one has been silent for a full
+        cooldown — a probe that died without reporting must not wedge the
+        breaker forever.
+        """
+        transition = None
+        with self._lock:
+            if self._state == CLOSED:
+                return True
+            now = self._clock()
+            if self._state == OPEN:
+                if now - self._opened_at >= self.reset_after_s:
+                    self._state = HALF_OPEN
+                    self._probe_started_at = now
+                    transition = HALF_OPEN
+                else:
+                    return False
+            elif now - self._probe_started_at >= self.reset_after_s:
+                self._probe_started_at = now  # stale probe: admit another
+            else:
+                return False
+        self._notify(transition)
+        return True
+
+    def record_success(self) -> None:
+        """The guarded operation succeeded; closes a half-open breaker."""
+        if self._state == CLOSED and self._consecutive_failures == 0:
+            return  # benign unlocked fast path for the steady state
+        transition = None
+        with self._lock:
+            self._consecutive_failures = 0
+            self._last_error = None
+            if self._state != CLOSED:
+                self._state = CLOSED
+                self._opened_at = None
+                self._probe_started_at = None
+                transition = CLOSED
+        self._notify(transition)
+
+    def record_failure(self, error: Optional[BaseException] = None) -> None:
+        """The guarded operation failed; may open the breaker."""
+        transition = None
+        with self._lock:
+            self._consecutive_failures += 1
+            self._failures_total += 1
+            if error is not None:
+                self._last_error = f"{type(error).__name__}: {error}"
+            tripped = (
+                self._state == HALF_OPEN
+                or (self._state == CLOSED
+                    and self._consecutive_failures >= self.threshold)
+            )
+            if tripped:
+                self._state = OPEN
+                self._opened_at = self._clock()
+                self._opened_total += 1
+                self._probe_started_at = None
+                transition = OPEN
+        self._notify(transition)
+
+    def snapshot(self) -> BreakerSnapshot:
+        with self._lock:
+            return BreakerSnapshot(
+                name=self.name,
+                state=self._state,
+                consecutive_failures=self._consecutive_failures,
+                failures_total=self._failures_total,
+                opened_total=self._opened_total,
+                last_error=self._last_error,
+            )
+
+    def _notify(self, to_state: Optional[str]) -> None:
+        if to_state is not None and self._on_transition is not None:
+            self._on_transition(self.name, to_state)

@@ -1,0 +1,330 @@
+"""The resource governor: one object owning every degradation decision.
+
+:class:`ResourceGovernor` sits on the :class:`~repro.database.Database`
+facade and cooperates with four mechanisms:
+
+* **query deadlines** — :meth:`query_token` mints the per-query
+  :class:`~repro.governor.deadline.CancelToken` (default budget from
+  ``REPRO_QUERY_TIMEOUT_MS``) and the facade reports the resulting
+  timeouts/cancellations back for accounting;
+* **memory budgets** — ``memory_budget_bytes`` is the ceiling the cache
+  manager sheds down to (``REPRO_MEMORY_BUDGET_MB``), with every shed
+  recorded here;
+* **durability breaker** — WAL appends and checkpoint writes retry
+  transient ``OSError``s through :attr:`retry`; exhausted retries feed
+  :attr:`wal_breaker`, and while it is open the database is
+  *WAL-degraded*: :meth:`ensure_writes_allowed` rejects mutations with
+  :class:`~repro.errors.WriteRejectedError` while reads keep serving;
+* **cache breaker** — failures inside cached execution feed
+  :attr:`cache_breaker`; while it is open the database is
+  *cache-degraded*: queries bypass the aggregate cache and answer from
+  the base tables.
+
+:meth:`health` condenses all of it into a :class:`HealthReport` for
+``db.health()``, the monitor, and the shell's ``\\health`` command; the
+same numbers feed the ``repro_governor_*`` metrics.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..envutil import env_float, env_int
+from ..errors import WriteRejectedError
+from .breaker import CLOSED, OPEN, STATE_CODES, BreakerSnapshot, CircuitBreaker
+from .deadline import CancelToken, Deadline
+from .retry import RetryPolicy
+
+#: Environment knobs (all parsed through :mod:`repro.envutil`).
+QUERY_TIMEOUT_ENV = "REPRO_QUERY_TIMEOUT_MS"
+MEMORY_BUDGET_ENV = "REPRO_MEMORY_BUDGET_MB"
+WAL_RETRIES_ENV = "REPRO_WAL_RETRIES"
+RETRY_BACKOFF_ENV = "REPRO_RETRY_BACKOFF_MS"
+BREAKER_THRESHOLD_ENV = "REPRO_BREAKER_THRESHOLD"
+BREAKER_RESET_ENV = "REPRO_BREAKER_RESET_MS"
+
+#: Health states (the two degraded modes may hold simultaneously).
+HEALTHY = "healthy"
+WAL_DEGRADED = "wal_degraded"
+CACHE_DEGRADED = "cache_degraded"
+
+
+@dataclass(frozen=True)
+class GovernorConfig:
+    """Tunable limits; :meth:`from_env` reads the ``REPRO_*`` knobs.
+
+    ``query_timeout_ms=None`` / ``memory_budget_mb=None`` disable the
+    respective mechanism entirely (zero per-query overhead).
+    """
+
+    query_timeout_ms: Optional[float] = None
+    memory_budget_mb: Optional[float] = None
+    wal_retries: int = 3
+    retry_backoff_ms: float = 1.0
+    breaker_threshold: int = 5
+    breaker_reset_ms: float = 1000.0
+
+    @classmethod
+    def from_env(cls) -> "GovernorConfig":
+        defaults = cls()
+        return cls(
+            query_timeout_ms=env_float(QUERY_TIMEOUT_ENV, None, minimum=1.0),
+            memory_budget_mb=env_float(MEMORY_BUDGET_ENV, None, minimum=0.001),
+            wal_retries=env_int(WAL_RETRIES_ENV, defaults.wal_retries, minimum=1),
+            retry_backoff_ms=env_float(
+                RETRY_BACKOFF_ENV, defaults.retry_backoff_ms, minimum=0.0
+            ),
+            breaker_threshold=env_int(
+                BREAKER_THRESHOLD_ENV, defaults.breaker_threshold, minimum=1
+            ),
+            breaker_reset_ms=env_float(
+                BREAKER_RESET_ENV, defaults.breaker_reset_ms, minimum=1.0
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class HealthReport:
+    """One coherent snapshot of the degradation state machine."""
+
+    state: str  # "healthy" or "degraded"
+    modes: List[str]  # active degraded modes, e.g. ["wal_degraded"]
+    breakers: Dict[str, BreakerSnapshot]
+    timeouts: int
+    cancellations: int
+    writes_rejected: int
+    degraded_queries: int
+    retries: Dict[str, int]
+    sheds: Dict[str, int]
+    shed_bytes: int
+    tracked_bytes: Optional[int]
+    memory_budget_bytes: Optional[int]
+
+    def render(self) -> str:
+        """Human-readable block for the shell's ``\\health`` command."""
+        lines = [f"state: {self.state}"]
+        if self.modes:
+            lines.append(f"modes: {', '.join(self.modes)}")
+        for name in sorted(self.breakers):
+            b = self.breakers[name]
+            detail = (
+                f"breaker[{name}]: {b.state}"
+                f" (consecutive_failures={b.consecutive_failures},"
+                f" failures_total={b.failures_total},"
+                f" opened_total={b.opened_total})"
+            )
+            if b.last_error:
+                detail += f" last_error={b.last_error}"
+            lines.append(detail)
+        lines.append(
+            f"queries: timeouts={self.timeouts}"
+            f" cancellations={self.cancellations}"
+            f" degraded={self.degraded_queries}"
+        )
+        lines.append(f"writes rejected: {self.writes_rejected}")
+        if self.retries:
+            pairs = ", ".join(
+                f"{point}={n}" for point, n in sorted(self.retries.items())
+            )
+            lines.append(f"io retries: {pairs}")
+        if self.memory_budget_bytes is not None:
+            lines.append(
+                f"memory: tracked={self.tracked_bytes or 0}B"
+                f" budget={self.memory_budget_bytes}B"
+                f" sheds={dict(sorted(self.sheds.items()))}"
+                f" shed_bytes={self.shed_bytes}"
+            )
+        elif self.tracked_bytes is not None:
+            lines.append(f"memory: tracked={self.tracked_bytes}B (no budget)")
+        return "\n".join(lines)
+
+
+class ResourceGovernor:
+    """Owns the breakers, retry policy, budgets, and their accounting."""
+
+    def __init__(self, config: Optional[GovernorConfig] = None, obs=None):
+        self.config = config or GovernorConfig.from_env()
+        self.obs = obs
+        self.retry = RetryPolicy(
+            attempts=self.config.wal_retries,
+            backoff_ms=self.config.retry_backoff_ms,
+        )
+        reset_s = self.config.breaker_reset_ms / 1000.0
+        self.wal_breaker = CircuitBreaker(
+            "wal",
+            threshold=self.config.breaker_threshold,
+            reset_after_s=reset_s,
+            on_transition=self._on_breaker_transition,
+        )
+        self.cache_breaker = CircuitBreaker(
+            "cache",
+            threshold=self.config.breaker_threshold,
+            reset_after_s=reset_s,
+            on_transition=self._on_breaker_transition,
+        )
+        budget_mb = self.config.memory_budget_mb
+        self.memory_budget_bytes: Optional[int] = (
+            int(budget_mb * 1024 * 1024) if budget_mb is not None else None
+        )
+        self._lock = threading.Lock()
+        self._timeouts = 0
+        self._cancellations = 0
+        self._writes_rejected = 0
+        self._degraded_queries = 0
+        self._retries: Dict[str, int] = {}
+        self._sheds: Dict[str, int] = {}
+        self._shed_bytes = 0
+
+    # ------------------------------------------------------------------
+    # Query admission (deadlines / cancellation)
+    # ------------------------------------------------------------------
+    def query_token(
+        self,
+        timeout_ms: Optional[float] = None,
+        cancel: Optional[CancelToken] = None,
+    ) -> Optional[CancelToken]:
+        """The token a query should run under, or ``None`` for ungoverned.
+
+        An explicit ``timeout_ms`` wins over the configured default; a
+        caller-supplied token is reused (gaining the deadline if it has
+        none yet) so external cancellation keeps working.
+        """
+        if timeout_ms is None:
+            timeout_ms = self.config.query_timeout_ms
+        if cancel is not None:
+            if timeout_ms is not None and cancel.deadline is None:
+                cancel.deadline = Deadline.after_ms(timeout_ms)
+            return cancel
+        if timeout_ms is None:
+            return None
+        return CancelToken(Deadline.after_ms(timeout_ms))
+
+    def record_timeout(self) -> None:
+        with self._lock:
+            self._timeouts += 1
+        if self.obs is not None:
+            self.obs.governor_timeouts.inc()
+
+    def record_cancellation(self) -> None:
+        with self._lock:
+            self._cancellations += 1
+        if self.obs is not None:
+            self.obs.governor_cancellations.inc()
+
+    # ------------------------------------------------------------------
+    # Durability (WAL / checkpoint) degradation
+    # ------------------------------------------------------------------
+    def ensure_writes_allowed(self) -> None:
+        """Gate every mutating entry point while WAL-degraded.
+
+        Half-open admits writes freely: the *probe* is the next WAL
+        append's outcome, not the gate check itself, and one logical
+        mutation may pass the gate several times (``insert_many`` gates
+        once per batch and once per row).
+        """
+        if self.wal_breaker.allow():
+            return
+        if self.wal_breaker.state != OPEN:
+            return
+        with self._lock:
+            self._writes_rejected += 1
+        if self.obs is not None:
+            self.obs.governor_writes_rejected.inc()
+        raise WriteRejectedError(
+            "database is WAL-degraded (durability breaker open): writes "
+            "are rejected until a half-open probe succeeds; reads are "
+            "still served"
+        )
+
+    def record_io_retry(self, point: str) -> None:
+        with self._lock:
+            self._retries[point] = self._retries.get(point, 0) + 1
+        if self.obs is not None:
+            self.obs.governor_retries.labels(point).inc()
+
+    def record_wal_failure(self, error: Optional[BaseException] = None) -> None:
+        self.wal_breaker.record_failure(error)
+
+    def record_wal_success(self) -> None:
+        self.wal_breaker.record_success()
+
+    # ------------------------------------------------------------------
+    # Aggregate-cache degradation
+    # ------------------------------------------------------------------
+    def cache_path_allowed(self) -> bool:
+        """Whether cached execution may run (half-open admits one probe)."""
+        return self.cache_breaker.allow()
+
+    def record_cache_failure(self, error: Optional[BaseException] = None) -> None:
+        self.cache_breaker.record_failure(error)
+
+    def record_cache_success(self) -> None:
+        self.cache_breaker.record_success()
+
+    def record_degraded_query(self, reason: str) -> None:
+        with self._lock:
+            self._degraded_queries += 1
+        if self.obs is not None:
+            self.obs.governor_degraded_queries.labels(reason).inc()
+
+    # ------------------------------------------------------------------
+    # Memory budget
+    # ------------------------------------------------------------------
+    def record_shed(self, kind: str, count: int, bytes_freed: int = 0) -> None:
+        if count <= 0:
+            return
+        with self._lock:
+            self._sheds[kind] = self._sheds.get(kind, 0) + count
+            self._shed_bytes += bytes_freed
+        if self.obs is not None:
+            self.obs.governor_sheds.labels(kind).inc(count)
+            if bytes_freed:
+                self.obs.governor_shed_bytes.inc(bytes_freed)
+
+    def set_tracked_bytes(self, tracked: int) -> None:
+        if self.obs is not None:
+            self.obs.governor_tracked_bytes.set(tracked)
+
+    # ------------------------------------------------------------------
+    # Health
+    # ------------------------------------------------------------------
+    def modes(self) -> List[str]:
+        """Active degraded modes (half-open still counts: probing)."""
+        active = []
+        if self.wal_breaker.state != CLOSED:
+            active.append(WAL_DEGRADED)
+        if self.cache_breaker.state != CLOSED:
+            active.append(CACHE_DEGRADED)
+        return active
+
+    def health(self, tracked_bytes: Optional[int] = None) -> HealthReport:
+        modes = self.modes()
+        if tracked_bytes is not None:
+            self.set_tracked_bytes(tracked_bytes)
+        with self._lock:
+            return HealthReport(
+                state="degraded" if modes else HEALTHY,
+                modes=modes,
+                breakers={
+                    "wal": self.wal_breaker.snapshot(),
+                    "cache": self.cache_breaker.snapshot(),
+                },
+                timeouts=self._timeouts,
+                cancellations=self._cancellations,
+                writes_rejected=self._writes_rejected,
+                degraded_queries=self._degraded_queries,
+                retries=dict(self._retries),
+                sheds=dict(self._sheds),
+                shed_bytes=self._shed_bytes,
+                tracked_bytes=tracked_bytes,
+                memory_budget_bytes=self.memory_budget_bytes,
+            )
+
+    def _on_breaker_transition(self, name: str, to_state: str) -> None:
+        if self.obs is not None:
+            self.obs.governor_breaker_state.labels(name).set(
+                STATE_CODES[to_state]
+            )
+            self.obs.governor_breaker_transitions.labels(name, to_state).inc()

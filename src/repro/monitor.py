@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from .database import Database
+from .governor import HealthReport
 
 
 @dataclass
@@ -127,6 +128,9 @@ class DatabaseStats:
     cache: CacheStats
     enforcement: EnforcementSnapshot
     durability: Optional[DurabilityStats] = None
+    #: The resource governor's health snapshot (breaker states, degraded
+    #: modes, abort/retry/shed counters); see :mod:`repro.governor`.
+    health: Optional[HealthReport] = None
     #: Flat ``{name{labels}: value}`` view of the metrics registry at
     #: snapshot time (empty when observability is disabled).
     metrics: Dict[str, float] = field(default_factory=dict)
@@ -195,6 +199,9 @@ class DatabaseStats:
                     f"torn-dropped={d.recovery_torn_records_dropped} "
                     f"tid={d.recovered_tid}"
                 )
+        if self.health is not None:
+            lines += ["", "health:"]
+            lines += [f"  {line}" for line in self.health.render().splitlines()]
         if self.metrics:
             lines += ["", "metrics:"]
             for name, value in sorted(self.metrics.items()):
@@ -281,5 +288,6 @@ def collect_statistics(db: Database) -> DatabaseStats:
         cache=cache,
         enforcement=enforcement,
         durability=durability,
+        health=db.governor.health(tracked_bytes=manager.tracked_bytes()),
         metrics=db.metrics_snapshot(),
     )

@@ -148,6 +148,54 @@ class EngineMetrics:
             "fsync latency of durable WAL appends.",
             FSYNC_BUCKETS,
         )
+        # --- resource governor --------------------------------------------
+        self.governor_timeouts = r.counter(
+            names.GOVERNOR_TIMEOUTS_TOTAL,
+            "Queries aborted because their deadline expired.",
+        )
+        self.governor_cancellations = r.counter(
+            names.GOVERNOR_CANCELLATIONS_TOTAL,
+            "Queries aborted through an explicit CancelToken.",
+        )
+        self.governor_sheds = r.counter(
+            names.GOVERNOR_SHEDS_TOTAL,
+            "Cache state shed under memory pressure, by kind "
+            "(memo/entry/plan).",
+            labels=("kind",),
+        )
+        self.governor_shed_bytes = r.counter(
+            names.GOVERNOR_SHED_BYTES_TOTAL,
+            "Approximate bytes freed by memory-budget shedding.",
+        )
+        self.governor_retries = r.counter(
+            names.GOVERNOR_RETRIES_TOTAL,
+            "Transient I/O failures absorbed by retry/backoff, by point.",
+            labels=("point",),
+        )
+        self.governor_writes_rejected = r.counter(
+            names.GOVERNOR_WRITES_REJECTED_TOTAL,
+            "Mutations rejected while the database was WAL-degraded.",
+        )
+        self.governor_degraded_queries = r.counter(
+            names.GOVERNOR_DEGRADED_QUERIES_TOTAL,
+            "Queries answered from base tables due to cache degradation, "
+            "by reason (breaker_open/fallback).",
+            labels=("reason",),
+        )
+        self.governor_breaker_state = r.gauge(
+            names.GOVERNOR_BREAKER_STATE,
+            "Circuit breaker state (0=closed, 1=open, 2=half_open).",
+            labels=("breaker",),
+        )
+        self.governor_breaker_transitions = r.counter(
+            names.GOVERNOR_BREAKER_TRANSITIONS_TOTAL,
+            "Circuit breaker state transitions, by breaker and new state.",
+            labels=("breaker", "state"),
+        )
+        self.governor_tracked_bytes = r.gauge(
+            names.GOVERNOR_TRACKED_BYTES,
+            "Bytes currently tracked against the memory budget.",
+        )
 
     # ------------------------------------------------------------------
     @property

@@ -54,6 +54,18 @@ WAL_APPENDS_TOTAL = "repro_wal_appends_total"
 WAL_BYTES_TOTAL = "repro_wal_bytes_total"
 WAL_FSYNC_SECONDS = "repro_wal_fsync_seconds"
 
+# --- resource governor -----------------------------------------------------
+GOVERNOR_TIMEOUTS_TOTAL = "repro_governor_timeouts_total"
+GOVERNOR_CANCELLATIONS_TOTAL = "repro_governor_cancellations_total"
+GOVERNOR_SHEDS_TOTAL = "repro_governor_sheds_total"
+GOVERNOR_SHED_BYTES_TOTAL = "repro_governor_shed_bytes_total"
+GOVERNOR_RETRIES_TOTAL = "repro_governor_retries_total"
+GOVERNOR_WRITES_REJECTED_TOTAL = "repro_governor_writes_rejected_total"
+GOVERNOR_DEGRADED_QUERIES_TOTAL = "repro_governor_degraded_queries_total"
+GOVERNOR_BREAKER_STATE = "repro_governor_breaker_state"
+GOVERNOR_BREAKER_TRANSITIONS_TOTAL = "repro_governor_breaker_transitions_total"
+GOVERNOR_TRACKED_BYTES = "repro_governor_tracked_bytes"
+
 #: Every canonical metric name, for the uniqueness/coverage lint.
 ALL_NAMES = tuple(
     value

@@ -255,6 +255,7 @@ class QueryExecutor:
         stats: Optional[ExecutionStats] = None,
         parallel: Optional[ParallelConfig] = None,
         span_sink: Optional[List[Span]] = None,
+        cancel=None,
     ) -> GroupedAggregates:
         """Evaluate the union of the given subjoins into a grouped state.
 
@@ -274,7 +275,17 @@ class QueryExecutor:
         filter counts, worker id).  Spans are appended in combination
         order, so serial and parallel runs produce the same span sequence
         up to timings and worker names.
+
+        ``cancel`` is an optional
+        :class:`~repro.governor.deadline.CancelToken`: it is checked
+        before every subjoin — in the serial fold loop and inside every
+        parallel worker task — so a cancelled or timed-out query aborts
+        at the next subjoin boundary with a typed
+        :class:`~repro.errors.QueryAborted` instead of running to
+        completion.  An abort folds nothing further into ``into``.
         """
+        if cancel is not None:
+            cancel.check()
         bound = self.bind(query)
         if combos is None:
             combos = [
@@ -295,7 +306,7 @@ class QueryExecutor:
         ):
             partials = self._run_parallel(
                 bound, residuals, local_filters, snapshot, combos, sign,
-                want_stats, config, partial_factory, want_spans,
+                want_stats, config, partial_factory, want_spans, cancel,
             )
         else:
             scan_memo, hash_memo = DictMemo(), DictMemo()
@@ -308,6 +319,8 @@ class QueryExecutor:
                 for combo in combos
             )
         for partial, combo_stats, span in partials:
+            if cancel is not None:
+                cancel.check()  # serial subjoin boundary (parallel workers check in-task)
             if want_stats:
                 stats.merge(combo_stats)
             if want_spans and span is not None:
@@ -328,6 +341,7 @@ class QueryExecutor:
         config: ParallelConfig,
         partial_factory,
         want_spans: bool = False,
+        cancel=None,
     ):
         """Submit one task per subjoin; yield results in combination order."""
         if config.memo == MEMO_PRIVATE:
@@ -350,6 +364,8 @@ class QueryExecutor:
                 return shared
 
         def task(combo: ComboSpec):
+            if cancel is not None:
+                cancel.check()  # parallel subjoin boundary, on the worker
             scan_memo, hash_memo = memos()
             return self._execute_combo(
                 query, residuals, local_filters, snapshot, combo, sign,

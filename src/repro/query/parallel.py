@@ -16,8 +16,9 @@ small to amortize task dispatch.
 from __future__ import annotations
 
 import os
-import warnings
 from dataclasses import dataclass
+
+from ..envutil import env_int
 
 #: Environment variable overriding the auto-detected worker count.
 N_WORKERS_ENV = "REPRO_N_WORKERS"
@@ -25,45 +26,18 @@ N_WORKERS_ENV = "REPRO_N_WORKERS"
 MEMO_SHARED = "shared"
 MEMO_PRIVATE = "private"
 
-# Warn about a malformed REPRO_N_WORKERS only once per process: the env
-# var is consulted on every auto-configured Database and repeating the
-# warning for each one would drown real output.
-_warned_malformed_env = False
-
 
 def default_workers() -> int:
     """Worker count to use for ``n_workers=None``: the ``REPRO_N_WORKERS``
     environment variable if set, otherwise the machine's CPU count.
 
-    A non-integer value warns (once) and falls back to the CPU count —
-    silently ignoring it would leave a typo like ``REPRO_N_WORKERS=fuor``
-    undetected.  An explicit ``0`` or negative is rejected outright: unlike
-    a typo it expresses clear intent, and guessing what the caller meant
-    (serial? crash?) would mask the misconfiguration.
+    Parsing follows the shared :mod:`repro.envutil` contract: a malformed
+    value warns (once) and falls back to the CPU count, while an explicit
+    ``0`` or negative is rejected outright — unlike a typo it expresses
+    clear intent, and guessing what the caller meant (serial? crash?)
+    would mask the misconfiguration.
     """
-    env = os.environ.get(N_WORKERS_ENV)
-    if env:
-        try:
-            value = int(env)
-        except ValueError:
-            global _warned_malformed_env
-            if not _warned_malformed_env:
-                _warned_malformed_env = True
-                warnings.warn(
-                    f"ignoring malformed {N_WORKERS_ENV}={env!r} (not an "
-                    "integer); falling back to the CPU count",
-                    RuntimeWarning,
-                    stacklevel=2,
-                )
-            return os.cpu_count() or 1
-        if value < 1:
-            raise ValueError(
-                f"{N_WORKERS_ENV}={env!r}: the worker count must be >= 1 "
-                "(use 1 for serial execution, or unset the variable for "
-                "the CPU count)"
-            )
-        return value
-    return os.cpu_count() or 1
+    return env_int(N_WORKERS_ENV, default=os.cpu_count() or 1, minimum=1)
 
 
 @dataclass(frozen=True)

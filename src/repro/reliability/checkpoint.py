@@ -48,10 +48,22 @@ def checkpoint_path(directory, last_lsn: int) -> Path:
     return Path(directory) / f"checkpoint_{last_lsn:012d}.json"
 
 
-def write_checkpoint(db, directory, last_lsn: int, faults: Optional[FaultInjector] = None) -> Path:
-    """Atomically write a checkpoint of ``db``; returns its path."""
-    if faults is not None:
-        faults.fire("checkpoint.write")
+def write_checkpoint(
+    db,
+    directory,
+    last_lsn: int,
+    faults: Optional[FaultInjector] = None,
+    retry=None,
+    on_retry=None,
+) -> Path:
+    """Atomically write a checkpoint of ``db``; returns its path.
+
+    With a :class:`~repro.governor.RetryPolicy` supplied, transient
+    ``OSError``s (including injected ``io_error`` faults) during the file
+    write are retried with backoff; the tmp-file + ``os.replace`` protocol
+    makes every retry start from a clean slate, so a transient failure
+    can never leave a half-visible checkpoint behind.
+    """
     root = Path(directory)
     root.mkdir(parents=True, exist_ok=True)
     state: Dict = {
@@ -118,12 +130,20 @@ def write_checkpoint(db, directory, last_lsn: int, faults: Optional[FaultInjecto
     )
     target = checkpoint_path(root, last_lsn)
     tmp = target.with_suffix(".tmp")
-    with tmp.open("w") as handle:
-        handle.write(document)
-        handle.flush()
-        os.fsync(handle.fileno())
-    os.replace(tmp, target)
-    return target
+
+    def attempt() -> Path:
+        if faults is not None:
+            faults.fire("checkpoint.write")
+        with tmp.open("w") as handle:
+            handle.write(document)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, target)
+        return target
+
+    if retry is None:
+        return attempt()
+    return retry.call(attempt, retry_on=(OSError,), on_retry=on_retry)
 
 
 def list_checkpoints(directory) -> List[Tuple[int, Path]]:

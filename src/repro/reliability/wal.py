@@ -35,9 +35,10 @@ import time
 import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import DurabilityError
+from ..governor.retry import RetryPolicy
 from .faults import FaultInjector, SimulatedCrash
 
 
@@ -101,7 +102,13 @@ class WalStats:
 class WriteAheadLog:
     """Append/scan handle for one ``wal.jsonl`` file."""
 
-    def __init__(self, path, faults: Optional[FaultInjector] = None, obs=None):
+    def __init__(
+        self,
+        path,
+        faults: Optional[FaultInjector] = None,
+        obs=None,
+        retry: Optional[RetryPolicy] = None,
+    ):
         self.path = Path(path)
         self._faults = faults if faults is not None else FaultInjector()
         self._fh = None
@@ -110,6 +117,14 @@ class WriteAheadLog:
         # Optional EngineMetrics: append counters and the fsync latency
         # histogram, the dominant term in commit latency.
         self.obs = obs
+        # Transient-OSError absorption; None disables retrying entirely.
+        self.retry = retry if retry is not None else RetryPolicy()
+        # Governor hooks (set by the Database facade): exhausted-retry
+        # failures and durable successes feed the durability breaker,
+        # individual retries feed the repro_governor_retries_total counter.
+        self.on_append_failure: Optional[Callable[[BaseException], None]] = None
+        self.on_append_success: Optional[Callable[[], None]] = None
+        self.on_append_retry: Optional[Callable[[str], None]] = None
 
     # ------------------------------------------------------------------
     # reading (recovery side)
@@ -186,31 +201,81 @@ class WriteAheadLog:
         A ``crash``-armed ``wal.append`` fault emulates a torn write: the
         first half of the record reaches the file before the "kill", which
         is exactly the torn tail recovery must cope with.
+
+        Transient ``OSError``s (including injected ``io_error`` faults)
+        are retried through the attached :class:`RetryPolicy` with
+        backoff; a partially written record is truncated away before each
+        retry so the retried append starts from a clean tail.  Exhausted
+        retries escalate to :class:`~repro.errors.DurabilityError` and
+        report to ``on_append_failure`` (the governor's durability
+        breaker); every durable append reports to ``on_append_success``.
         """
         if self._fh is None:
             raise DurabilityError("WAL is not open for appending")
         lsn = self._next_lsn
         payload = _encode(lsn, record_type, data)
-        try:
+
+        def attempt() -> None:
             self._faults.fire("wal.append")
+            self._write_durably(payload)
+
+        try:
+            if self.retry is not None:
+                self.retry.call(
+                    attempt, retry_on=(OSError,), on_retry=self._on_retry
+                )
+            else:
+                attempt()
         except SimulatedCrash:
             self._fh.write(payload[: max(1, len(payload) // 2)])
             self._fh.flush()
             os.fsync(self._fh.fileno())
             raise
-        self._fh.write(payload)
-        self._fh.flush()
-        fsync_started = time.perf_counter()
-        os.fsync(self._fh.fileno())
+        except OSError as err:
+            if self.on_append_failure is not None:
+                self.on_append_failure(err)
+            raise DurabilityError(
+                f"WAL append of lsn {lsn} failed after "
+                f"{self.retry.attempts if self.retry else 1} attempt(s): {err}"
+            ) from err
         if self.obs is not None:
-            self.obs.wal_fsync_seconds.observe(time.perf_counter() - fsync_started)
             self.obs.wal_appends.inc()
             self.obs.wal_bytes.inc(len(payload))
         self._next_lsn = lsn + 1
         self.stats.records_appended += 1
         self.stats.bytes_written += len(payload)
         self.stats.last_lsn = lsn
+        if self.on_append_success is not None:
+            self.on_append_success()
         return lsn
+
+    def _write_durably(self, payload: bytes) -> None:
+        """Write + flush + fsync; roll back a partial write on failure.
+
+        Truncating back to the pre-write offset keeps a failed attempt
+        invisible: without it, a retry after a partial write would leave
+        torn garbage *before* a valid record, which recovery correctly
+        refuses as corruption.
+        """
+        offset = self._fh.tell()
+        try:
+            self._fh.write(payload)
+            self._fh.flush()
+            fsync_started = time.perf_counter()
+            os.fsync(self._fh.fileno())
+        except OSError:
+            try:
+                self._fh.flush()
+                self._fh.truncate(offset)
+            except OSError:
+                pass
+            raise
+        if self.obs is not None:
+            self.obs.wal_fsync_seconds.observe(time.perf_counter() - fsync_started)
+
+    def _on_retry(self, attempt: int, err: BaseException) -> None:
+        if self.on_append_retry is not None:
+            self.on_append_retry("wal.append")
 
     # ------------------------------------------------------------------
     # typed appenders

@@ -17,6 +17,7 @@ the engine:
 ``\\entries``       aggregate cache entries and their metrics
 ``\\plans``         plan cache contents and hit/miss/invalidation counters
 ``\\stats``         storage / cache / enforcement statistics
+``\\health``        governor health: breaker states and degraded modes
 ``\\metrics``       the metrics registry in Prometheus text format
 ``\\save DIR``      write a snapshot of the database to a directory
 ``\\open DIR``      replace the session database with a saved snapshot
@@ -105,6 +106,7 @@ class Shell:
             "\\plans": self._cmd_plans,
             "\\report": self._cmd_report,
             "\\stats": self._cmd_stats,
+            "\\health": self._cmd_health,
             "\\metrics": self._cmd_metrics,
             "\\save": self._cmd_save,
             "\\open": self._cmd_open,
@@ -277,6 +279,9 @@ class Shell:
 
     def _cmd_stats(self, _argument: str) -> None:
         self._print(self.db.statistics().render())
+
+    def _cmd_health(self, _argument: str) -> None:
+        self._print(self.db.health().render())
 
     def _cmd_metrics(self, _argument: str) -> None:
         text = self.db.export_metrics()

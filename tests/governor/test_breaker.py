@@ -1,0 +1,228 @@
+"""Circuit breaker and retry policy units (fake clocks, seeded RNGs)."""
+
+import random
+
+import pytest
+
+from repro.governor.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    CircuitBreaker,
+    STATE_CODES,
+)
+from repro.governor.retry import RetryPolicy
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def make_breaker(threshold=3, reset_after_s=10.0, transitions=None):
+    clock = FakeClock()
+    breaker = CircuitBreaker(
+        "test",
+        threshold=threshold,
+        reset_after_s=reset_after_s,
+        clock=clock,
+        on_transition=(
+            (lambda name, state: transitions.append((name, state)))
+            if transitions is not None
+            else None
+        ),
+    )
+    return breaker, clock
+
+
+class TestCircuitBreaker:
+    def test_starts_closed_and_allows(self):
+        breaker, _ = make_breaker()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_failures_below_threshold_stay_closed(self):
+        breaker, _ = make_breaker(threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_threshold_consecutive_failures_open(self):
+        breaker, _ = make_breaker(threshold=3)
+        for _ in range(3):
+            breaker.record_failure(OSError("disk full"))
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+        snap = breaker.snapshot()
+        assert snap.opened_total == 1
+        assert snap.last_error == "OSError: disk full"
+
+    def test_success_resets_the_consecutive_count(self):
+        breaker, _ = make_breaker(threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_cooldown_admits_a_single_probe(self):
+        breaker, clock = make_breaker(threshold=1, reset_after_s=10.0)
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock.advance(10.0)
+        assert breaker.allow()  # the probe
+        assert breaker.state == HALF_OPEN
+        assert not breaker.allow()  # probe outstanding: everyone else waits
+
+    def test_probe_success_closes(self):
+        breaker, clock = make_breaker(threshold=1, reset_after_s=10.0)
+        breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_probe_failure_reopens_and_restarts_cooldown(self):
+        breaker, clock = make_breaker(threshold=1, reset_after_s=10.0)
+        breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+        clock.advance(9.9)
+        assert not breaker.allow()
+        clock.advance(0.2)
+        assert breaker.allow()
+        assert breaker.snapshot().opened_total == 2
+
+    def test_stale_probe_is_replaced_after_a_full_cooldown(self):
+        breaker, clock = make_breaker(threshold=1, reset_after_s=10.0)
+        breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()  # probe claims the slot, then dies silently
+        clock.advance(9.0)
+        assert not breaker.allow()
+        clock.advance(1.5)
+        assert breaker.allow()  # replacement probe admitted
+
+    def test_transition_callback_sequence(self):
+        transitions = []
+        breaker, clock = make_breaker(
+            threshold=2, reset_after_s=5.0, transitions=transitions
+        )
+        breaker.record_failure()
+        breaker.record_failure()
+        clock.advance(5.0)
+        breaker.allow()
+        breaker.record_success()
+        assert transitions == [
+            ("test", OPEN),
+            ("test", HALF_OPEN),
+            ("test", CLOSED),
+        ]
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker("bad", threshold=0)
+
+    def test_state_codes_cover_all_states(self):
+        assert set(STATE_CODES) == {CLOSED, OPEN, HALF_OPEN}
+        assert sorted(STATE_CODES.values()) == [0, 1, 2]
+
+
+class TestRetryPolicy:
+    def test_succeeds_first_try_without_sleeping(self):
+        sleeps = []
+        policy = RetryPolicy(attempts=3)
+        result = policy.call(lambda: "ok", sleep=sleeps.append)
+        assert result == "ok"
+        assert sleeps == []
+
+    def test_retries_transient_oserror_then_succeeds(self):
+        sleeps = []
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise OSError("transient")
+            return "recovered"
+
+        policy = RetryPolicy(attempts=3, backoff_ms=1.0, jitter=0.0)
+        assert policy.call(flaky, sleep=sleeps.append) == "recovered"
+        assert calls["n"] == 3
+        assert len(sleeps) == 2
+
+    def test_exhausted_attempts_reraise_the_last_error(self):
+        policy = RetryPolicy(attempts=2, backoff_ms=0.1)
+
+        def always_fails():
+            raise OSError("persistent")
+
+        with pytest.raises(OSError, match="persistent"):
+            policy.call(always_fails, sleep=lambda s: None)
+
+    def test_non_retryable_exceptions_propagate_immediately(self):
+        calls = {"n": 0}
+
+        def fails():
+            calls["n"] += 1
+            raise ValueError("logic bug")
+
+        policy = RetryPolicy(attempts=5)
+        with pytest.raises(ValueError):
+            policy.call(fails, sleep=lambda s: None)
+        assert calls["n"] == 1
+
+    def test_on_retry_called_per_retry_with_attempt_and_error(self):
+        seen = []
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise OSError("nope")
+            return None
+
+        policy = RetryPolicy(attempts=3)
+        policy.call(
+            flaky,
+            on_retry=lambda attempt, err: seen.append((attempt, str(err))),
+            sleep=lambda s: None,
+        )
+        assert [a for a, _ in seen] == [0, 1]
+        assert all(msg == "nope" for _, msg in seen)
+
+    def test_delays_grow_exponentially_and_cap(self):
+        policy = RetryPolicy(
+            attempts=10, backoff_ms=1.0, cap_ms=4.0, jitter=0.0
+        )
+        delays_ms = [policy.delay_s(n) * 1000.0 for n in range(5)]
+        assert delays_ms == [1.0, 2.0, 4.0, 4.0, 4.0]
+
+    def test_jitter_stays_within_bounds(self):
+        policy = RetryPolicy(
+            attempts=3, backoff_ms=8.0, cap_ms=1000.0, jitter=0.5
+        )
+        rng = random.Random(7)
+        for _ in range(200):
+            delay_ms = policy.delay_s(0, rng=rng) * 1000.0
+            assert 4.0 <= delay_ms <= 12.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_ms=-1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)

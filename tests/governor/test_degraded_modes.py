@@ -1,0 +1,199 @@
+"""Degraded serving modes: WAL-degraded and cache-degraded episodes.
+
+A WAL fault episode must trip the durability breaker (typed write
+rejection while reads keep serving), recover through a half-open probe,
+and be visible in ``db.health()``, the shell's ``\\health``, and the
+``repro_governor_*`` metrics.  A failing cache path must fall back to
+base-table execution with correct results and eventually bypass the
+cache entirely while its breaker is open.
+"""
+
+import io
+import time
+
+import pytest
+
+from repro import (
+    Database,
+    ExecutionStrategy,
+    FaultInjector,
+    GovernorConfig,
+    WriteRejectedError,
+    parse_prometheus,
+)
+from repro.errors import DurabilityError
+from repro.shell import Shell
+
+from ..conftest import HEADER_ITEM_SQL, PROFIT_SQL, load_erp, make_erp_db
+
+FULL = ExecutionStrategy.CACHED_FULL_PRUNING
+UNCACHED = ExecutionStrategy.UNCACHED
+
+FAST_BREAKER = GovernorConfig(
+    breaker_threshold=2,
+    breaker_reset_ms=40.0,
+    wal_retries=2,
+    retry_backoff_ms=0.01,
+)
+
+
+class TestWalDegraded:
+    def test_episode_trips_recovers_and_is_observable(self, tmp_path):
+        faults = FaultInjector()
+        db = Database(
+            path=tmp_path / "db",
+            fault_injector=faults,
+            governor=FAST_BREAKER,
+        )
+        db.create_table("t", [("k", "INT"), ("v", "INT")], primary_key="k")
+        db.insert("t", {"k": 1, "v": 10})
+
+        faults.arm("wal.append", mode="io_error", times=None)
+        # Each failing append exhausts its retries and feeds the breaker;
+        # after `threshold` episodes the breaker opens and writes are
+        # rejected with the typed error instead of failing slowly.
+        failures = 0
+        rejections = 0
+        for k in range(2, 10):
+            try:
+                db.insert("t", {"k": k, "v": k})
+            except DurabilityError:
+                failures += 1
+            except WriteRejectedError:
+                rejections += 1
+        assert failures == FAST_BREAKER.breaker_threshold
+        assert rejections > 0
+
+        health = db.health()
+        assert health.state == "degraded"
+        assert health.modes == ["wal_degraded"]
+        assert health.breakers["wal"].state == "open"
+        assert health.writes_rejected == rejections
+        assert health.retries.get("wal.append", 0) > 0
+
+        # Reads are still served while WAL-degraded.
+        assert db.query("SELECT SUM(v) AS s FROM t", strategy=UNCACHED).rows
+
+        # The shell surfaces the same picture.
+        out = io.StringIO()
+        shell = Shell(db=db, stdin=io.StringIO("\\health\n"), stdout=out)
+        shell.run()
+        assert "wal_degraded" in out.getvalue()
+        assert "breaker[wal]: open" in out.getvalue()
+
+        # And so do the metrics.
+        samples = parse_prometheus(db.export_metrics())
+        assert samples['repro_governor_breaker_state{breaker="wal"}'] == 1.0
+        assert samples["repro_governor_writes_rejected_total"] == rejections
+
+        # Fault clears; after the cooldown the next write is the half-open
+        # probe, it succeeds, and the breaker closes.
+        faults.disarm("wal.append")
+        time.sleep(FAST_BREAKER.breaker_reset_ms / 1000.0 + 0.02)
+        db.insert("t", {"k": 99, "v": 99})
+        health = db.health()
+        assert health.state == "healthy"
+        assert health.modes == []
+        assert health.breakers["wal"].state == "closed"
+        samples = parse_prometheus(db.export_metrics())
+        assert samples['repro_governor_breaker_state{breaker="wal"}'] == 0.0
+        db.close()
+
+    def test_failed_probe_reopens(self, tmp_path):
+        faults = FaultInjector()
+        db = Database(
+            path=tmp_path / "db",
+            fault_injector=faults,
+            governor=FAST_BREAKER,
+        )
+        db.create_table("t", [("k", "INT")], primary_key="k")
+        faults.arm("wal.append", mode="io_error", times=None)
+        for k in range(5):
+            with pytest.raises((DurabilityError, WriteRejectedError)):
+                db.insert("t", {"k": k})
+        assert db.health().breakers["wal"].state == "open"
+        time.sleep(FAST_BREAKER.breaker_reset_ms / 1000.0 + 0.02)
+        # Probe admitted but the fault is still live: back to open.
+        with pytest.raises(DurabilityError):
+            db.insert("t", {"k": 50})
+        assert db.health().breakers["wal"].state == "open"
+        db.close()
+
+    def test_in_memory_database_never_wal_degrades(self):
+        db = make_erp_db(governor=FAST_BREAKER)
+        load_erp(db, n_headers=3)
+        assert db.health().modes == []
+
+
+class TestCacheDegraded:
+    def _failing_cache_db(self, times=None):
+        faults = FaultInjector()
+        db = make_erp_db(fault_injector=faults, governor=FAST_BREAKER)
+        load_erp(db, n_headers=6, merge=True)
+        load_erp(db, n_headers=2, start_hid=100, merge=False)
+        expected = db.query(PROFIT_SQL, strategy=UNCACHED).rows
+        faults.arm("cache.compensation", mode="raise", times=times)
+        return db, faults, expected
+
+    def test_cache_failure_falls_back_to_base_tables(self):
+        db, faults, expected = self._failing_cache_db(times=1)
+        result = db.query(PROFIT_SQL, strategy=FULL)
+        assert result.rows == expected
+        assert result.report.fallback_uncached
+        assert result.report.degraded_reason == "fallback"
+
+    def test_repeated_failures_open_the_breaker_and_bypass(self):
+        db, faults, expected = self._failing_cache_db(times=None)
+        for _ in range(FAST_BREAKER.breaker_threshold):
+            assert db.query(PROFIT_SQL, strategy=FULL).rows == expected
+        health = db.health()
+        assert "cache_degraded" in health.modes
+        assert health.breakers["cache"].state == "open"
+        # While open, queries never enter the cache path: the armed fault
+        # no longer fires because compensation is never attempted.
+        hits_before = faults.hits.get("cache.compensation", 0)
+        result = db.query(PROFIT_SQL, strategy=FULL)
+        assert result.rows == expected
+        assert result.report.degraded_reason == "breaker_open"
+        assert faults.hits.get("cache.compensation", 0) == hits_before
+        assert db.health().degraded_queries >= FAST_BREAKER.breaker_threshold + 1
+
+    def test_probe_query_closes_the_breaker_after_recovery(self):
+        db, faults, expected = self._failing_cache_db(times=None)
+        for _ in range(FAST_BREAKER.breaker_threshold):
+            db.query(PROFIT_SQL, strategy=FULL)
+        assert db.health().breakers["cache"].state == "open"
+        faults.disarm("cache.compensation")
+        time.sleep(FAST_BREAKER.breaker_reset_ms / 1000.0 + 0.02)
+        # The next cached query is the probe; it succeeds and heals.
+        assert db.query(PROFIT_SQL, strategy=FULL).rows == expected
+        health = db.health()
+        assert health.breakers["cache"].state == "closed"
+        assert health.modes == []
+        # Fully healed: the cache path serves again.
+        result = db.query(PROFIT_SQL, strategy=FULL)
+        assert result.report.degraded_reason == ""
+        assert not result.report.fallback_uncached
+
+    def test_degraded_queries_metric_labelled_by_reason(self):
+        db, faults, expected = self._failing_cache_db(times=None)
+        for _ in range(FAST_BREAKER.breaker_threshold + 1):
+            db.query(PROFIT_SQL, strategy=FULL)
+        samples = parse_prometheus(db.export_metrics())
+        assert (
+            samples['repro_governor_degraded_queries_total{reason="fallback"}']
+            >= FAST_BREAKER.breaker_threshold
+        )
+        assert (
+            samples['repro_governor_degraded_queries_total{reason="breaker_open"}']
+            >= 1
+        )
+
+    def test_timeouts_do_not_feed_the_cache_breaker(self, erp_db):
+        """A deadline abort is the *governor's* doing, not a cache fault."""
+        from repro import QueryTimeout
+
+        for _ in range(10):
+            with pytest.raises(QueryTimeout):
+                erp_db.query(PROFIT_SQL, strategy=FULL, timeout_ms=0.0)
+        assert erp_db.health().breakers["cache"].state == "closed"

@@ -15,7 +15,7 @@ import warnings
 import pytest
 
 from repro import Database
-from repro.query import parallel as parallel_mod
+from repro import envutil
 from repro.query.parallel import ParallelConfig, default_workers
 
 from ..conftest import HEADER_ITEM_SQL, PROFIT_SQL, load_erp, make_erp_db
@@ -135,7 +135,7 @@ class TestWorkerEnvValidation:
 
     def test_malformed_value_warns_once_and_falls_back(self, monkeypatch):
         monkeypatch.setenv("REPRO_N_WORKERS", "fuor")
-        monkeypatch.setattr(parallel_mod, "_warned_malformed_env", False)
+        envutil._reset_warnings()
         with pytest.warns(RuntimeWarning, match="malformed REPRO_N_WORKERS"):
             assert default_workers() >= 1
         # Second call: warn-once, no second warning.

@@ -9,6 +9,7 @@ from repro.reliability.faults import (
     KNOWN_FAULT_POINTS,
     FaultInjector,
     SimulatedCrash,
+    TransientIOError,
     register_fault_point,
 )
 
@@ -86,3 +87,108 @@ class TestFiring:
         injector.arm("wal.append", message="disk full")
         with pytest.raises(FaultError, match="disk full"):
             injector.fire("wal.append")
+
+
+class TestUnlimitedFiring:
+    def test_times_none_never_self_disarms(self):
+        injector = FaultInjector()
+        injector.arm("wal.append", times=None)
+        for _ in range(50):
+            with pytest.raises(FaultError):
+                injector.fire("wal.append")
+        assert injector.armed_points() == ["wal.append"]
+
+    def test_times_none_composes_with_after(self):
+        injector = FaultInjector()
+        injector.arm("wal.append", times=None, after=3)
+        for _ in range(3):
+            injector.fire("wal.append")
+        for _ in range(10):
+            with pytest.raises(FaultError):
+                injector.fire("wal.append")
+
+
+class TestIOErrorMode:
+    def test_raises_a_real_oserror(self):
+        injector = FaultInjector()
+        injector.arm("checkpoint.write", mode="io_error")
+        with pytest.raises(OSError) as excinfo:
+            injector.fire("checkpoint.write")
+        err = excinfo.value
+        assert isinstance(err, TransientIOError)
+        assert err.point == "checkpoint.write"
+        assert "checkpoint.write" in str(err)
+
+    def test_io_error_is_not_a_fault_error(self):
+        # Retry wrappers catch OSError; they must not accidentally catch
+        # the permanent-failure FaultError, and vice versa.
+        injector = FaultInjector()
+        injector.arm("wal.append", mode="io_error")
+        with pytest.raises(TransientIOError):
+            try:
+                injector.fire("wal.append")
+            except FaultError:  # pragma: no cover - the point of the test
+                pytest.fail("io_error mode must not raise FaultError")
+
+    def test_custom_message(self):
+        injector = FaultInjector()
+        injector.arm("wal.append", mode="io_error", message="EINTR")
+        with pytest.raises(TransientIOError, match="EINTR"):
+            injector.fire("wal.append")
+
+
+class TestProbabilisticFiring:
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(DurabilityError):
+            FaultInjector().arm("wal.append", probability=1.5)
+        with pytest.raises(DurabilityError):
+            FaultInjector().arm("wal.append", probability=-0.1)
+
+    def test_probability_zero_never_trips(self):
+        injector = FaultInjector(seed=1)
+        injector.arm("wal.append", times=None, probability=0.0)
+        for _ in range(100):
+            injector.fire("wal.append")
+
+    def test_probability_one_always_trips(self):
+        injector = FaultInjector(seed=1)
+        injector.arm("wal.append", times=None, probability=1.0)
+        for _ in range(20):
+            with pytest.raises(FaultError):
+                injector.fire("wal.append")
+
+    @staticmethod
+    def _trip_count(seed, fires=400, p=0.3):
+        injector = FaultInjector(seed=seed)
+        injector.arm("wal.append", times=None, probability=p)
+        trips = 0
+        for _ in range(fires):
+            try:
+                injector.fire("wal.append")
+            except FaultError:
+                trips += 1
+        return trips
+
+    def test_trip_rate_roughly_matches_probability(self):
+        trips = self._trip_count(seed=42)
+        # p=0.3 over 400 fires: expect ~120; bounds are ~6 sigma wide.
+        assert 60 <= trips <= 180
+
+    def test_same_seed_reproduces_the_same_run(self):
+        assert self._trip_count(seed=7) == self._trip_count(seed=7)
+
+    def test_probability_composes_with_times_and_after(self):
+        injector = FaultInjector(seed=3)
+        injector.arm(
+            "wal.append", times=2, after=5, probability=0.5
+        )
+        trips = 0
+        for _ in range(200):
+            try:
+                injector.fire("wal.append")
+            except FaultError:
+                trips += 1
+        # `after` shields the first 5 hits, `times` caps total trips at 2
+        # no matter how many eligible hits the coin flip selects.
+        assert trips == 2
+        assert injector.hits["wal.append"] == 200
