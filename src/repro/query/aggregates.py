@@ -115,7 +115,12 @@ class GroupedAggregates:
         states: List[list] = []
         for spec in self.specs:
             if spec.func in (AggFunc.SUM, AggFunc.AVG):
-                states.append([0.0, 0])
+                # The sum starts at integer 0, not 0.0: integer columns then
+                # accumulate through Python's arbitrary-precision ints and
+                # stay exact past 2**53, while float contributions promote
+                # the state to float with bit-identical results (0 + x and
+                # 0.0 + x round the same for every float x).
+                states.append([0, 0])
             elif spec.func is AggFunc.COUNT:
                 states.append([set()] if spec.distinct else [0])
             else:  # MIN / MAX

@@ -45,6 +45,7 @@ from .operators import (
     JoinedProvider,
     aggregate_into,
     build_hash_table,
+    join_kernel,
     probe_hash_join,
     scan_partition,
 )
@@ -440,6 +441,7 @@ class QueryExecutor:
             "combo": combo.describe(),
             "status": "evaluated",
             "worker": threading.current_thread().name,
+            "kernel": join_kernel(),
         }
         if combo.extra_filters:
             attrs["pushdown_filters"] = {
@@ -518,6 +520,7 @@ class QueryExecutor:
                 key_columns,
                 tuple(sorted(e.canonical() for e in extra)),
                 _fixed_rows_key(fixed),
+                join_kernel(),  # never serve one kernel a table the other built
             )
             table = hash_memo.get_or_compute(
                 hash_key,

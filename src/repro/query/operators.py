@@ -3,19 +3,67 @@
 The operators work on *row-index sets* rather than materialized tuples:
 an intermediate join result is a dict ``alias -> int array`` of parallel row
 indices into each alias' partition.  Values are decoded through the column
-dictionaries only where an expression or join key needs them.
+dictionaries only where an expression needs them.
+
+Joins and large aggregations run in **dictionary-code space** (the
+Krueger-et-al. "fast updates on read-optimized databases" template): the
+build side of a hash join is grouped by ``np.unique`` over its stacked key
+code matrix, the probe side is *bridged* into the build side's code space by
+translating dictionaries (one lookup per distinct value, never per row), and
+match multiplicities are expanded with ``np.repeat`` + prefix sums.  A
+row-at-a-time reference kernel is kept behind ``REPRO_JOIN_KERNEL=rowloop``
+(or :func:`kernel_override`); both kernels are bit-identical, which the
+parity suite in ``tests/query/test_kernel_parity.py`` pins down.
 """
 
 from __future__ import annotations
 
+import os
+from contextlib import contextmanager
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..errors import QueryError
+from ..storage.dictionary import NULL_CODE, MainDictionary
 from ..storage.partition import Partition
+from ..storage.schema import SqlType
 from .aggregates import AggregateSpec, GroupedAggregates
 from .expr import Col, Expr
+
+# ---------------------------------------------------------------------------
+# kernel selection
+# ---------------------------------------------------------------------------
+
+#: Environment variable selecting the join/aggregation kernel.
+JOIN_KERNEL_ENV = "REPRO_JOIN_KERNEL"
+KERNEL_VECTORIZED = "vectorized"
+KERNEL_ROWLOOP = "rowloop"
+
+_KERNEL_OVERRIDE: Optional[str] = None
+
+
+def join_kernel() -> str:
+    """The active kernel: :func:`kernel_override` > env var > vectorized."""
+    if _KERNEL_OVERRIDE is not None:
+        return _KERNEL_OVERRIDE
+    if os.environ.get(JOIN_KERNEL_ENV, "").strip().lower() == KERNEL_ROWLOOP:
+        return KERNEL_ROWLOOP
+    return KERNEL_VECTORIZED
+
+
+@contextmanager
+def kernel_override(kernel: str):
+    """Force a kernel inside the block (parity tests and benchmarks)."""
+    global _KERNEL_OVERRIDE
+    if kernel not in (KERNEL_VECTORIZED, KERNEL_ROWLOOP):
+        raise QueryError(f"unknown join kernel {kernel!r}")
+    previous = _KERNEL_OVERRIDE
+    _KERNEL_OVERRIDE = kernel
+    try:
+        yield
+    finally:
+        _KERNEL_OVERRIDE = previous
 
 
 class PartitionProvider:
@@ -72,11 +120,12 @@ class JoinedProvider:
     def codes(self, alias: str, name: str):
         """Dictionary codes of a column over the tuple set, plus the fragment.
 
-        The vectorized group-by path groups on codes (dense small integers)
-        instead of decoded values — the standard column-store optimization.
+        The vectorized join/group-by kernels work on codes (dense small
+        integers) instead of decoded values — the standard column-store
+        optimization.
         """
         fragment = self.partitions[alias].column(name)
-        return fragment.codes()[self.indices[alias]], fragment
+        return fragment.codes_for(self.indices[alias]), fragment
 
     def _resolve_unqualified(self, name: str) -> str:
         owners = [
@@ -136,21 +185,348 @@ def scan_partition(
     return np.flatnonzero(mask)
 
 
+# ---------------------------------------------------------------------------
+# code-space join kernels
+# ---------------------------------------------------------------------------
+
+#: Bridged probe code for values absent from the build-side key space.
+#: Distinct from NULL_CODE only for clarity — neither can ever match a
+#: build code (build codes are >= 0 after NULL rows are masked out).
+_NO_MATCH = -2
+
+#: Mixed-radix folds re-compact through ``np.unique`` before the running
+#: key domain would exceed this bound (safely inside int64).
+_MAX_KEY_DOMAIN = 1 << 62
+
+#: Below this key-domain size the probe lookup uses a dense int array map
+#: (O(1) per row) instead of ``searchsorted`` on the unique key set.
+_DENSE_MAP_LIMIT = 1 << 20
+
+
+class _CodeKeySpace:
+    """Composite-key factorization over build-side dictionary codes.
+
+    Each key column is compacted to ranks within the distinct codes actually
+    present on the build side, then the columns are folded into one int64
+    key per row with mixed-radix packing.  Whenever the running key domain
+    would no longer fit int64, the running keys are re-compacted through
+    ``np.unique`` first (their distinct count is bounded by the row count),
+    so wide composite keys over large dictionaries can never silently wrap.
+    Every compaction step is recorded so :meth:`probe` can replay the
+    identical fold over bridged probe codes with ``searchsorted`` lookups.
+    """
+
+    __slots__ = ("steps", "domain", "combined")
+
+    def __init__(self, code_cols: Sequence[np.ndarray]):
+        steps: List[Tuple[np.ndarray, Optional[np.ndarray]]] = []
+        combined: Optional[np.ndarray] = None
+        domain = 1
+        for codes in code_cols:
+            ucodes = np.unique(codes)
+            ranks = np.searchsorted(ucodes, codes)
+            radix = int(len(ucodes))
+            compact: Optional[np.ndarray] = None
+            if combined is None:
+                combined = ranks.astype(np.int64, copy=False)
+                domain = radix
+            else:
+                if domain > _MAX_KEY_DOMAIN // max(radix, 1):
+                    compact, combined = np.unique(combined, return_inverse=True)
+                    domain = len(compact)
+                combined = combined * radix + ranks
+                domain *= radix
+            steps.append((ucodes, compact))
+        self.steps = steps
+        self.domain = domain
+        #: Per-row folded build keys; transient (dropped after grouping).
+        self.combined = combined
+
+    def probe(self, bridged_cols: Sequence[np.ndarray]) -> Tuple[np.ndarray, np.ndarray]:
+        """Replay the fold over bridged probe codes.
+
+        Returns ``(combined, valid)``: the folded probe keys plus the mask
+        of rows whose codes exist column-wise in the build key space.
+        Invalid rows carry clipped (in-domain, but meaningless) keys, so
+        callers must apply ``valid``.  NULL (-1) and absent (-2) bridged
+        codes fail the membership check, never matching anything.
+        """
+        combined: Optional[np.ndarray] = None
+        valid: Optional[np.ndarray] = None
+        for (ucodes, compact), codes in zip(self.steps, bridged_cols):
+            pos = np.searchsorted(ucodes, codes)
+            pos = np.minimum(pos, len(ucodes) - 1)
+            ok = ucodes[pos] == codes
+            valid = ok if valid is None else (valid & ok)
+            if combined is None:
+                combined = pos.astype(np.int64, copy=False)
+            else:
+                if compact is not None:
+                    cpos = np.searchsorted(compact, combined)
+                    cpos = np.minimum(cpos, len(compact) - 1)
+                    valid &= compact[cpos] == combined
+                    combined = cpos
+                combined = combined * len(ucodes) + pos
+        return combined, valid
+
+
+def _comparable_array(values: np.ndarray) -> Optional[np.ndarray]:
+    """A primitive-dtype copy usable for vectorized exact matching, or None.
+
+    Integer and string value sets qualify; floats qualify unless NaN is
+    present (NaN defeats sorted search yet can match by identity through a
+    dict lookup, so those value sets take the per-value fallback).
+    """
+    try:
+        arr = np.array(values.tolist())
+    except (ValueError, TypeError):
+        return None
+    kind = arr.dtype.kind
+    if kind in ("i", "U"):
+        return arr
+    if kind == "f" and not np.isnan(arr).any():
+        return arr
+    return None
+
+
+def _dict_lookup_many(build_dict, values: np.ndarray) -> np.ndarray:
+    """Build-side codes for an array of values (``_NO_MATCH`` where absent).
+
+    Vectorized via ``searchsorted`` when both value sets share a primitive
+    dtype — main dictionaries are already sorted (codes are ranks), delta
+    dictionaries are sorted once per call.  Falls back to one hash lookup
+    per *distinct* value otherwise.
+    """
+    build_table = build_dict.decode_table()
+    n = len(build_table) - 1
+    if n == 0:
+        return np.full(len(values), _NO_MATCH, dtype=np.int64)
+    pv = _comparable_array(values)
+    bv = _comparable_array(build_table[:n]) if pv is not None else None
+    if bv is not None and pv.dtype.kind == bv.dtype.kind:
+        if isinstance(build_dict, MainDictionary):
+            order = None
+            sorted_bv = bv
+        else:
+            order = np.argsort(bv, kind="stable")
+            sorted_bv = bv[order]
+        pos = np.searchsorted(sorted_bv, pv)
+        pos = np.minimum(pos, n - 1)
+        hit = sorted_bv[pos] == pv
+        mapped = pos if order is None else order[pos]
+        return np.where(hit, mapped, _NO_MATCH).astype(np.int64, copy=False)
+    lookup = build_dict.lookup
+    out = np.full(len(values), _NO_MATCH, dtype=np.int64)
+    for i, value in enumerate(values.tolist()):
+        code = lookup(value)
+        if code is not None:
+            out[i] = code
+    return out
+
+
+def _bridge_codes(probe_fragment, probe_codes: np.ndarray, build_fragment) -> np.ndarray:
+    """Translate probe-side dictionary codes into the build fragment's codes.
+
+    When both sides share one dictionary object the codes pass through
+    unchanged (NULL stays ``-1`` and never matches).  Otherwise only the
+    probe *dictionary* is materialized — one translation per distinct value,
+    never per row — which is where main/delta dictionary skew is bridged.
+    NULL and values absent from the build dictionary map to ``_NO_MATCH``.
+    """
+    build_dict = build_fragment.dictionary
+    if probe_fragment.dictionary is build_dict:
+        return probe_codes
+    probe_table = probe_fragment.dictionary.decode_table()
+    m = len(probe_table) - 1
+    lut = np.full(m + 1, _NO_MATCH, dtype=np.int64)
+    if m:
+        lut[:m] = _dict_lookup_many(build_dict, probe_table[:m])
+    return lut[probe_codes]
+
+
+class _CodeSpaceHashTable:
+    """Build side of an equi-join, grouped in dictionary-code space.
+
+    Rows are grouped by composite key via ``np.unique`` over the folded key
+    codes; per-group row lists live in one stable-sorted array addressed by
+    prefix-sum ``starts``/``counts``, preserving build-row order within each
+    key (what makes the expansion bit-identical to the row loop).  Rows with
+    a NULL in any key column are masked out wholesale up front.
+    """
+
+    kernel = KERNEL_VECTORIZED
+
+    __slots__ = (
+        "partition", "key_columns", "fragments", "key_space",
+        "unique_keys", "group_rows", "starts", "counts", "dense",
+    )
+
+    def __init__(self, partition: Partition, rows, key_columns: Sequence[str]):
+        self.partition = partition
+        self.key_columns = tuple(key_columns)
+        self.fragments = [partition.column(c) for c in key_columns]
+        rows = np.asarray(rows, dtype=np.int64)
+        code_cols = [frag.codes_for(rows) for frag in self.fragments]
+        if rows.size:
+            valid = code_cols[0] != NULL_CODE
+            for codes in code_cols[1:]:
+                valid &= codes != NULL_CODE
+            if not valid.all():
+                rows = rows[valid]
+                code_cols = [codes[valid] for codes in code_cols]
+        if rows.size == 0:
+            self.key_space = None
+            self.unique_keys = np.empty(0, dtype=np.int64)
+            self.group_rows = np.empty(0, dtype=np.int64)
+            self.starts = np.empty(0, dtype=np.int64)
+            self.counts = np.empty(0, dtype=np.int64)
+            self.dense = None
+            return
+        space = _CodeKeySpace(code_cols)
+        unique_keys, group_idx = np.unique(space.combined, return_inverse=True)
+        space.combined = None  # free the per-row fold; only the plan is kept
+        order = np.argsort(group_idx, kind="stable")
+        counts = np.bincount(group_idx, minlength=len(unique_keys))
+        self.key_space = space
+        self.unique_keys = unique_keys
+        self.group_rows = rows[order]
+        self.counts = counts.astype(np.int64, copy=False)
+        self.starts = np.concatenate(([0], np.cumsum(self.counts[:-1])))
+        if space.domain <= _DENSE_MAP_LIMIT:
+            dense = np.full(space.domain, -1, dtype=np.int64)
+            dense[unique_keys] = np.arange(len(unique_keys), dtype=np.int64)
+            self.dense = dense
+        else:
+            self.dense = None
+
+    def __len__(self) -> int:
+        return len(self.unique_keys)
+
+    def __bool__(self) -> bool:
+        return len(self.unique_keys) > 0
+
+    def _lookup_groups(self, combined: np.ndarray, valid: np.ndarray) -> np.ndarray:
+        """Group id per probe row, ``-1`` for misses."""
+        if self.dense is not None:
+            found = self.dense[np.where(valid, combined, 0)]
+            return np.where(valid, found, -1)
+        pos = np.searchsorted(self.unique_keys, combined)
+        pos = np.minimum(pos, len(self.unique_keys) - 1)
+        hit = valid & (self.unique_keys[pos] == combined)
+        return np.where(hit, pos, -1)
+
+    def probe(self, current: "JoinedProvider", probe_columns) -> Tuple[np.ndarray, np.ndarray]:
+        """Match the current tuple set; returns (probe positions, build rows).
+
+        Both arrays are parallel and ordered by ascending probe position,
+        with matches within one probe row in build-row order — the exact
+        sequence the row loop emits.
+        """
+        n = current.row_count()
+        if n == 0 or not self:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        bridged = []
+        for (alias, col), build_frag in zip(probe_columns, self.fragments):
+            probe_frag = current.partitions[alias].column(col)
+            codes = probe_frag.codes_for(current.indices[alias])
+            bridged.append(_bridge_codes(probe_frag, codes, build_frag))
+        combined, valid = self.key_space.probe(bridged)
+        groups = self._lookup_groups(combined, valid)
+        hit = groups >= 0
+        safe = np.where(hit, groups, 0)
+        reps = np.where(hit, self.counts[safe], 0)
+        total = int(reps.sum())
+        if total == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        positions = np.repeat(np.arange(n, dtype=np.int64), reps)
+        offsets = np.concatenate(([0], np.cumsum(reps)[:-1]))
+        intra = np.arange(total, dtype=np.int64) - np.repeat(offsets, reps)
+        matched = self.group_rows[np.repeat(self.starts[safe], reps) + intra]
+        return positions, matched
+
+    def as_dict(self) -> Dict[Tuple, List[int]]:
+        """Decoded-key rendering for diagnostics/tests: key tuple -> rows."""
+        out: Dict[Tuple, List[int]] = {}
+        for gid in range(len(self.unique_keys)):
+            start = int(self.starts[gid])
+            rows = self.group_rows[start: start + int(self.counts[gid])]
+            key = tuple(frag.value_at(int(rows[0])) for frag in self.fragments)
+            out[key] = [int(r) for r in rows]
+        return out
+
+
+class _RowLoopHashTable:
+    """Reference row-at-a-time build side over decoded tuple keys.
+
+    Kept as the bit-identity baseline the parity suite and the kernel
+    benchmark compare against (``REPRO_JOIN_KERNEL=rowloop``).
+    """
+
+    kernel = KERNEL_ROWLOOP
+
+    __slots__ = ("partition", "key_columns", "table")
+
+    def __init__(self, partition: Partition, rows, key_columns: Sequence[str]):
+        self.partition = partition
+        self.key_columns = tuple(key_columns)
+        rows = np.asarray(rows, dtype=np.int64)
+        arrays = [partition.column(col).decode_rows(rows) for col in key_columns]
+        table: Dict[Tuple, List[int]] = {}
+        for i in range(len(rows)):
+            key = tuple(arr[i] for arr in arrays)
+            if any(part is None for part in key):
+                continue
+            table.setdefault(key, []).append(int(rows[i]))
+        self.table = table
+
+    def __len__(self) -> int:
+        return len(self.table)
+
+    def __bool__(self) -> bool:
+        return bool(self.table)
+
+    def probe(self, current: "JoinedProvider", probe_columns) -> Tuple[np.ndarray, np.ndarray]:
+        """Row-at-a-time probe; same contract as the code-space kernel."""
+        probe_arrays = [current.get(alias, col) for alias, col in probe_columns]
+        n = current.row_count()
+        keep_positions: List[int] = []
+        matched_rows: List[int] = []
+        table = self.table
+        for i in range(n):
+            key = tuple(arr[i] for arr in probe_arrays)
+            if any(part is None for part in key):
+                continue
+            matches = table.get(key)
+            if not matches:
+                continue
+            for row in matches:
+                keep_positions.append(i)
+                matched_rows.append(row)
+        return (
+            np.asarray(keep_positions, dtype=np.int64),
+            np.asarray(matched_rows, dtype=np.int64),
+        )
+
+    def as_dict(self) -> Dict[Tuple, List[int]]:
+        """Decoded-key rendering for diagnostics/tests: key tuple -> rows."""
+        return {key: list(rows) for key, rows in self.table.items()}
+
+
 def build_hash_table(
     partition: Partition, rows: np.ndarray, key_columns: Sequence[str]
-) -> Dict[Tuple, List[int]]:
+):
     """Hash the given rows of ``partition`` on the composite key columns.
 
-    Rows with a NULL in any key column never join and are dropped here.
+    Returns the active kernel's build-side table (code-space by default,
+    row-loop under ``REPRO_JOIN_KERNEL=rowloop``).  Rows with a NULL in any
+    key column never join and are dropped here.  The result is falsy when
+    no row survives, so callers can short-circuit empty subjoins.
     """
-    arrays = [partition.column(col).decode_rows(rows) for col in key_columns]
-    table: Dict[Tuple, List[int]] = {}
-    for i in range(len(rows)):
-        key = tuple(arr[i] for arr in arrays)
-        if any(part is None for part in key):
-            continue
-        table.setdefault(key, []).append(int(rows[i]))
-    return table
+    if join_kernel() == KERNEL_ROWLOOP:
+        return _RowLoopHashTable(partition, rows, key_columns)
+    return _CodeSpaceHashTable(partition, rows, key_columns)
 
 
 def probe_hash_join(
@@ -158,37 +534,28 @@ def probe_hash_join(
     probe_columns: Sequence[Tuple[str, str]],
     new_alias: str,
     new_partition: Partition,
-    hash_table: Dict[Tuple, List[int]],
+    hash_table,
 ) -> JoinedProvider:
     """Join the current tuple set against a hashed partition.
 
     ``probe_columns`` lists the (alias, column) pairs on the *current* side,
     in the same order as the hash table's key columns.  Produces the expanded
-    tuple set including ``new_alias``.
+    tuple set including ``new_alias``; both kernels emit identical index
+    arrays (ascending probe position, build-row order within a key).
     """
-    probe_arrays = [current.get(alias, col) for alias, col in probe_columns]
-    n = current.row_count()
-    keep_positions: List[int] = []
-    matched_rows: List[int] = []
-    for i in range(n):
-        key = tuple(arr[i] for arr in probe_arrays)
-        if any(part is None for part in key):
-            continue
-        matches = hash_table.get(key)
-        if not matches:
-            continue
-        for row in matches:
-            keep_positions.append(i)
-            matched_rows.append(row)
-    positions = np.asarray(keep_positions, dtype=np.int64)
+    positions, matched = hash_table.probe(current, probe_columns)
     indices = {
         alias: rows[positions] for alias, rows in current.indices.items()
     }
-    indices[new_alias] = np.asarray(matched_rows, dtype=np.int64)
+    indices[new_alias] = matched
     partitions = dict(current.partitions)
     partitions[new_alias] = new_partition
     return JoinedProvider(partitions, indices)
 
+
+# ---------------------------------------------------------------------------
+# grouped aggregation
+# ---------------------------------------------------------------------------
 
 _VECTORIZE_THRESHOLD = 48  # below this the plain row loop is cheaper
 
@@ -203,16 +570,18 @@ def aggregate_into(
     """Fold the provider's tuples into ``grouped``; returns rows aggregated.
 
     Large self-maintainable aggregations take a vectorized path: rows are
-    grouped on dictionary *codes* (mixed-radix combined across the group-by
-    columns) and reduced per group with ``numpy.bincount`` before the grouped
-    state is touched once per group — the column-store way.  Small inputs
-    and MIN/MAX aggregations use the straightforward row loop.
+    grouped on dictionary *codes* (overflow-safe mixed-radix fold across the
+    group-by columns) and reduced per group before the grouped state is
+    touched once per group — the column-store way.  Small inputs, MIN/MAX
+    aggregations, and the ``rowloop`` kernel use the straightforward row
+    loop.  Both paths produce bit-identical grouped state.
     """
     n = provider.row_count()
     if n == 0:
         return 0
     vectorizable = (
-        n >= _VECTORIZE_THRESHOLD
+        join_kernel() == KERNEL_VECTORIZED
+        and n >= _VECTORIZE_THRESHOLD
         and all(spec.self_maintainable for spec in specs)
         and all(col.alias is not None for col in group_by)
     )
@@ -236,7 +605,93 @@ def aggregate_into(
 
 
 def _null_mask(values: np.ndarray) -> np.ndarray:
+    """None mask over a decoded object array (generic-expression fallback;
+    simple column references test ``codes == NULL_CODE`` instead)."""
     return np.frompyfunc(lambda v: v is None, 1, 1)(values).astype(bool)
+
+
+def _fold_group_codes(
+    code_cols: Sequence[np.ndarray], radices: Sequence[int]
+) -> Tuple[np.ndarray, int]:
+    """Dense group ids from per-column (NULL-shifted) code arrays.
+
+    Mixed-radix packing ``combined = combined * radix + code`` is the fast
+    path; whenever the running key domain would exceed int64 the running
+    keys are re-compacted through ``np.unique`` first (their distinct count
+    is bounded by the row count), so wide group-bys over large dictionaries
+    can never wrap and silently merge unrelated groups.
+    """
+    combined = code_cols[0].astype(np.int64, copy=False)
+    domain = radices[0]
+    for codes, radix in zip(code_cols[1:], radices[1:]):
+        if domain > _MAX_KEY_DOMAIN // max(radix, 1):
+            uniques, combined = np.unique(combined, return_inverse=True)
+            domain = len(uniques)
+        combined = combined * radix + codes
+        domain *= radix
+    uniques, group_idx = np.unique(combined, return_inverse=True)
+    return group_idx, len(uniques)
+
+
+def _int_valued(values: np.ndarray, nulls: np.ndarray) -> bool:
+    """Whether every non-null entry of a decoded column is a Python int.
+
+    Used only for computed aggregate arguments — plain column references
+    answer this from the schema type without touching the rows.
+    """
+    if nulls.all():
+        return True
+    sample = (values[~nulls] if nulls.any() else values).tolist()
+    try:
+        probe = np.array(sample)
+    except (ValueError, TypeError):
+        return False
+    if probe.dtype.kind == "i":
+        return True
+    if probe.dtype.kind == "O":  # mixed or beyond int64 — inspect
+        return all(type(v) is int for v in sample)
+    return False
+
+
+def _exact_int_group_sums(
+    values: np.ndarray,
+    nulls: np.ndarray,
+    group_idx: np.ndarray,
+    n_groups: int,
+) -> List[int]:
+    """Per-group sums of integer values, exact at any magnitude.
+
+    Non-null values are grouped with a stable sort and reduced per segment.
+    The int64 ``reduceat`` fast path is guarded by a worst-case magnitude
+    bound (``n * max|v|`` must fit int64); anything bigger reduces in
+    object dtype, i.e. Python's arbitrary-precision ints.  Returns Python
+    ints, matching what the row loop accumulates.
+    """
+    mask = ~nulls
+    gi = group_idx[mask] if nulls.any() else group_idx
+    if gi.size == 0:
+        return [0] * n_groups
+    vals = values[mask] if nulls.any() else values
+    order = np.argsort(gi, kind="stable")
+    counts = np.bincount(gi, minlength=n_groups)
+    present = counts > 0
+    starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    boundaries = starts[present]
+    segments: Optional[np.ndarray] = None
+    try:
+        v64 = vals.astype(np.int64)
+    except (OverflowError, TypeError, ValueError):
+        v64 = None
+    if v64 is not None:
+        peak = int(np.abs(v64).max()) if v64.size else 0
+        if 0 <= peak <= 1 or (peak > 1 and gi.size <= _MAX_KEY_DOMAIN // peak):
+            segments = np.add.reduceat(v64[order], boundaries)
+    if segments is None:
+        segments = np.add.reduceat(vals[order], boundaries)
+    sums = [0] * n_groups
+    for slot, total in zip(np.flatnonzero(present).tolist(), segments.tolist()):
+        sums[slot] = int(total)
+    return sums
 
 
 def _aggregate_vectorized(
@@ -251,26 +706,33 @@ def _aggregate_vectorized(
 
     # ------------------------------------------------------------- grouping
     if group_by:
-        combined = np.zeros(n, dtype=np.int64)
+        code_cols = []
         fragments = []
         radices = []
         for col in group_by:
             codes, fragment = provider.codes(col.alias, col.name)
+            code_cols.append(codes + 1)  # shift NULL (-1) into slot 0
             fragments.append(fragment)
-            radix = len(fragment.dictionary) + 1
-            radices.append(radix)
-            combined = combined * radix + (codes + 1)
-        unique_codes, group_idx = np.unique(combined, return_inverse=True)
-        n_groups = len(unique_codes)
-        keys = []
-        for code in unique_codes:
-            parts: List[object] = []
-            remaining = int(code)
-            for fragment, radix in zip(reversed(fragments), reversed(radices)):
-                part_code = remaining % radix - 1
-                remaining //= radix
-                parts.append(fragment.dictionary.decode(part_code) if part_code >= 0 else None)
-            keys.append(tuple(reversed(parts)))
+            radices.append(len(fragment.dictionary) + 1)
+        group_idx, n_groups = _fold_group_codes(code_cols, radices)
+        # Decode keys from one representative row per group (first
+        # occurrence), one LUT gather per column.
+        order = np.argsort(group_idx, kind="stable")
+        counts = np.bincount(group_idx, minlength=n_groups)
+        first_rows = order[np.concatenate(([0], np.cumsum(counts)[:-1]))]
+        # The row loop inserts groups in first-appearance scan order and
+        # finalize() preserves insertion order, so renumber the fold-order
+        # group ids to match — bit-identity covers row order too.
+        appearance = np.argsort(first_rows, kind="stable")
+        remap = np.empty(n_groups, dtype=np.int64)
+        remap[appearance] = np.arange(n_groups)
+        group_idx = remap[group_idx]
+        first_rows = first_rows[appearance]
+        key_cols = [
+            fragment.decode_codes(codes[first_rows] - 1)
+            for fragment, codes in zip(fragments, code_cols)
+        ]
+        keys = [tuple(col[g] for col in key_cols) for g in range(n_groups)]
     else:
         group_idx = np.zeros(n, dtype=np.int64)
         n_groups = 1
@@ -282,18 +744,40 @@ def _aggregate_vectorized(
         if spec.func is AggFunc.COUNT and spec.arg is None:
             spec_states.append(count_star)
             continue
-        values = spec.arg.evaluate(provider)
-        nulls = _null_mask(values)
+        arg = spec.arg
+        values: Optional[np.ndarray] = None
+        int_typed: Optional[bool] = None
+        if isinstance(arg, Col) and arg.alias is not None:
+            # Code-level NULL test and typed-exactness answer — no decode
+            # needed for COUNT, one LUT gather for SUM/AVG.
+            codes, fragment = provider.codes(arg.alias, arg.name)
+            nulls = codes == NULL_CODE
+            schema = provider.partitions[arg.alias].schema
+            if schema.has_column(arg.name):
+                int_typed = schema.column(arg.name).sql_type is SqlType.INT
+            if spec.func is not AggFunc.COUNT:
+                values = fragment.decode_codes(codes)
+        else:
+            values = arg.evaluate(provider)
+            nulls = _null_mask(values)
         nonnull = np.bincount(
-            group_idx, weights=(~nulls).astype(np.float64), minlength=n_groups
-        ).astype(np.int64)
+            group_idx[~nulls] if nulls.any() else group_idx, minlength=n_groups
+        )
         if spec.func is AggFunc.COUNT:
             spec_states.append(nonnull)
             continue
-        safe = values.copy()
-        safe[nulls] = 0.0
-        sums = np.bincount(
-            group_idx, weights=safe.astype(np.float64), minlength=n_groups
-        )
+        if int_typed is None:
+            int_typed = _int_valued(values, nulls)
+        if int_typed:
+            sums: Sequence = _exact_int_group_sums(values, nulls, group_idx, n_groups)
+        else:
+            safe = values.copy()
+            safe[nulls] = 0.0
+            # .tolist() hands the accumulators Python floats, the same type
+            # the row loop produces — bincount's in-order accumulation is
+            # already bit-identical to the loop's sequential adds.
+            sums = np.bincount(
+                group_idx, weights=safe.astype(np.float64), minlength=n_groups
+            ).tolist()
         spec_states.append(list(zip(sums, nonnull)))
     grouped.accumulate_groups(keys, spec_states, count_star, sign=sign)

@@ -68,8 +68,7 @@ class BitVector:
     def from_indices(cls, length: int, indices: Iterable[int]) -> "BitVector":
         """Build a vector of ``length`` bits with the given ``indices`` set."""
         bv = cls(length)
-        for i in indices:
-            bv.set(i)
+        bv.set_many(indices)
         return bv
 
     def copy(self) -> "BitVector":
@@ -95,6 +94,27 @@ class BitVector:
         """Set the bit at ``index`` to 0."""
         self._check(index)
         self._words[index // _WORD_BITS] &= ~(np.uint64(1) << np.uint64(index % _WORD_BITS))
+
+    def set_many(self, indices) -> None:
+        """Set every bit in ``indices`` to 1 (vectorized bulk form of :meth:`set`).
+
+        Accepts any iterable of indices, including numpy integer arrays;
+        duplicates are allowed.  The whole batch is range-checked before any
+        bit is written, so a failing call mutates nothing.
+        """
+        if not isinstance(indices, np.ndarray) and not hasattr(indices, "__len__"):
+            indices = list(indices)
+        idx = np.asarray(indices, dtype=np.int64)
+        if idx.size == 0:
+            return
+        lo, hi = int(idx.min()), int(idx.max())
+        if lo < 0 or hi >= self._length:
+            bad = lo if lo < 0 else hi
+            raise IndexError(f"bit index {bad} out of range [0, {self._length})")
+        words = (idx // _WORD_BITS).astype(np.int64)
+        bits = np.uint64(1) << (idx % _WORD_BITS).astype(np.uint64)
+        # Unbuffered scatter-OR: duplicate word targets fold correctly.
+        np.bitwise_or.at(self._words, words, bits)
 
     def get(self, index: int) -> bool:
         """Return the bit at ``index``."""

@@ -72,26 +72,31 @@ class ColumnFragment:
         """Zero-copy view of the code vector (do not hold across appends)."""
         return self._codes.view()
 
+    def codes_for(self, rows) -> np.ndarray:
+        """Codes of the given row indices (one gather, no decoding)."""
+        return self._codes.view()[np.asarray(rows, dtype=np.int64)]
+
     def value_at(self, row: int):
         """Decoded value of one row."""
         return self.dictionary.decode(self._codes[row])
+
+    def decode_codes(self, codes: np.ndarray) -> np.ndarray:
+        """Decoded values for an array of dictionary codes (object array).
+
+        Decoding is one fancy-indexing pass over the dictionary's cached
+        decode LUT — ``NULL_CODE`` (-1) wraps to the LUT's trailing None
+        slot, so NULLs need no separate branch.
+        """
+        return self.dictionary.decode_table()[codes]
 
     def decode_rows(self, rows) -> np.ndarray:
         """Decoded values for the given row indices as an object array.
 
         ``rows`` may be a list or a numpy integer array.  Decoding goes
-        through a dense dictionary-materialization so repeated values are
+        through the dictionary's cached dense LUT so repeated values are
         decoded once, which is the usual column-store trick.
         """
-        rows = np.asarray(rows, dtype=np.int64)
-        codes = self._codes.view()[rows]
-        dict_values = self.dictionary.values()
-        # Dense lookup table with NULL in the extra last slot (code -1 wraps).
-        lut = np.empty(len(dict_values) + 1, dtype=object)
-        for i, v in enumerate(dict_values):
-            lut[i] = v
-        lut[-1] = None
-        return lut[codes]
+        return self.decode_codes(self.codes_for(rows))
 
     def decode_all(self) -> List[object]:
         """All row values in row order (used by the merge to rebuild mains)."""

@@ -17,17 +17,34 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence
 
+import numpy as np
+
 NULL_CODE = -1
+
+
+def _build_decode_table(values: Sequence[object]) -> np.ndarray:
+    """Dense decode LUT: ``table[code]`` is the value, ``table[-1]`` is None.
+
+    The extra trailing slot lets ``NULL_CODE`` (-1) wrap to a None entry, so
+    a whole code vector decodes in one fancy-indexing operation without a
+    separate NULL branch.
+    """
+    table = np.empty(len(values) + 1, dtype=object)
+    for i, value in enumerate(values):
+        table[i] = value
+    table[-1] = None
+    return table
 
 
 class DeltaDictionary:
     """Unsorted, append-order dictionary for write-optimized partitions."""
 
-    __slots__ = ("_values", "_codes")
+    __slots__ = ("_values", "_codes", "_decode_table")
 
     def __init__(self):
         self._values: List[object] = []
         self._codes: Dict[object, int] = {}
+        self._decode_table: Optional[np.ndarray] = None
 
     def encode(self, value) -> int:
         """Return the code for ``value``, inserting it if unseen."""
@@ -38,6 +55,7 @@ class DeltaDictionary:
             code = len(self._values)
             self._values.append(value)
             self._codes[value] = code
+            self._decode_table = None  # LUT is stale once the dictionary grows
         return code
 
     def lookup(self, value) -> Optional[int]:
@@ -61,6 +79,18 @@ class DeltaDictionary:
     def values(self) -> List[object]:
         """The distinct values in code order (a copy)."""
         return list(self._values)
+
+    def decode_table(self) -> np.ndarray:
+        """Cached decode LUT: ``table[code]`` -> value, ``table[-1]`` -> None.
+
+        Rebuilt lazily after the dictionary grows; callers must treat the
+        array as read-only (it is shared across all decode calls).
+        """
+        table = self._decode_table
+        if table is None or len(table) != len(self._values) + 1:
+            table = _build_decode_table(self._values)
+            self._decode_table = table
+        return table
 
     def min_value(self):
         """Smallest stored value, or ``None`` for an empty dictionary."""
@@ -86,12 +116,13 @@ class MainDictionary:
     from the distinct values present at merge time.
     """
 
-    __slots__ = ("_values", "_codes")
+    __slots__ = ("_values", "_codes", "_decode_table")
 
     def __init__(self, values: Iterable[object] = ()):
         distinct = set(v for v in values if v is not None)
         self._values: List[object] = sorted(distinct)
         self._codes: Dict[object, int] = {v: i for i, v in enumerate(self._values)}
+        self._decode_table: Optional[np.ndarray] = None
 
     @classmethod
     def from_sorted(cls, sorted_values: Sequence[object]) -> "MainDictionary":
@@ -99,6 +130,7 @@ class MainDictionary:
         out = cls()
         out._values = list(sorted_values)
         out._codes = {v: i for i, v in enumerate(out._values)}
+        out._decode_table = None
         return out
 
     def lookup(self, value) -> Optional[int]:
@@ -122,6 +154,18 @@ class MainDictionary:
     def values(self) -> List[object]:
         """The distinct values in code (= sorted) order (a copy)."""
         return list(self._values)
+
+    def decode_table(self) -> np.ndarray:
+        """Cached decode LUT: ``table[code]`` -> value, ``table[-1]`` -> None.
+
+        Main dictionaries are immutable between merges, so the LUT is built
+        once; callers must treat the array as read-only.
+        """
+        table = self._decode_table
+        if table is None or len(table) != len(self._values) + 1:
+            table = _build_decode_table(self._values)
+            self._decode_table = table
+        return table
 
     def min_value(self):
         """Smallest stored value (O(1) — first element), or ``None`` if empty."""

@@ -54,7 +54,14 @@ class IntVector:
         self._size += 1
 
     def extend(self, values) -> None:
-        """Append all ``values`` (any iterable or numpy array)."""
+        """Append all ``values`` (any iterable or numpy array).
+
+        Non-sized iterables (generators, ``map`` objects) are materialized
+        first: ``np.asarray`` would otherwise wrap them in a 0-d object
+        array and raise instead of consuming them.
+        """
+        if not isinstance(values, np.ndarray) and not hasattr(values, "__len__"):
+            values = list(values)
         arr = np.asarray(values, dtype=np.int64)
         self._ensure(arr.size)
         self._data[self._size : self._size + arr.size] = arr

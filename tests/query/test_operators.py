@@ -8,13 +8,19 @@ from hypothesis import strategies as st
 from repro.errors import QueryError
 from repro.query import AggFunc, AggregateSpec, Col, GroupedAggregates
 from repro.query.operators import (
+    KERNEL_ROWLOOP,
+    KERNEL_VECTORIZED,
     JoinedProvider,
     PartitionProvider,
     aggregate_into,
     build_hash_table,
+    join_kernel,
+    kernel_override,
     probe_hash_join,
 )
 from repro.storage import ColumnDef, Partition, Schema, SqlType
+
+BOTH_KERNELS = pytest.mark.parametrize("kernel", [KERNEL_VECTORIZED, KERNEL_ROWLOOP])
 
 
 def make_partition(name, columns, rows):
@@ -88,26 +94,44 @@ class TestProviders:
 
 
 class TestHashJoin:
-    def test_build_skips_null_keys(self, item_part):
-        table = build_hash_table(item_part, np.arange(4), ["hid"])
-        assert set(table) == {(1,), (2,)}
-        assert table[(1,)] == [0, 1]
+    @BOTH_KERNELS
+    def test_build_skips_null_keys(self, item_part, kernel):
+        with kernel_override(kernel):
+            table = build_hash_table(item_part, np.arange(4), ["hid"])
+        assert table.kernel == kernel
+        assert len(table) == 2 and bool(table)
+        grouped = table.as_dict()
+        assert set(grouped) == {(1,), (2,)}
+        assert grouped[(1,)] == [0, 1]
 
-    def test_probe_expands_matches(self, header_part, item_part):
+    @BOTH_KERNELS
+    def test_empty_table_is_falsy(self, item_part, kernel):
+        with kernel_override(kernel):
+            table = build_hash_table(item_part, np.array([3]), ["hid"])  # NULL key
+        assert not table
+        assert len(table) == 0
+        assert table.as_dict() == {}
+
+    @BOTH_KERNELS
+    def test_probe_expands_matches(self, header_part, item_part, kernel):
         current = JoinedProvider({"h": header_part}, {"h": np.array([0, 1, 2])})
-        table = build_hash_table(item_part, np.arange(4), ["hid"])
-        joined = probe_hash_join(current, [("h", "hid")], "i", item_part, table)
+        with kernel_override(kernel):
+            table = build_hash_table(item_part, np.arange(4), ["hid"])
+            joined = probe_hash_join(current, [("h", "hid")], "i", item_part, table)
         assert joined.row_count() == 3  # h1 matches twice, h2 once, h3 zero
         assert joined.indices["h"].tolist() == [0, 0, 1]
         assert joined.indices["i"].tolist() == [0, 1, 2]
 
-    def test_probe_null_keys_never_match(self, header_part, item_part):
+    @BOTH_KERNELS
+    def test_probe_null_keys_never_match(self, header_part, item_part, kernel):
         current = JoinedProvider({"i": item_part}, {"i": np.array([3])})
-        table = build_hash_table(header_part, np.arange(3), ["hid"])
-        joined = probe_hash_join(current, [("i", "hid")], "h", header_part, table)
+        with kernel_override(kernel):
+            table = build_hash_table(header_part, np.arange(3), ["hid"])
+            joined = probe_hash_join(current, [("i", "hid")], "h", header_part, table)
         assert joined.row_count() == 0
 
-    def test_composite_key(self):
+    @BOTH_KERNELS
+    def test_composite_key(self, kernel):
         left = make_partition(
             "l", [("a", SqlType.INT), ("b", SqlType.INT)],
             [{"a": 1, "b": 1}, {"a": 1, "b": 2}],
@@ -116,11 +140,48 @@ class TestHashJoin:
             "r", [("a", SqlType.INT), ("b", SqlType.INT)],
             [{"a": 1, "b": 2}, {"a": 1, "b": 3}],
         )
-        table = build_hash_table(right, np.arange(2), ["a", "b"])
         current = JoinedProvider({"l": left}, {"l": np.arange(2)})
-        joined = probe_hash_join(current, [("l", "a"), ("l", "b")], "r", right, table)
+        with kernel_override(kernel):
+            table = build_hash_table(right, np.arange(2), ["a", "b"])
+            joined = probe_hash_join(current, [("l", "a"), ("l", "b")], "r", right, table)
         assert joined.row_count() == 1
         assert joined.indices["l"].tolist() == [1]
+
+    def test_kernel_selection_env(self, monkeypatch):
+        assert join_kernel() == KERNEL_VECTORIZED
+        monkeypatch.setenv("REPRO_JOIN_KERNEL", "rowloop")
+        assert join_kernel() == KERNEL_ROWLOOP
+        with kernel_override(KERNEL_VECTORIZED):
+            assert join_kernel() == KERNEL_VECTORIZED  # override beats env
+        with pytest.raises(QueryError):
+            with kernel_override("simd"):
+                pass
+
+    def test_main_delta_dictionary_bridging(self, header_part):
+        """Probe codes are translated when build/probe dictionaries differ:
+        a bulk-built main partition has sorted-rank codes, the probing delta
+        has append-order codes, yet the join must agree with the row loop."""
+        schema = Schema([ColumnDef("hid", SqlType.INT), ColumnDef("v", SqlType.INT)])
+        rows = [
+            {"hid": 3, "v": 30},
+            {"hid": 1, "v": 10},
+            {"hid": 2, "v": 20},
+            {"hid": 1, "v": 11},
+        ]
+        main = Partition.build_main("hmain", schema, rows, cts=[1] * 4, dts=[0] * 4)
+        current = JoinedProvider({"h": header_part}, {"h": np.array([0, 1, 2])})
+        results = {}
+        for kernel in (KERNEL_VECTORIZED, KERNEL_ROWLOOP):
+            with kernel_override(kernel):
+                table = build_hash_table(main, np.arange(4), ["hid"])
+                joined = probe_hash_join(current, [("h", "hid")], "m", main, table)
+            results[kernel] = {
+                alias: idx.tolist() for alias, idx in joined.indices.items()
+            }
+        assert results[KERNEL_VECTORIZED] == results[KERNEL_ROWLOOP]
+        # h.hid=1 matches main rows 1 and 3 (in build-row order), hid=2 row 2,
+        # hid=3 row 0.
+        assert results[KERNEL_VECTORIZED]["m"] == [1, 3, 2, 0]
 
 
 def specs():
@@ -145,6 +206,74 @@ class TestAggregationPaths:
         provider = JoinedProvider({"i": item_part}, {"i": np.empty(0, dtype=np.int64)})
         grouped = GroupedAggregates(specs())
         assert aggregate_into(grouped, provider, [Col("hid", "i")], specs()) == 0
+
+
+class TestExactnessRegressions:
+    """Bugfix pins: these fail on the float64-bincount / raw mixed-radix
+    implementations and must stay green on both kernels."""
+
+    def _run_both(self, part, n_rows, group_by, sp):
+        provider = JoinedProvider({"i": part}, {"i": np.arange(n_rows)})
+        results = {}
+        for kernel in (KERNEL_VECTORIZED, KERNEL_ROWLOOP):
+            grouped = GroupedAggregates(sp)
+            with kernel_override(kernel):
+                aggregate_into(grouped, provider, group_by, sp)
+            results[kernel] = sorted(grouped.finalize())
+        return results
+
+    def test_integer_sum_exact_beyond_2_53(self):
+        """SUM/AVG of INT columns must not round through float64: one value
+        at 2**53 plus 59 ones is exactly 2**53 + 59, which float64 cannot
+        represent (spacing is 2 above 2**53)."""
+        big = 2**53
+        rows = [{"hid": 1, "val": big}] + [{"hid": 1, "val": 1}] * 59
+        part = make_partition(
+            "i", [("hid", SqlType.INT), ("val", SqlType.INT)], rows
+        )
+        sp = [
+            AggregateSpec(AggFunc.SUM, Col("val", "i"), "s"),
+            AggregateSpec(AggFunc.AVG, Col("val", "i"), "a"),
+            AggregateSpec(AggFunc.COUNT, None, "n"),
+        ]
+        results = self._run_both(part, len(rows), [Col("hid", "i")], sp)
+        assert results[KERNEL_VECTORIZED] == results[KERNEL_ROWLOOP]
+        ((key, total, avg, count),) = results[KERNEL_VECTORIZED]
+        assert key == 1 and count == 60
+        assert type(total) is int and total == big + 59
+        assert avg == (big + 59) / 60
+
+    def test_integer_sum_exact_beyond_int64(self):
+        """Sums past int64 range take the arbitrary-precision path."""
+        big = 2**60 + 1
+        rows = [{"hid": 1, "val": big}] * 60  # total = 60*(2**60+1) > 2**63
+        part = make_partition(
+            "i", [("hid", SqlType.INT), ("val", SqlType.INT)], rows
+        )
+        sp = [AggregateSpec(AggFunc.SUM, Col("val", "i"), "s")]
+        results = self._run_both(part, len(rows), [Col("hid", "i")], sp)
+        assert results[KERNEL_VECTORIZED] == results[KERNEL_ROWLOOP]
+        ((_, total),) = results[KERNEL_VECTORIZED]
+        assert type(total) is int and total == 60 * big
+
+    def test_group_code_overflow_keeps_groups_distinct(self):
+        """Nine group-by columns whose radix product is 3 * 256**8 > 2**64:
+        the raw mixed-radix fold wraps int64 and merges (0, t, ..., t) with
+        (1, t, ..., t); the overflow-safe fold must keep all 257 groups."""
+        cols = [("a", SqlType.INT)] + [(f"c{j}", SqlType.INT) for j in range(8)]
+        rows = [
+            {"a": 0, **{f"c{j}": i for j in range(8)}} for i in range(255)
+        ] + [
+            {"a": 1, **{f"c{j}": t for j in range(8)}} for t in (0, 1)
+        ]
+        part = make_partition("i", cols, rows)
+        group_by = [Col(name, "i") for name, _ in cols]
+        sp = [AggregateSpec(AggFunc.COUNT, None, "n")]
+        results = self._run_both(part, len(rows), group_by, sp)
+        assert results[KERNEL_VECTORIZED] == results[KERNEL_ROWLOOP]
+        out = results[KERNEL_VECTORIZED]
+        assert len(out) == 257
+        assert all(row[-1] == 1 for row in out)
 
 
 @settings(max_examples=25, deadline=None)

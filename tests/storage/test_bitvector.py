@@ -173,3 +173,54 @@ def test_property_and_not_is_set_difference(a_bits, b_bits):
 def test_property_double_invert_is_identity(bits):
     bv = BitVector.from_bools(bits)
     assert ~~bv == bv
+
+
+class TestSetMany:
+    def test_bulk_set_matches_loop(self):
+        indices = [0, 5, 63, 64, 65, 199]
+        bulk = BitVector(200)
+        bulk.set_many(indices)
+        loop = BitVector(200)
+        for i in indices:
+            loop.set(i)
+        assert bulk == loop
+
+    def test_duplicates_fold(self):
+        bv = BitVector(70)
+        bv.set_many([64, 64, 64, 3, 3])
+        assert bv.set_indices() == [3, 64]
+
+    def test_empty_batch(self):
+        bv = BitVector(10)
+        bv.set_many([])
+        bv.set_many(np.empty(0, dtype=np.int64))
+        assert bv.pop_count() == 0
+
+    def test_generator_input(self):
+        bv = BitVector(100)
+        bv.set_many(i * 10 for i in range(5))
+        assert bv.set_indices() == [0, 10, 20, 30, 40]
+
+    def test_out_of_range_mutates_nothing(self):
+        bv = BitVector(64)
+        bv.set(1)
+        with pytest.raises(IndexError):
+            bv.set_many([2, 3, 64])
+        with pytest.raises(IndexError):
+            bv.set_many([-1, 5])
+        assert bv.set_indices() == [1]
+
+    def test_numpy_array_input(self):
+        bv = BitVector(128)
+        bv.set_many(np.array([127, 0], dtype=np.int64))
+        assert bv.get(127) and bv.get(0)
+
+
+@given(st.lists(st.integers(0, 199), max_size=60))
+def test_property_set_many_equals_loop(indices):
+    bulk = BitVector(200)
+    bulk.set_many(indices)
+    loop = BitVector(200)
+    for i in indices:
+        loop.set(i)
+    assert bulk == loop

@@ -102,3 +102,28 @@ class TestObjectVector:
         c = v.copy()
         c.append(2)
         assert len(v) == 1
+
+
+class TestExtendIterables:
+    def test_extend_generator(self):
+        """Regression: extend() used to raise on non-sized iterables because
+        np.asarray wraps a generator in a 0-d object array."""
+        v = IntVector([1])
+        v.extend(i * i for i in range(5))
+        assert list(v) == [1, 0, 1, 4, 9, 16]
+
+    def test_extend_map_object(self):
+        v = IntVector()
+        v.extend(map(int, "123"))
+        assert list(v) == [1, 2, 3]
+
+    def test_extend_empty_generator(self):
+        v = IntVector([7])
+        v.extend(x for x in ())
+        assert list(v) == [7]
+
+    def test_extend_range_and_array_still_work(self):
+        v = IntVector()
+        v.extend(range(3))
+        v.extend(np.array([5, 6], dtype=np.int64))
+        assert list(v) == [0, 1, 2, 5, 6]
