@@ -7,6 +7,17 @@ enumerates that compensation set, runs each subjoin through the
 :class:`JoinPruner`, and returns the surviving :class:`ComboSpec` list
 (with pushdown filters attached) ready for the executor.
 
+Star-join-aware variant reduction (:mod:`repro.plan.star_join`) shrinks
+the enumeration itself: tables excluded by the planner are pinned to
+their single main partition and re-attached to every variant, so only
+``2^k - 1`` combinations over the ``k`` remaining tables are generated
+instead of ``2^t - 1``.  The exclusion soundness gate (all delta
+partitions physically empty, table not aged) is re-validated here at
+enumeration time — a stale or wrong exclusion decision falls back to
+full enumeration for that table, so the delta suffix is always scanned
+and degenerate cases (k = 0, single-table joins) stay correct: the
+reduced product still contains every combination that could hold rows.
+
 Repeated hits do not necessarily re-evaluate the surviving set from
 scratch: the cache manager keeps a per-entry :class:`~repro.core.
 delta_memo.DeltaMemo` of the folded compensation value and, while the
@@ -16,10 +27,12 @@ restricts the rescans to the rows past the memo's watermarks.
 
 from __future__ import annotations
 
+import itertools
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from ..obs.trace import Span
-from ..query.executor import ComboSpec, all_partition_combos, describe_partitions
+from ..plan.star_join import ExcludedTable, exclusion_is_sound
+from ..query.executor import ComboSpec, describe_partitions
 from ..query.query import AggregateQuery
 from ..storage.catalog import Catalog
 from ..storage.partition import Partition
@@ -30,17 +43,52 @@ def _combo_identity(assignment: Dict[str, Partition]) -> FrozenSet[Tuple[str, in
     return frozenset((alias, id(partition)) for alias, partition in assignment.items())
 
 
+def sound_exclusions(
+    query: AggregateQuery,
+    catalog: Catalog,
+    excluded: Sequence[ExcludedTable],
+) -> Tuple[ExcludedTable, ...]:
+    """The subset of ``excluded`` whose pinned-main reading is safe *now*.
+
+    This is the enumeration-time re-validation of the star-join soundness
+    gate: a table whose delta grew (or that was aged) since the exclusion
+    decision is silently re-included into full enumeration rather than
+    pinned to a main that no longer covers all its rows.
+    """
+    return tuple(
+        ex
+        for ex in excluded
+        if exclusion_is_sound(catalog.table(query.table_of(ex.alias)))
+    )
+
+
 def compensation_assignments(
     query: AggregateQuery,
     catalog: Catalog,
     cached_combos: Sequence[Dict[str, Partition]],
+    excluded: Sequence[ExcludedTable] = (),
 ) -> List[Dict[str, Partition]]:
-    """All partition combinations except the cached all-main ones."""
+    """All partition combinations except the cached all-main ones.
+
+    Tables named in ``excluded`` (after the soundness-gate re-check) are
+    pinned to their single main partition; the product runs over the
+    remaining tables' full partition lists in FROM order, exactly like
+    :func:`~repro.query.executor.all_partition_combos` restricted to the
+    non-excluded axes.
+    """
+    pinned = {ex.alias for ex in sound_exclusions(query, catalog, excluded)}
+    per_alias: List[List[Tuple[str, Partition]]] = []
+    for ref in query.tables:
+        table = catalog.table(ref.table)
+        if ref.alias in pinned:
+            per_alias.append([(ref.alias, table.main_partitions()[0])])
+        else:
+            per_alias.append([(ref.alias, p) for p in table.partitions()])
     cached_ids = {_combo_identity(combo) for combo in cached_combos}
     return [
-        assignment
-        for assignment in all_partition_combos(query, catalog)
-        if _combo_identity(assignment) not in cached_ids
+        dict(chosen)
+        for chosen in itertools.product(*per_alias)
+        if _combo_identity(dict(chosen)) not in cached_ids
     ]
 
 
@@ -51,17 +99,25 @@ def build_compensation_combos(
     pruner: Optional[JoinPruner],
     report: Optional[PruneReport] = None,
     span_sink: Optional[List[Span]] = None,
+    excluded: Sequence[ExcludedTable] = (),
 ) -> List[ComboSpec]:
     """Enumerate, prune, and annotate the delta-compensation subjoins.
 
     ``pruner=None`` disables all pruning (the CACHED_NO_PRUNING strategy).
-    The ``report`` collects per-reason counters for benchmarks and tests;
-    ``span_sink`` (EXPLAIN ANALYZE) receives one trace span per *pruned*
-    subjoin carrying its prune reason — the evaluated ones get their spans
-    from the executor, so together the sink sees every compensation
-    subjoin exactly once.
+    ``excluded`` applies star-join variant reduction (gate re-validated;
+    see :func:`compensation_assignments`).  The ``report`` collects
+    per-reason counters for benchmarks and tests — ``combos_total`` counts
+    the *reduced* enumeration, ``combos_excluded`` the combinations the
+    reduction skipped; ``span_sink`` (EXPLAIN ANALYZE) receives one trace
+    span per *pruned* subjoin carrying its prune reason — the evaluated
+    ones get their spans from the executor, so together the sink sees
+    every enumerated compensation subjoin exactly once.
     """
-    assignments = compensation_assignments(query, catalog, cached_combos)
+    live = sound_exclusions(query, catalog, excluded)
+    assignments = compensation_assignments(query, catalog, cached_combos, live)
+    if report is not None and live:
+        report.excluded_tables += len(live)
+        report.combos_excluded += excluded_combo_count(query, catalog, live)
     combos: List[ComboSpec] = []
     for assignment in assignments:
         if report is not None:
@@ -97,3 +153,23 @@ def build_compensation_combos(
             report.pushdown_filters += sum(len(v) for v in pushdown.values())
         combos.append(ComboSpec(assignment, extra_filters=pushdown))
     return combos
+
+
+def excluded_combo_count(
+    query: AggregateQuery,
+    catalog: Catalog,
+    excluded: Sequence[ExcludedTable],
+) -> int:
+    """How many partition combinations the reduction never enumerated:
+    the full product over every table's partitions minus the reduced
+    product with excluded tables pinned (cached all-main combinations
+    appear in both products, so they cancel)."""
+    pinned = {ex.alias for ex in excluded}
+    full = 1
+    reduced = 1
+    for ref in query.tables:
+        n = len(catalog.table(ref.table).partitions())
+        full *= n
+        if ref.alias not in pinned:
+            reduced *= n
+    return full - reduced

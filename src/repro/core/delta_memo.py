@@ -79,6 +79,15 @@ class DeltaMemo:
     #: mean no referenced table changed at all (per-table version counters),
     #: so validation can skip the per-partition walk.
     signature: Tuple = ()
+    #: The star-join exclusion decision — ``(alias, reason)`` per excluded
+    #: table — of the plan whose combo set ``folded`` was folded over.  A
+    #: memo is only ever replayed for a plan with the *same* decision:
+    #: toggling the override, flipping the config switch, or a dimension
+    #: delta going empty→non-empty all change the fingerprint and route
+    #: :func:`classify_memo` to a rebuild.  (A reduced-set memo does not
+    #: cover the excluded tables' delta partitions, so growth there would
+    #: otherwise be invisible to the watermark walk.)
+    excluded: Tuple[Tuple[str, str], ...] = ()
 
     def covers(self, partition: Partition) -> bool:
         """True when ``partition`` (by identity) is recorded in this memo."""
@@ -104,6 +113,7 @@ def build_memo(
     snapshot: int,
     partitions: Dict[int, Partition],
     signature: Tuple = (),
+    excluded: Tuple[Tuple[str, str], ...] = (),
 ) -> DeltaMemo:
     """Record a freshly computed full compensation value as a memo."""
     watermarks: Dict[int, int] = {}
@@ -122,6 +132,7 @@ def build_memo(
         epochs=epochs,
         partitions=dict(partitions),
         signature=signature,
+        excluded=excluded,
     )
 
 
@@ -130,15 +141,26 @@ def classify_memo(
     snapshot: int,
     current: Dict[int, Partition],
     signature: Tuple = (),
+    excluded: Tuple[Tuple[str, str], ...] = (),
 ) -> str:
     """Decide how a query at ``snapshot`` may use ``memo``.
 
     Returns ``"incremental"`` (reuse + advance), ``"older_reader"``
     (``snapshot`` predates the anchor: bypass, keep the memo for newer
-    readers), or ``"rebuild"`` (no memo / epochs moved / partition set
-    changed / horizon crossed: recompute from scratch).
+    readers), or ``"rebuild"`` (no memo / exclusion decision changed /
+    epochs moved / partition set changed / horizon crossed: recompute
+    from scratch).
+
+    ``excluded`` is the current plan's star-join exclusion fingerprint.
+    A memo folded over one combo set is never replayed for a plan with a
+    different one — even when the partition walk would pass (e.g. a plan
+    built under a different strategy or override whose reduced partition
+    set happens to coincide), because the watermarks only cover the
+    memo's own combo set.
     """
     if memo is None:
+        return "rebuild"
+    if excluded != memo.excluded:
         return "rebuild"
     if snapshot < memo.anchor:
         return "older_reader"
@@ -232,6 +254,9 @@ def advance_memo(
 ) -> DeltaMemo:
     """The memo re-anchored at ``snapshot`` with ``increment`` folded in.
 
+    The exclusion fingerprint carries over unchanged —
+    :func:`classify_memo` already required it to match the plan's.
+
     Only valid after :func:`classify_memo` returned ``"incremental"`` for
     ``snapshot``: the old prefixes then contribute identically at the new
     anchor, so the new horizon is the minimum of the old one and the
@@ -265,4 +290,5 @@ def advance_memo(
         epochs=epochs,
         partitions=memo.partitions,
         signature=signature,
+        excluded=memo.excluded,
     )

@@ -62,6 +62,10 @@ class QueryPlan:
     cached_combos: List[Dict[str, str]] = field(default_factory=list)
     entry_states: List[str] = field(default_factory=list)  # "HIT"/"MISS" per combo
     subjoins: List[SubjoinPlan] = field(default_factory=list)
+    #: Star-join variant reduction: "alias:reason" per excluded table and
+    #: the number of combinations never enumerated because of it.
+    excluded: List[str] = field(default_factory=list)
+    combos_excluded: int = 0
 
     def render(self) -> str:
         """Multi-line rendering of the whole plan."""
@@ -82,6 +86,11 @@ class QueryPlan:
         for combo, state in zip(self.cached_combos, self.entry_states):
             inner = ", ".join(f"{a}:{p}" for a, p in sorted(combo.items()))
             lines.append(f"  ({inner})  {state}")
+        if self.excluded:
+            lines.append(
+                f"star-join reduction: excluded=[{', '.join(self.excluded)}] "
+                f"({self.combos_excluded} combinations not enumerated)"
+            )
         evaluated = sum(1 for s in self.subjoins if s.action == "evaluate")
         pruned = len(self.subjoins) - evaluated
         lines.append(
@@ -97,16 +106,21 @@ def explain_query(
     manager,
     query: Union[str, AggregateQuery],
     strategy: Optional[ExecutionStrategy] = None,
+    star_join_tables=None,
 ) -> QueryPlan:
     """Build the :class:`QueryPlan` for ``query`` under ``strategy``.
 
     ``manager`` is the :class:`~repro.core.manager.AggregateCacheManager`;
     nothing is executed and no entry is created.  The fates are taken from
     the manager's (possibly cached) physical plan, never re-derived.
+    ``star_join_tables`` is the per-statement star-join override, matching
+    :meth:`~repro.core.manager.AggregateCacheManager.execute`.
     """
     strategy = strategy if strategy is not None else manager.config.default_strategy
-    physical = manager.plan_for(query, strategy)
+    physical = manager.plan_for(query, strategy, star_join_tables=star_join_tables)
     plan = QueryPlan(strategy=strategy, cacheable=physical.cacheable)
+    plan.excluded = [e.describe() for e in physical.excluded]
+    plan.combos_excluded = physical.prune.combos_excluded
     if not plan.cacheable:
         return plan
     for combo, key in zip(physical.cached_combos, physical.cache_keys):

@@ -31,6 +31,7 @@ from ..obs.trace import QueryTrace, Span
 from ..plan.cache import PlanCache
 from ..plan.logical import Binder
 from ..plan.physical import PhysicalPlan, Planner, plan_signature
+from ..plan.star_join import normalize_star_join_override
 from ..query.aggregates import GroupedAggregates
 from ..query.executor import (
     ComboSpec,
@@ -316,11 +317,11 @@ class AggregateCacheManager:
             self.obs.plan_cache_evictions.inc(dropped_plans)
         return len(victims)
 
-    def explain(self, query, strategy=None):
+    def explain(self, query, strategy=None, star_join_tables=None):
         """Dry-run plan: see :func:`repro.core.explain.explain_query`."""
         from .explain import explain_query
 
-        return explain_query(self, query, strategy)
+        return explain_query(self, query, strategy, star_join_tables)
 
     # ------------------------------------------------------------------
     # planning
@@ -330,6 +331,7 @@ class AggregateCacheManager:
         query: Union[str, AggregateQuery],
         strategy: Optional[ExecutionStrategy] = None,
         trace: Optional[QueryTrace] = None,
+        star_join_tables=None,
     ) -> PhysicalPlan:
         """The :class:`PhysicalPlan` answering ``query`` under ``strategy``.
 
@@ -341,12 +343,18 @@ class AggregateCacheManager:
         otherwise the statement is bound and lowered, and the fresh plan is
         admitted under both slots.
 
+        ``star_join_tables`` is the per-statement star-join override
+        (None = config override, then automatic detection).  It is part
+        of both cache-slot keys: the same statement planned under two
+        overrides yields two distinct plans with distinct combo sets.
+
         EXPLAIN, EXPLAIN ANALYZE, and :meth:`execute` all call this — they
         consume the same plan object, so they cannot drift.
         """
         strategy = strategy if strategy is not None else self.config.default_strategy
+        override = normalize_star_join_override(star_join_tables)
         sql = query if isinstance(query, str) else None
-        sql_key = ("sql", sql, strategy.value) if sql is not None else None
+        sql_key = ("sql", sql, strategy.value, override) if sql is not None else None
         bind_span = trace.child("bind") if trace is not None else None
         plan = None
         outcome: Optional[str] = None
@@ -360,7 +368,7 @@ class AggregateCacheManager:
             bind_span.finish()
         plan_span = trace.child("plan") if trace is not None else None
         if plan is None:
-            canon_key = ("canon", bound.canonical_key(), strategy.value)
+            canon_key = ("canon", bound.canonical_key(), strategy.value, override)
             plan, canon_outcome = self.plan_cache.get(canon_key, self._signature_of)
             if outcome is None or plan is not None or canon_outcome == "invalidated":
                 outcome = canon_outcome
@@ -369,7 +377,8 @@ class AggregateCacheManager:
                 with self._lock:
                     mds, agings = list(self._mds), list(self._agings)
                 plan = self._planner.build(
-                    self._binder.plan(bound), strategy, mds, agings
+                    self._binder.plan(bound), strategy, mds, agings,
+                    star_override=override,
                 )
                 self.obs.plan_build_seconds.observe(
                     time.perf_counter() - build_started
@@ -392,8 +401,21 @@ class AggregateCacheManager:
         return plan
 
     def _signature_of(self, plan: PhysicalPlan) -> Tuple:
-        """The current validity fingerprint of a cached plan's tables."""
-        return plan_signature(self._catalog, self.config, plan.table_names())
+        """The current validity fingerprint of a cached plan's tables.
+
+        Reuses the plan's stored exclusion decision: exclusions are a pure
+        function of (query, override, config flag, table versions), and
+        the versions are in the signature — so a delta going empty→
+        non-empty bumps its table's version, mismatches here, and forces
+        a rebuild that re-detects.
+        """
+        return plan_signature(
+            self._catalog,
+            self.config,
+            plan.table_names(),
+            star_override=plan.star_override,
+            excluded=plan.excluded,
+        )
 
     # ------------------------------------------------------------------
     # query execution (Fig. 3)
@@ -405,6 +427,7 @@ class AggregateCacheManager:
         strategy: Optional[ExecutionStrategy] = None,
         trace: Optional[QueryTrace] = None,
         cancel=None,
+        star_join_tables=None,
     ) -> Tuple[GroupedAggregates, CacheQueryReport]:
         """Answer a query through the cache pipeline (Fig. 3); returns (grouped result, report).
 
@@ -425,7 +448,7 @@ class AggregateCacheManager:
         strategy = strategy if strategy is not None else self.config.default_strategy
         report = CacheQueryReport(strategy=strategy)
         started = time.perf_counter()
-        plan = self.plan_for(query, strategy, trace)
+        plan = self.plan_for(query, strategy, trace, star_join_tables)
         report.plan = plan
         bound = plan.query
         if cancel is not None:
@@ -953,6 +976,9 @@ class AggregateCacheManager:
             span.finish()
             span.attrs["subjoins_total"] = report.prune.combos_total
             span.attrs["subjoins_pruned"] = report.prune.pruned_total
+            if plan.excluded:
+                span.attrs["excluded"] = [e.describe() for e in plan.excluded]
+                span.attrs["subjoins_excluded"] = report.prune.combos_excluded
             span.attrs["compensation"] = mode
             if reason:
                 span.attrs["compensation_reason"] = reason
@@ -985,7 +1011,11 @@ class AggregateCacheManager:
         with self._lock:
             memo = entry.delta_memo
         verdict = classify_memo(
-            memo, txn.snapshot, plan_partitions(plan.subjoins), plan.signature
+            memo,
+            txn.snapshot,
+            plan_partitions(plan.subjoins),
+            plan.signature,
+            plan.excluded_fingerprint(),
         )
         if verdict == "older_reader":
             # This reader predates the memo's anchor; the memo stays put
@@ -1029,7 +1059,11 @@ class AggregateCacheManager:
             return
         result.merge(into)
         fresh = build_memo(
-            into, txn.snapshot, plan_partitions(plan.subjoins), plan.signature
+            into,
+            txn.snapshot,
+            plan_partitions(plan.subjoins),
+            plan.signature,
+            plan.excluded_fingerprint(),
         )
         with self._lock:
             if entry.delta_memo is observed and entry.is_active:

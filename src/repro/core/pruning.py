@@ -43,7 +43,15 @@ from .strategies import ExecutionStrategy
 
 @dataclass
 class PruneReport:
-    """Per-query pruning outcome counters."""
+    """Per-query pruning outcome counters.
+
+    ``combos_total`` counts the *enumerated* variants; with star-join
+    reduction active that is already the collapsed ``2^k - 1`` set, and
+    ``combos_excluded`` records how many combinations the reduction kept
+    from ever being enumerated (``excluded_tables`` = how many tables it
+    pinned to their mains).  ``combos_total + combos_excluded`` recovers
+    the exhaustive ``2^t - 1`` count.
+    """
 
     combos_total: int = 0
     pruned_empty: int = 0
@@ -51,6 +59,8 @@ class PruneReport:
     pruned_dynamic: int = 0
     pushdown_filters: int = 0
     evaluated: int = 0
+    excluded_tables: int = 0
+    combos_excluded: int = 0
 
     @property
     def pruned_total(self) -> int:

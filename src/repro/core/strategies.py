@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Iterable, Optional, Union
 
 
 class ExecutionStrategy(enum.Enum):
@@ -78,3 +78,15 @@ class CacheConfig:
     # repro.core.delta_memo).  Off = recompute the full compensation union
     # on every hit, as the paper describes it.
     delta_memo: bool = True
+    # Star-join-aware variant reduction (see repro.plan.star_join): under
+    # the pruning strategies, exclude tables whose delta partitions are
+    # provably empty from compensation-variant generation and re-attach
+    # their mains to every variant, collapsing 2^t-1 enumerated subjoins
+    # to 2^k-1 over the k remaining tables.  Off = enumerate exhaustively
+    # and rely on per-combo pruning alone (the paper's baseline).
+    star_join_reduction: bool = True
+    # Config-wide star-join override: None = detect automatically; any
+    # iterable (or comma-separated string) of table/alias names restricts
+    # exclusion candidates to exactly those names (() = exclude nothing).
+    # A per-query star_join_tables=... takes precedence when given.
+    star_join_tables: Optional[Union[str, Iterable[str]]] = None

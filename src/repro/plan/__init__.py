@@ -12,15 +12,23 @@ thrown away) by the executor, the cache manager, and EXPLAIN separately:
   statement, strategy) and validates them against per-table version
   counters, so repeated statements skip parse/bind/enumeration entirely.
 
-``cost`` and ``logical`` are imported eagerly (the executor depends on
-them); ``physical`` and ``cache`` import the executor in turn, so they are
-exposed lazily to keep the import graph acyclic.
+``cost``, ``logical``, and ``star_join`` are imported eagerly (they
+depend only on the query/storage layers); ``physical`` and ``cache``
+import the executor in turn, so they are exposed lazily to keep the
+import graph acyclic.
 """
 
 from __future__ import annotations
 
 from .cost import FILTER_SELECTIVITY, JoinStep, choose_join_order, estimate_scan_rows
 from .logical import Binder, LogicalPlan
+from .star_join import (
+    ExcludedTable,
+    alias_is_filtering,
+    detect_star_join_tables,
+    exclusion_is_sound,
+    normalize_star_join_override,
+)
 
 __all__ = [
     "Binder",
@@ -29,6 +37,11 @@ __all__ = [
     "FILTER_SELECTIVITY",
     "choose_join_order",
     "estimate_scan_rows",
+    "ExcludedTable",
+    "alias_is_filtering",
+    "detect_star_join_tables",
+    "exclusion_is_sound",
+    "normalize_star_join_override",
     "Planner",
     "PhysicalPlan",
     "PlannedSubjoin",

@@ -27,8 +27,10 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from .physical import PhysicalPlan
 
-#: A cache slot: ("canon"|"sql", statement text, strategy value).
-PlanKey = Tuple[str, str, str]
+#: A cache slot: ("canon"|"sql", statement text, strategy value,
+#: normalized per-statement star_join_tables override or None) — the
+#: override is part of the key because it changes the planned combo set.
+PlanKey = Tuple[str, str, str, Optional[Tuple[str, ...]]]
 
 
 class _Entry:

@@ -25,11 +25,21 @@ from ..query.query import AggregateQuery
 from ..storage.catalog import Catalog
 from ..storage.partition import Partition
 from ..core.cache_key import CacheKey, cache_key_for
-from ..core.delta_compensation import compensation_assignments
+from ..core.delta_compensation import (
+    compensation_assignments,
+    excluded_combo_count,
+    sound_exclusions,
+)
 from ..core.pruning import JoinPruner, PruneReport
 from ..core.strategies import CacheConfig, ExecutionStrategy
 from .cost import choose_join_order, estimate_scan_rows
 from .logical import LogicalPlan
+from .star_join import (
+    ExcludedTable,
+    detect_star_join_tables,
+    excluded_fingerprint,
+    normalize_star_join_override,
+)
 
 
 @dataclass
@@ -69,6 +79,11 @@ class PhysicalPlan:
     cache_keys: List[CacheKey] = field(default_factory=list)
     subjoins: List[PlannedSubjoin] = field(default_factory=list)
     prune: PruneReport = field(default_factory=PruneReport)
+    #: Star-join variant reduction: tables pinned to their mains with a
+    #: reason each, and the per-statement override the plan was built
+    #: under (None = automatic detection) — both part of the signature.
+    excluded: Tuple[ExcludedTable, ...] = ()
+    star_override: Optional[Tuple[str, ...]] = None
 
     @property
     def query(self) -> AggregateQuery:
@@ -88,9 +103,18 @@ class PhysicalPlan:
         """Fresh :class:`ComboSpec`\\ s for every non-pruned subjoin."""
         return [s.to_spec() for s in self.subjoins if s.action == "evaluate"]
 
+    def excluded_fingerprint(self) -> Tuple[Tuple[str, str], ...]:
+        """The ``(alias, reason)`` exclusion decision this plan's combo
+        set was generated under — part of delta-memo identity."""
+        return excluded_fingerprint(self.excluded)
+
 
 def plan_signature(
-    catalog: Catalog, config: CacheConfig, table_names: Sequence[str]
+    catalog: Catalog,
+    config: CacheConfig,
+    table_names: Sequence[str],
+    star_override: Optional[Tuple[str, ...]] = None,
+    excluded: Tuple[ExcludedTable, ...] = (),
 ) -> Tuple:
     """The validity fingerprint of a plan over ``table_names``.
 
@@ -100,10 +124,24 @@ def plan_signature(
     valid?" is a tuple equality, no content inspection.  Raises
     ``CatalogError`` when a referenced table no longer exists (the caller
     treats that as invalidated).
+
+    The star-join component pins the variant-reduction decision: the
+    config flag and override, the per-statement override, and the
+    resulting ``(alias, reason)`` exclusions.  Toggling any of these —
+    or a dimension delta going empty→non-empty, which flips the detected
+    exclusions — changes the signature, invalidating cached plans *and*
+    delta memos stamped with it (memos folded over a different combo set
+    must never be replayed; see :func:`repro.core.delta_memo.classify_memo`).
     """
     return (
         config.predicate_pushdown,
         config.enforce_referential_integrity,
+        (
+            config.star_join_reduction,
+            normalize_star_join_override(config.star_join_tables),
+            star_override,
+            excluded_fingerprint(excluded),
+        ),
         tuple(
             (name, catalog.table(name).table_id, catalog.table(name).version)
             for name in table_names
@@ -124,16 +162,41 @@ class Planner:
         strategy: ExecutionStrategy,
         mds: Sequence = (),
         agings: Sequence = (),
+        star_override: Optional[Tuple[str, ...]] = None,
     ) -> PhysicalPlan:
         """Plan ``logical`` under ``strategy`` with the given object
-        declarations (matching dependencies / consistent agings)."""
+        declarations (matching dependencies / consistent agings).
+
+        ``star_override`` is the normalized per-statement
+        ``star_join_tables`` override (None = fall back to the config
+        override, then automatic detection).
+        """
         bound = logical.query
+        excluded: Tuple[ExcludedTable, ...] = ()
+        if (
+            strategy.uses_cache
+            and strategy.prunes_empty
+            and logical.cacheable
+            and self._config.star_join_reduction
+        ):
+            effective = (
+                star_override
+                if star_override is not None
+                else normalize_star_join_override(self._config.star_join_tables)
+            )
+            excluded = detect_star_join_tables(bound, self._catalog, effective)
         plan = PhysicalPlan(
             logical=logical,
             strategy=strategy,
             signature=plan_signature(
-                self._catalog, self._config, logical.table_names()
+                self._catalog,
+                self._config,
+                logical.table_names(),
+                star_override=star_override,
+                excluded=excluded,
             ),
+            excluded=excluded,
+            star_override=star_override,
         )
         if not strategy.uses_cache or not logical.cacheable:
             # The uncached path evaluates the full product and never runs
@@ -161,8 +224,14 @@ class Planner:
                 assume_md_integrity=self._config.enforce_referential_integrity,
                 obs=None,
             )
+        live = sound_exclusions(bound, self._catalog, plan.excluded)
+        if live:
+            plan.prune.excluded_tables = len(live)
+            plan.prune.combos_excluded = excluded_combo_count(
+                bound, self._catalog, live
+            )
         for assignment in compensation_assignments(
-            bound, self._catalog, plan.cached_combos
+            bound, self._catalog, plan.cached_combos, live
         ):
             plan.prune.combos_total += 1
             if pruner is None:

@@ -48,12 +48,33 @@ class TestMemoReuse:
         assert report.executor_stats.combos_evaluated > 0
         assert report.delta_memo_rows_saved > 0
 
-    def test_memo_survives_strategy_changes(self, erp_db):
-        """A memo folded under one strategy is valid under another: pruned
-        subjoins are *truly* empty, so they contribute zero to the fold."""
+    def test_memo_tracks_exclusion_decision_across_strategies(self, erp_db):
+        """Strategy changes that keep the star-join exclusion decision
+        reuse the memo; ones that change it rebuild.  FULL excludes the
+        empty-delta category table while NO_PRUNING enumerates
+        exhaustively, so a FULL-built memo (folded over the reduced combo
+        set, category delta uncovered) must NOT be replayed for the
+        NO_PRUNING plan — growth in category's delta would be invisible
+        to its watermarks."""
         erp_db.query(PROFIT_SQL, strategy=FULL)
         result = erp_db.query(
             PROFIT_SQL, strategy=ExecutionStrategy.CACHED_NO_PRUNING
+        )
+        assert erp_db.last_report.delta_memo_mode == "full"
+        assert result.rows == _uncached_rows(erp_db, PROFIT_SQL)
+        # Same strategy again: same exclusion fingerprint -> reuse.
+        erp_db.query(PROFIT_SQL, strategy=ExecutionStrategy.CACHED_NO_PRUNING)
+        assert erp_db.last_report.delta_memo_mode == "incremental"
+
+    def test_memo_survives_strategy_changes_same_combo_set(self, erp_db):
+        """With reduction pinned off on both sides, a memo folded under
+        one strategy is valid under another: pruned subjoins are *truly*
+        empty, so they contribute zero to the fold."""
+        erp_db.query(PROFIT_SQL, strategy=FULL, star_join_tables=())
+        result = erp_db.query(
+            PROFIT_SQL,
+            strategy=ExecutionStrategy.CACHED_NO_PRUNING,
+            star_join_tables=(),
         )
         assert erp_db.last_report.delta_memo_mode == "incremental"
         assert result.rows == _uncached_rows(erp_db, PROFIT_SQL)

@@ -30,13 +30,25 @@ class TestExplain:
         assert "HIT" in db.explain(PROFIT_SQL)
 
     def test_subjoin_fates_listed(self):
+        # star_join_tables=() pins exhaustive enumeration so every prune
+        # mechanism shows up; the empty-delta category combos otherwise
+        # never get enumerated (see test_star_join_reduction_line below).
         db = make_db()
-        text = db.explain(PROFIT_SQL, strategy=FULL)
+        text = db.explain(PROFIT_SQL, strategy=FULL, star_join_tables=())
         assert "PRUNED [empty]" in text
         assert "PRUNED [dynamic]" in text
         assert "EVALUATE" in text
         # 3 tables -> 7 compensation subjoins listed
         assert text.count("(d:") == 7 + 1  # + the cached combination line
+
+    def test_star_join_reduction_line(self):
+        db = make_db()
+        text = db.explain(PROFIT_SQL, strategy=FULL)
+        # category's delta is empty -> excluded; only 2^2-1 subjoins remain
+        # with d pinned to its main in every one.
+        assert "star-join reduction: excluded=[d:empty_delta]" in text
+        assert "(4 combinations not enumerated)" in text
+        assert text.count("(d:main") == 3 + 1  # + the cached combination line
 
     def test_no_pruning_strategy_evaluates_all(self):
         db = make_db()
@@ -68,9 +80,21 @@ class TestExplain:
         db = make_db()
         plan = explain_query(db.cache, db.parse(PROFIT_SQL), FULL)
         assert plan.cacheable
-        assert len(plan.subjoins) == 7
+        # category excluded (empty delta) -> 2^2-1 enumerated subjoins.
+        assert len(plan.subjoins) == 3
+        assert plan.excluded == ["d:empty_delta"]
+        assert plan.combos_excluded == 4
         pruned = [s for s in plan.subjoins if s.action == "pruned"]
         assert all(s.reason in ("empty", "logical", "dynamic") for s in pruned)
+
+    def test_plan_object_api_exhaustive_override(self):
+        db = make_db()
+        plan = explain_query(
+            db.cache, db.parse(PROFIT_SQL), FULL, star_join_tables=()
+        )
+        assert len(plan.subjoins) == 7
+        assert plan.excluded == []
+        assert plan.combos_excluded == 0
 
     def test_explain_matches_execution_counters(self):
         db = make_db()

@@ -113,25 +113,54 @@ class TestPruningCounters:
     def test_full_pruning_prunes_cross_subjoins(self, erp_db):
         erp_db.query(PROFIT_SQL, strategy=FULL)
         report = erp_db.last_report
-        # 3 tables -> 2^3 - 1 = 7 compensation subjoins.
+        # category's delta is empty -> star-join reduction pins it to main
+        # and enumerates 2^2 - 1 = 3 subjoins (the 4 category-delta combos
+        # are never generated).
+        assert report.prune.combos_total == 3
+        assert report.prune.excluded_tables == 1
+        assert report.prune.combos_excluded == 4
+        # header/item main x delta crosses -> dynamic pruning; only
+        # (Hd, Id, Dm) survives.
+        assert report.prune.evaluated == 1
+        assert report.prune.pruned_total == 2
+
+    def test_full_pruning_exhaustive_with_override(self, erp_db):
+        # star_join_tables=() pins exhaustive enumeration: the legacy
+        # 2^3 - 1 shape with the category-delta combos empty-pruned.
+        erp_db.query(PROFIT_SQL, strategy=FULL, star_join_tables=())
+        report = erp_db.last_report
         assert report.prune.combos_total == 7
-        # category delta is empty -> empty pruning; header/item main x delta
-        # crosses -> dynamic pruning; only (Hd, Id, Dm) survives.
+        assert report.prune.excluded_tables == 0
+        assert report.prune.combos_excluded == 0
         assert report.prune.evaluated == 1
         assert report.prune.pruned_total == 6
 
     def test_no_pruning_evaluates_everything(self, erp_db):
+        # CACHED_NO_PRUNING stays the paper's exhaustive baseline: no
+        # reduction, no pruning.
         erp_db.query(PROFIT_SQL, strategy=NO_PRUNE)
         report = erp_db.last_report
         assert report.prune.combos_total == 7
         assert report.prune.evaluated == 7
         assert report.prune.pruned_total == 0
+        assert report.prune.excluded_tables == 0
 
     def test_empty_delta_pruning_only(self, erp_db):
         erp_db.query(PROFIT_SQL, strategy=EMPTY)
         report = erp_db.last_report
-        # The 4 subjoins touching the (empty) category delta are pruned;
-        # dynamic crosses still evaluated.
+        # The 4 subjoins touching the (empty) category delta are excluded
+        # from enumeration outright; without dynamic pruning the 3
+        # remaining subjoins are all evaluated.
+        assert report.prune.excluded_tables == 1
+        assert report.prune.combos_excluded == 4
+        assert report.prune.pruned_empty == 0
+        assert report.prune.pruned_dynamic == 0
+        assert report.prune.evaluated == 3
+
+    def test_empty_delta_pruning_exhaustive_with_override(self, erp_db):
+        erp_db.query(PROFIT_SQL, strategy=EMPTY, star_join_tables=())
+        report = erp_db.last_report
+        # The legacy shape: category-delta combos enumerated, then pruned.
         assert report.prune.pruned_empty == 4
         assert report.prune.pruned_dynamic == 0
         assert report.prune.evaluated == 3

@@ -192,10 +192,61 @@ class TestNullTidRegression:
         result = db.query(PROFIT_SQL, strategy=FULL)
         assert result.rows == db.query(PROFIT_SQL, strategy=UNCACHED).rows
 
+    def test_excluded_hub_with_null_tid_children(self):
+        """Star-join reduction re-attaches an excluded hub's main to every
+        variant.  With RI off, the item delta can hold NULL-tid rows
+        (dangling or late-stamped); the re-attached header main must
+        still be probed by value, and range pruning on the remaining
+        variants must stand aside for the NULL rows."""
+        db = self._db()
+        db.merge()  # both deltas empty: header becomes excludable
+        # A dangling child (hid=999 has no parent anywhere) and a child
+        # of a *main* header — both NULL-tid in the item delta.
+        db.insert("item", {"iid": 9200, "hid": 999, "cid": 0, "price": 2.5})
+        db.insert("item", {"iid": 9201, "hid": 0, "cid": 1, "price": 7.75})
+        plan = db.cache.plan_for(PROFIT_SQL, FULL)
+        excluded = {e.alias for e in plan.excluded}
+        assert "h" in excluded and "d" in excluded
+        result = db.query(PROFIT_SQL, strategy=FULL)
+        assert result.rows == db.query(PROFIT_SQL, strategy=UNCACHED).rows
+        # The late parent arrives: header's delta grows, its exclusion
+        # lifts, and the formerly-dangling pair must now join.
+        db.insert("header", {"hid": 999, "year": 2022})
+        plan = db.cache.plan_for(PROFIT_SQL, FULL)
+        assert "h" not in {e.alias for e in plan.excluded}
+        reference = db.query(PROFIT_SQL, strategy=UNCACHED).rows
+        assert db.query(PROFIT_SQL, strategy=FULL).rows == reference
+        # ...and matches the exhaustive enumeration bit for bit.
+        assert (
+            db.query(PROFIT_SQL, strategy=FULL, star_join_tables=()).rows
+            == reference
+        )
+
+    def test_random_null_tid_histories_reduced_vs_exhaustive(self):
+        """Property sweep: under RI-off dangling histories the reduced
+        and exhaustive variant sets agree with the uncached truth."""
+        db = self._db()
+        rng = random.Random(17)
+        for round_no in range(3):
+            _random_history(
+                db, rng, steps=10, dangling=True, start=500 + 1000 * round_no
+            )
+            reference = db.query(PROFIT_SQL, strategy=UNCACHED).rows
+            assert db.query(PROFIT_SQL, strategy=FULL).rows == reference
+            assert (
+                db.query(
+                    PROFIT_SQL, strategy=FULL, star_join_tables=()
+                ).rows
+                == reference
+            )
+
     def test_with_ri_enforced_ranges_still_prune(self):
         """Control: under enforced RI the same shapes stay prunable —
-        the fix must not cost trusted deployments their prunes."""
+        the fix must not cost trusted deployments their prunes.
+        (star_join_tables=() keeps enumeration exhaustive: the merged
+        tables would otherwise all be excluded with nothing left to
+        prune.)"""
         db = make_erp_db()
         load_erp(db, n_headers=3, merge=True)
-        db.query(PROFIT_SQL, strategy=FULL)
+        db.query(PROFIT_SQL, strategy=FULL, star_join_tables=())
         assert db.last_report.prune.pruned_total > 0

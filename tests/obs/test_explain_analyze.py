@@ -167,6 +167,7 @@ class TestMetricsFromQueries:
         assert db.export_metrics() == ""
         assert db.metrics_snapshot() == {}
         # explain_analyze still traces: spans are per-query state, not
-        # registry state.
-        trace = db.explain_analyze(PROFIT_SQL)
+        # registry state.  (star_join_tables=() keeps subjoins enumerated
+        # on this fully merged database so there are spans to see.)
+        trace = db.explain_analyze(PROFIT_SQL, star_join_tables=())
         assert trace.subjoin_spans()

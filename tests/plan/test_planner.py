@@ -35,13 +35,30 @@ class TestPlannerOutput:
         assert plan.cacheable
         assert plan.strategy is FULL
         assert len(plan.cached_combos) == len(plan.cache_keys) == 1
-        # 3 tables -> 2^3 - 1 compensation subjoins, every fate decided.
-        assert len(plan.subjoins) == 7
-        assert plan.prune.combos_total == 7
+        # category's delta is empty -> star-join reduction excludes it:
+        # 2^2 - 1 enumerated subjoins with d pinned to main in each.
+        assert [e.describe() for e in plan.excluded] == ["d:empty_delta"]
+        assert len(plan.subjoins) == 3
+        assert plan.prune.combos_total == 3
+        assert plan.prune.excluded_tables == 1
+        assert plan.prune.combos_excluded == 4
+        assert all(
+            s.partitions["d"].name == "main" for s in plan.subjoins
+        )
         assert all(s.action in ("evaluate", "pruned") for s in plan.subjoins)
         pruned = [s for s in plan.subjoins if s.action == "pruned"]
         assert all(s.reason in ("empty", "logical", "dynamic") for s in pruned)
         assert plan.prune.pruned_total == len(pruned)
+
+    def test_full_plan_shape_exhaustive_override(self):
+        db = loaded_db()
+        plan = db.cache.plan_for(PROFIT_SQL, FULL, star_join_tables=())
+        # 3 tables -> 2^3 - 1 compensation subjoins, every fate decided.
+        assert plan.excluded == ()
+        assert plan.star_override == ()
+        assert len(plan.subjoins) == 7
+        assert plan.prune.combos_total == 7
+        assert plan.prune.combos_excluded == 0
 
     def test_evaluated_subjoins_carry_join_order(self):
         db = loaded_db()

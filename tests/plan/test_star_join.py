@@ -1,0 +1,235 @@
+"""Star-join exclusion detection, the soundness gate, and overrides.
+
+The reduction replaces 2^t - 1 compensation variants with 2^k - 1 over
+the k tables that can still contribute delta rows; everything here pins
+the *decision* layer: which tables get excluded, why, when the gate
+vetoes a candidate, and how the override and plan cache interact.
+"""
+
+import pytest
+
+from repro import CacheConfig, Database, ExecutionStrategy
+from repro.plan import detect_star_join_tables, normalize_star_join_override
+from repro.plan.star_join import alias_is_filtering, exclusion_is_sound
+from repro.storage import threshold_aging
+
+from ..conftest import HEADER_ITEM_SQL, PROFIT_SQL, load_erp, make_erp_db
+
+FULL = ExecutionStrategy.CACHED_FULL_PRUNING
+NO_PRUNE = ExecutionStrategy.CACHED_NO_PRUNING
+
+
+def merged_db(**kwargs):
+    """ERP db with everything in the mains — every table gate-eligible."""
+    db = make_erp_db(**kwargs)
+    load_erp(db, n_headers=4, merge=True)
+    return db
+
+
+class TestNormalizeOverride:
+    def test_none_means_automatic(self):
+        assert normalize_star_join_override(None) is None
+
+    def test_empty_is_distinct_from_none(self):
+        assert normalize_star_join_override(()) == ()
+        assert normalize_star_join_override("") == ()
+
+    def test_comma_string_and_iterable_agree(self):
+        assert normalize_star_join_override("d, h") == ("d", "h")
+        assert normalize_star_join_override(["h", "d"]) == ("d", "h")
+
+    def test_sorted_and_deduplicated(self):
+        assert normalize_star_join_override("h,d,h, d") == ("d", "h")
+
+
+class TestDetectionTiers:
+    def test_empty_delta_reason_for_filtering_table(self, erp_db):
+        # category groups the result (filtering) but its delta is empty.
+        plan = erp_db.cache.plan_for(PROFIT_SQL, FULL)
+        assert [e.describe() for e in plan.excluded] == ["d:empty_delta"]
+
+    def test_non_filtering_reason_for_join_only_table(self):
+        # header contributes only its join key to HEADER_ITEM_SQL; with
+        # the deltas merged both tables pass the gate, and the tier
+        # records *why* each one was excluded.
+        db = merged_db()
+        plan = db.cache.plan_for(HEADER_ITEM_SQL, FULL)
+        reasons = {e.alias: e.reason for e in plan.excluded}
+        assert reasons == {"h": "non_filtering", "i": "empty_delta"}
+        assert plan.prune.combos_total == 0  # k = 0: nothing to enumerate
+
+    def test_delta_rows_block_exclusion(self, erp_db):
+        # header and item hold fresh delta objects: neither may be pinned
+        # to main, whatever tier would otherwise claim them.
+        plan = erp_db.cache.plan_for(HEADER_ITEM_SQL, FULL)
+        assert plan.excluded == ()
+        assert plan.prune.combos_total == 3
+
+    def test_detection_sorted_by_alias(self):
+        db = merged_db()
+        query = db.parse(PROFIT_SQL)
+        excluded = detect_star_join_tables(query, db.catalog)
+        assert [e.alias for e in excluded] == sorted(e.alias for e in excluded)
+        assert {e.alias for e in excluded} == {"d", "h", "i"}
+
+
+class TestSoundnessGate:
+    def test_gate_requires_physically_empty_deltas(self, erp_db):
+        assert exclusion_is_sound(erp_db.table("category"))
+        assert not exclusion_is_sound(erp_db.table("header"))
+        assert not exclusion_is_sound(erp_db.table("item"))
+
+    def test_invalidated_but_unmerged_rows_still_block(self):
+        # A deleted delta row keeps row_count > 0 until the merge garbage
+        # collects it; the gate must stay conservative (snapshot-free).
+        db = merged_db()
+        db.insert("category", {"cid": 9, "name": "late", "lang": "ENG"})
+        db.delete("category", 9)
+        assert not exclusion_is_sound(db.table("category"))
+        db.merge()
+        assert exclusion_is_sound(db.table("category"))
+
+    def test_aged_table_is_never_excluded(self):
+        db = Database()
+        db.create_table(
+            "header",
+            [("hid", "INT"), ("year", "INT")],
+            primary_key="hid",
+            aging_rule=threshold_aging("year", 2014),
+        )
+        db.create_table(
+            "item",
+            [("iid", "INT"), ("hid", "INT"), ("year", "INT"), ("price", "FLOAT")],
+            primary_key="iid",
+            aging_rule=threshold_aging("year", 2014),
+        )
+        db.add_matching_dependency("header", "hid", "item", "hid")
+        db.declare_consistent_aging("header", "item")
+        for hid, year in [(1, 2013), (2, 2015)]:
+            db.insert_business_object(
+                "header",
+                {"hid": hid, "year": year},
+                "item",
+                [{"iid": hid * 10, "hid": hid, "year": year, "price": 1.0}],
+            )
+        db.merge()  # splits the mains into current/passive by year
+        assert db.table("header").is_aged()
+        assert not exclusion_is_sound(db.table("header"))
+        sql = (
+            "SELECT i.year AS y, SUM(i.price) AS s FROM header h, item i "
+            "WHERE h.hid = i.hid GROUP BY i.year"
+        )
+        plan = db.cache.plan_for(sql, FULL)
+        assert plan.excluded == ()
+
+    def test_alias_is_filtering_classification(self, erp_db):
+        query = erp_db.parse(PROFIT_SQL)
+        assert alias_is_filtering(query, "d")  # GROUP BY d.name
+        assert alias_is_filtering(query, "i")  # SUM(i.price)
+        assert not alias_is_filtering(query, "h")  # join key only
+        filtered = PROFIT_SQL.replace(
+            "WHERE h.hid = i.hid", "WHERE h.hid = i.hid AND h.year = 2013"
+        )
+        assert alias_is_filtering(erp_db.parse(filtered), "h")
+
+
+class TestOverride:
+    def test_override_replaces_detection(self):
+        db = merged_db()
+        # Only the named table is excluded, with the override reason,
+        # even though detection would have claimed all three.
+        plan = db.cache.plan_for(PROFIT_SQL, FULL, star_join_tables=("d",))
+        assert [e.describe() for e in plan.excluded] == ["d:override"]
+        assert plan.prune.combos_total == 3
+
+    def test_override_accepts_table_names(self):
+        db = merged_db()
+        plan = db.cache.plan_for(
+            PROFIT_SQL, FULL, star_join_tables="category,header"
+        )
+        assert {e.alias for e in plan.excluded} == {"d", "h"}
+        assert all(e.reason == "override" for e in plan.excluded)
+
+    def test_empty_override_disables_reduction(self):
+        db = merged_db()
+        plan = db.cache.plan_for(PROFIT_SQL, FULL, star_join_tables=())
+        assert plan.excluded == ()
+        assert plan.prune.combos_total == 7
+
+    def test_override_cannot_defeat_the_gate(self, erp_db):
+        # header has delta rows: naming it is a no-op, not an unsound pin.
+        plan = erp_db.cache.plan_for(PROFIT_SQL, FULL, star_join_tables=("h",))
+        assert plan.excluded == ()
+        assert plan.prune.combos_total == 7
+        result = erp_db.query(PROFIT_SQL, strategy=FULL, star_join_tables=("h",))
+        assert result == erp_db.query(
+            PROFIT_SQL, strategy=ExecutionStrategy.UNCACHED
+        )
+
+    def test_config_override_applies_and_per_query_wins(self):
+        db = merged_db(cache_config=CacheConfig(star_join_tables=("d",)))
+        plan = db.cache.plan_for(PROFIT_SQL, FULL)
+        assert [e.describe() for e in plan.excluded] == ["d:override"]
+        # The per-query override replaces the config's.
+        plan = db.cache.plan_for(PROFIT_SQL, FULL, star_join_tables=())
+        assert plan.excluded == ()
+
+    def test_config_flag_disables_reduction_entirely(self):
+        db = merged_db(cache_config=CacheConfig(star_join_reduction=False))
+        plan = db.cache.plan_for(PROFIT_SQL, FULL)
+        assert plan.excluded == ()
+        assert plan.prune.combos_total == 7
+
+
+class TestStrategyGating:
+    def test_no_pruning_stays_exhaustive(self):
+        db = merged_db()
+        plan = db.cache.plan_for(PROFIT_SQL, NO_PRUNE)
+        assert plan.excluded == ()
+        assert plan.prune.combos_total == 7
+
+    def test_uncached_stays_exhaustive(self):
+        db = merged_db()
+        plan = db.cache.plan_for(PROFIT_SQL, ExecutionStrategy.UNCACHED)
+        assert plan.excluded == ()
+
+
+class TestPlanCacheKeying:
+    def test_override_values_get_distinct_plans(self):
+        db = merged_db()
+        db.query(PROFIT_SQL, strategy=FULL)
+        stats = db.plan_cache.stats()
+        db.query(PROFIT_SQL, strategy=FULL, star_join_tables=())
+        after = db.plan_cache.stats()
+        # Different override -> different keys (sql + canon probes both
+        # miss) -> a rebuild, not a stale hit.
+        assert after["misses"] == stats["misses"] + 2
+        assert after["hits"] == stats["hits"]
+        db.query(PROFIT_SQL, strategy=FULL)
+        db.query(PROFIT_SQL, strategy=FULL, star_join_tables=())
+        final = db.plan_cache.stats()
+        assert final["hits"] == after["hits"] + 2
+
+    def test_equivalent_override_spellings_share_a_plan(self):
+        db = merged_db()
+        db.query(PROFIT_SQL, strategy=FULL, star_join_tables="h,d")
+        before = db.plan_cache.stats()
+        db.query(PROFIT_SQL, strategy=FULL, star_join_tables=["d", "h", "d"])
+        after = db.plan_cache.stats()
+        assert after["hits"] == before["hits"] + 1
+        assert after["misses"] == before["misses"]
+
+
+class TestSpanRendering:
+    def test_delta_compensation_span_reports_exclusions(self, erp_db):
+        trace = erp_db.explain_analyze(PROFIT_SQL)
+        span = trace.span_named("delta_compensation")
+        assert span.attrs["excluded"] == ["d:empty_delta"]
+        assert span.attrs["subjoins_excluded"] == 4
+        # One span per *enumerated* subjoin only.
+        assert len(trace.subjoin_spans()) == trace.report.prune.combos_total
+
+    def test_span_attrs_absent_without_exclusions(self, erp_db):
+        trace = erp_db.explain_analyze(PROFIT_SQL, star_join_tables=())
+        span = trace.span_named("delta_compensation")
+        assert "excluded" not in span.attrs

@@ -101,14 +101,34 @@ class TestQueries:
 
     @pytest.mark.parametrize("name", list(CH_QUERIES))
     def test_full_pruning_eliminates_most_subjoins(self, ch, name):
-        db, _ = ch
+        db, benchmark = ch
         db.query(CH_QUERIES[name], strategy=FULL)
         report = db.last_report
         tables = CH_QUERY_TABLES[name]
-        assert report.prune.combos_total == 2**tables - 1
+        # Star-join reduction excludes every table whose delta is empty at
+        # plan time, so only 2^k - 1 subjoins are enumerated (k = tables
+        # with delta rows); the rest are never generated.
+        deltas = benchmark.delta_counts()
+        parsed = db.parse(CH_QUERIES[name])
+        k = sum(1 for ref in parsed.tables if deltas[ref.table] > 0)
+        assert report.prune.combos_total == 2**k - 1
+        assert report.prune.excluded_tables == tables - k
+        assert report.prune.combos_excluded == (2**tables - 1) - (2**k - 1)
         # The vast majority of compensation subjoins must be pruned.
         assert report.prune.evaluated <= tables
         assert report.prune.pruned_total >= report.prune.combos_total - tables
+
+    @pytest.mark.parametrize("name", list(CH_QUERIES))
+    def test_exhaustive_override_restores_full_enumeration(self, ch, name):
+        db, _ = ch
+        tables = CH_QUERY_TABLES[name]
+        reduced = db.query(CH_QUERIES[name], strategy=FULL)
+        exhaustive = db.query(
+            CH_QUERIES[name], strategy=FULL, star_join_tables=()
+        )
+        assert db.last_report.prune.combos_total == 2**tables - 1
+        assert db.last_report.prune.excluded_tables == 0
+        assert exhaustive.rows == reduced.rows
 
     def test_q3_revenue_positive(self, ch):
         db, _ = ch
