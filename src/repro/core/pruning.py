@@ -61,6 +61,9 @@ class PruneReport:
     evaluated: int = 0
     excluded_tables: int = 0
     combos_excluded: int = 0
+    #: Pruned subjoins that involved at least one memory-mapped cold
+    #: partition — cold disk scans avoided purely from the RAM synopsis.
+    synopsis_skips: int = 0
 
     @property
     def pruned_total(self) -> int:
@@ -172,12 +175,11 @@ class JoinPruner:
             # a range-based prune unsound, and NULLs on one side make any
             # filter derived from that side's range unsound on the *other*
             # side (the NULL partner's tid is not in the range).
-            left_nulls = not self._assume_md_integrity and (
-                left.column(tid).has_nulls()
-            )
-            right_nulls = not self._assume_md_integrity and (
-                right.column(tid).has_nulls()
-            )
+            # All three synopsis facts (null flags, ranges) come from the
+            # partition's resident synopsis — for memory-mapped cold
+            # partitions the verdict is reached without touching disk.
+            left_nulls = not self._assume_md_integrity and left.has_nulls(tid)
+            right_nulls = not self._assume_md_integrity and right.has_nulls(tid)
             nullable_tids = left_nulls or right_nulls
             left_range = (left.min_value(tid), left.max_value(tid))
             right_range = (right.min_value(tid), right.max_value(tid))

@@ -60,8 +60,13 @@ from .query.sql import parse_sql
 from .reliability.faults import FaultInjector
 from .reliability.recovery import RecoveryStats, recover_database
 from .reliability.wal import WriteAheadLog
-from .storage.aging import ConsistentAging
+from .storage.aging import ConsistentAging, aging_rule_spec
 from .storage.catalog import Catalog
+from .storage.coldstore import (
+    demote_partition,
+    discard_cold_files,
+    reattach_database,
+)
 from .storage.merge import MergeStats, merge_table
 from .storage.schema import ColumnDef, Schema, SqlType, tid_column
 from .storage.table import AgingRule, Table
@@ -109,6 +114,7 @@ class Database:
         admission: Optional[AdmissionPolicy] = None,
         eviction: Optional[EvictionPolicy] = None,
         path=None,
+        cold_path=None,
         fault_injector: Optional[FaultInjector] = None,
         n_workers: Optional[int] = None,
         parallel: Optional[ParallelConfig] = None,
@@ -159,6 +165,9 @@ class Database:
         self._wal: Optional[WriteAheadLog] = None
         self._replaying = False
         self._txn_ops: Dict[int, List[Dict]] = {}
+        # Cold-tier root: explicit ``cold_path`` wins (usable by in-memory
+        # databases too); durable databases default to ``<path>/cold``.
+        self._cold_path = Path(cold_path) if cold_path is not None else None
         if path is not None:
             self._open_durable(path)
 
@@ -208,10 +217,24 @@ class Database:
                 )
             finally:
                 self._replaying = False
+            # Re-attach any cold files the previous incarnation demoted:
+            # partitions whose files CRC-match the recovered state come back
+            # memory-mapped, torn or stale directories are discarded (the
+            # resident main is authoritative either way).
+            reattach_database(self)
             self.transactions.finish_hooks.append(self._on_txn_finish)
 
     def _checkpoint_dir(self) -> Path:
         return self.path / "checkpoints"
+
+    @property
+    def cold_dir(self) -> Optional[Path]:
+        """Root directory of the memory-mapped cold tier (None = no tiering)."""
+        if self._cold_path is not None:
+            return self._cold_path
+        if self.path is not None:
+            return self.path / "cold"
+        return None
 
     def _ensure_writable(self) -> None:
         """Reject mutations while WAL-degraded (durability breaker open).
@@ -364,10 +387,15 @@ class Database:
         """
         self._ensure_writable()
         schema = _as_schema(columns, primary_key)
-        if aging_rule is not None and self._wal is not None:
+        if (
+            aging_rule is not None
+            and self._wal is not None
+            and aging_rule_spec(aging_rule) is None
+        ):
             raise DurabilityError(
-                f"table {name!r}: aging rules are Python callables and cannot "
-                "be persisted; hot/cold tables require an in-memory Database"
+                f"table {name!r}: the aging rule is an arbitrary Python "
+                "callable and cannot be persisted; durable hot/cold tables "
+                "need a serializable rule (threshold_aging / ratio_aging)"
             )
         with self.lock.write():
             return self._create_table_locked(
@@ -388,6 +416,7 @@ class Database:
             {
                 "name": name,
                 "primary_key": schema.primary_key,
+                "aging": aging_rule_spec(aging_rule) if aging_rule else None,
                 "separate_update_delta": separate_update_delta,
                 "columns": [
                     {
@@ -408,6 +437,8 @@ class Database:
         with self.lock.write():
             self.catalog.drop_table(name)
             self.cache.evict_for_table(name)
+            if self.cold_dir is not None:
+                discard_cold_files(self.cold_dir, name)
             self._log_ddl("drop_table", {"name": name})
 
     def add_matching_dependency(
@@ -705,6 +736,47 @@ class Database:
             if self._wal is not None and not self._replaying:
                 self.checkpoint()
             return stats
+
+    def age_out(self, table_name: Optional[str] = None) -> List[Tuple[str, str]]:
+        """Demote cold-group mains to the memory-mapped cold tier.
+
+        For every aged table (or just ``table_name``), the cold group's
+        main partition is written to ``cold_dir`` — code vectors and MVCC
+        stamps as flat memmap files, dictionaries as lazily loaded JSON —
+        and its in-memory backing swapped onto the files.  Partition and
+        fragment object identity is preserved and no version is bumped:
+        demotion changes the physical layout, never the data, so cached
+        plans and delta memos stay valid.  The resident synopsis keeps
+        answering prune checks without disk I/O.
+
+        Typically called after :meth:`merge` (a merge rebuilds mains
+        resident, undoing any previous demotion).  Idempotent; returns the
+        ``(table, partition)`` pairs demoted by this call.
+        """
+        cold_dir = self.cold_dir
+        if cold_dir is None:
+            raise DurabilityError(
+                "age_out() needs a cold directory: open the database with "
+                "path=... or pass cold_path=..."
+            )
+        self._ensure_writable()
+        demoted: List[Tuple[str, str]] = []
+        with self.lock.write():  # backing swap excludes all readers
+            tables = (
+                [self.catalog.table(table_name)]
+                if table_name is not None
+                else self.catalog.tables()
+            )
+            for table in tables:
+                if not table.is_aged():
+                    continue
+                partition = table.group("cold").main
+                if partition.row_count == 0 or partition.storage_tier == "mapped":
+                    continue
+                demote_partition(table.name, partition, cold_dir, faults=self.faults)
+                self.obs.storage_demotions.inc()
+                demoted.append((table.name, partition.name))
+        return demoted
 
     def auto_merge(self, advisor=None) -> List[MergeStats]:
         """Consult a merge advisor and merge the recommended tables.

@@ -27,6 +27,11 @@ class PartitionStats:
     visible_rows: int
     bytes: int
     invalidation_epoch: int
+    #: "resident" or "mapped" (memory-mapped cold tier); the byte split
+    #: satisfies ``resident_bytes + mapped_bytes == bytes``.
+    tier: str = "resident"
+    resident_bytes: int = 0
+    mapped_bytes: int = 0
 
 
 @dataclass
@@ -153,10 +158,15 @@ class DatabaseStats:
                 f"delta fill {table.delta_fill:.1%}"
             )
             for part in table.partitions:
+                tier = (
+                    f" tier=mapped (~{part.mapped_bytes}B on disk)"
+                    if part.tier == "mapped"
+                    else ""
+                )
                 lines.append(
                     f"    {part.name:<12} {part.kind:<5} rows={part.rows} "
                     f"visible={part.visible_rows} ~{part.bytes}B "
-                    f"invalidations={part.invalidation_epoch}"
+                    f"invalidations={part.invalidation_epoch}{tier}"
                 )
         cache = self.cache
         lines += [
@@ -229,6 +239,9 @@ def collect_statistics(db: Database) -> DatabaseStats:
                     visible_rows=partition.visible_count(snapshot),
                     bytes=partition.nbytes(),
                     invalidation_epoch=partition.invalidation_epoch,
+                    tier=partition.storage_tier,
+                    resident_bytes=partition.nbytes_resident(),
+                    mapped_bytes=partition.nbytes_mapped(),
                 )
             )
         tables.append(stats)

@@ -32,7 +32,7 @@ from ..core.delta_compensation import (
 )
 from ..core.pruning import JoinPruner, PruneReport
 from ..core.strategies import CacheConfig, ExecutionStrategy
-from .cost import choose_join_order, estimate_scan_rows
+from .cost import choose_join_order, estimate_scan_rows, tier_weighted_costs
 from .logical import LogicalPlan
 from .star_join import (
     ExcludedTable,
@@ -52,9 +52,17 @@ class PlannedSubjoin:
     pushdown: Dict[str, List[Expr]] = field(default_factory=dict)
     #: Plan-time scan-size estimates per alias (cost-model input).
     estimated_rows: Dict[str, int] = field(default_factory=dict)
+    #: Tier-weighted scan costs (rows × cold-scan multiplier) — what the
+    #: join ordering actually ranked; equals ``estimated_rows`` while every
+    #: partition is resident.
+    estimated_cost: Dict[str, float] = field(default_factory=dict)
     #: Cost-seeded probe side and full left-deep order (probe first).
     probe_side: Optional[str] = None
     join_order: List[str] = field(default_factory=list)
+    #: True on pruned subjoins that involved a memory-mapped cold
+    #: partition: the verdict came from the RAM synopsis, a cold disk
+    #: scan was skipped without faulting anything in.
+    synopsis_pruned: bool = False
 
     def partition_names(self) -> Dict[str, str]:
         """alias → partition name (the rendering-friendly view)."""
@@ -246,8 +254,16 @@ class Planner:
                     plan.prune.pruned_logical += 1
                 else:
                     plan.prune.pruned_dynamic += 1
+                synopsis = any(
+                    p.storage_tier == "mapped" for p in assignment.values()
+                )
+                if synopsis:
+                    plan.prune.synopsis_skips += 1
                 plan.subjoins.append(
-                    PlannedSubjoin(dict(assignment), "pruned", reason)
+                    PlannedSubjoin(
+                        dict(assignment), "pruned", reason,
+                        synopsis_pruned=synopsis,
+                    )
                 )
                 continue
             plan.prune.evaluated += 1
@@ -269,12 +285,17 @@ class Planner:
             )
             for alias, partition in assignment.items()
         }
-        probe, steps = choose_join_order(bound, estimates)
+        # Ordering ranks tier-weighted costs, not raw rows: a memory-mapped
+        # cold partition scans at a penalty, so comparable inputs prefer
+        # probing/hashing on the resident side.
+        costs = tier_weighted_costs(estimates, assignment)
+        probe, steps = choose_join_order(bound, costs)
         return PlannedSubjoin(
             partitions=dict(assignment),
             action="evaluate",
             pushdown={a: list(f) for a, f in pushdown.items()},
             estimated_rows=estimates,
+            estimated_cost=costs,
             probe_side=probe,
             join_order=[probe] + [step.alias for step in steps],
         )

@@ -35,7 +35,7 @@ import numpy as np
 from ..concurrency import DictMemo, StripedMemo
 from ..errors import QueryError
 from ..obs.trace import Span
-from ..plan.cost import choose_join_order
+from ..plan.cost import choose_join_order, tier_weighted_costs
 from ..plan.logical import Binder
 from ..storage.catalog import Catalog
 from ..storage.partition import Partition
@@ -494,12 +494,25 @@ class QueryExecutor:
             for ref in query.tables
         }
         row_counts = {alias: len(rows) for alias, rows in scans.items()}
-        first, steps = choose_join_order(query, row_counts)
+        # Runtime ordering ranks tier-weighted costs: identical to raw
+        # counts while every partition is resident, biased toward probing
+        # the memory-mapped side (hash tables built on hot inputs) once
+        # cold mains participate.
+        first, steps = choose_join_order(
+            query, tier_weighted_costs(row_counts, combo.partitions)
+        )
         if stats is not None:
             stats.probe_sides.append(first)
         if attrs is not None:
             attrs["rows_scanned"] = dict(sorted(row_counts.items()))
             attrs["probe_side"] = first
+            mapped = sorted(
+                alias
+                for alias, partition in combo.partitions.items()
+                if getattr(partition, "storage_tier", "resident") == "mapped"
+            )
+            if mapped:
+                attrs["tier"] = {alias: "mapped" for alias in mapped}
         if row_counts[first] == 0:
             if stats is not None:
                 stats.combos_empty += 1

@@ -20,9 +20,10 @@ the bulk of the data anyway, and an up-to-date checkpoint keeps the replay
 suffix short — the same piggy-backing the aggregate cache does for its
 maintenance.
 
-Aging *rules* are Python callables and cannot be serialized; durable
-databases therefore refuse hot/cold tables (see ``Database.create_table``),
-and checkpoints only ever contain rule-less tables.
+Aging rules built from the library constructors (``threshold_aging`` /
+``ratio_aging``) are frozen dataclasses with a ``to_spec()`` JSON form, so
+aged tables round-trip through checkpoints; arbitrary callable rules cannot
+be serialized and durable databases refuse them at ``create_table`` time.
 """
 
 from __future__ import annotations
@@ -35,6 +36,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
 from ..errors import DurabilityError
+from ..storage.aging import aging_rule_from_spec, aging_rule_spec
 from ..storage.partition import LIVE, Partition
 from ..storage.schema import ColumnDef, Schema, SqlType
 from .faults import FaultInjector
@@ -89,14 +91,19 @@ def write_checkpoint(
     }
     for name in db.catalog.table_names():
         table = db.table(name)
+        aging = None
         if table.is_aged():
-            raise DurabilityError(
-                f"table {name!r} uses an aging rule; aged tables are not durable"
-            )
+            aging = aging_rule_spec(table.aging_rule)
+            if aging is None:
+                raise DurabilityError(
+                    f"table {name!r} uses a non-serializable aging rule; "
+                    "use threshold_aging/ratio_aging for durable hot/cold tables"
+                )
         state["tables"].append(
             {
                 "name": name,
                 "table_id": table.table_id,
+                "aging": aging,
                 "separate_update_delta": table.separate_update_delta,
                 "primary_key": table.schema.primary_key,
                 "columns": [
@@ -205,6 +212,7 @@ def restore_checkpoint(db, state: Dict) -> None:
         table = db.catalog.create_table(
             spec["name"],
             schema,
+            aging_rule=aging_rule_from_spec(spec.get("aging")),
             separate_update_delta=spec["separate_update_delta"],
         )
         table.table_id = spec["table_id"]

@@ -107,8 +107,13 @@ def _replay_record(db, record, stats: RecoveryStats) -> int:
             ],
             primary_key=data["primary_key"],
         )
+        from ..storage.aging import aging_rule_from_spec
+
         db.create_table(
-            data["name"], schema, separate_update_delta=data["separate_update_delta"]
+            data["name"],
+            schema,
+            aging_rule=aging_rule_from_spec(data.get("aging")),
+            separate_update_delta=data["separate_update_delta"],
         )
         return 0
     if record.type == "drop_table":

@@ -6,13 +6,32 @@ MVCC visibility stamps, packed visibility bit vectors, the delta-merge
 operation, hot/cold aging, and the table catalog.
 """
 
-from .aging import COLD, HOT, ConsistentAging, ratio_aging, threshold_aging
+from .aging import (
+    COLD,
+    HOT,
+    ConsistentAging,
+    ThresholdAging,
+    aging_rule_from_spec,
+    aging_rule_spec,
+    ratio_aging,
+    threshold_aging,
+)
 from .bitvector import BitVector
 from .catalog import Catalog
+from .coldstore import (
+    LazyMainDictionary,
+    MappedIntVector,
+    demote_partition,
+    discard_cold_files,
+    reattach_database,
+    reattach_partition,
+    read_manifest,
+    release_table,
+)
 from .column import ColumnFragment
 from .dictionary import NULL_CODE, DeltaDictionary, MainDictionary
 from .merge import MergeEvent, MergeListener, MergeStats, merge_table
-from .partition import LIVE, Partition
+from .partition import LIVE, ColumnStats, Partition
 from .schema import ColumnDef, Schema, SqlType, tid_column
 from .csvio import export_csv, import_csv
 from .snapshot import load_database, save_database
@@ -25,12 +44,15 @@ __all__ = [
     "COLD",
     "ColumnDef",
     "ColumnFragment",
+    "ColumnStats",
     "ConsistentAging",
     "DeltaDictionary",
     "HOT",
     "IntVector",
     "LIVE",
+    "LazyMainDictionary",
     "MainDictionary",
+    "MappedIntVector",
     "MergeEvent",
     "MergeListener",
     "MergeStats",
@@ -42,10 +64,19 @@ __all__ = [
     "Schema",
     "SqlType",
     "Table",
+    "ThresholdAging",
+    "aging_rule_from_spec",
+    "aging_rule_spec",
+    "demote_partition",
+    "discard_cold_files",
     "export_csv",
     "import_csv",
     "load_database",
     "merge_table",
+    "reattach_database",
+    "reattach_partition",
+    "read_manifest",
+    "release_table",
     "save_database",
     "ratio_aging",
     "threshold_aging",

@@ -19,21 +19,70 @@ HOT = "hot"
 COLD = "cold"
 
 
-def threshold_aging(column: str, hot_if_at_least) -> Callable[[Dict[str, object]], str]:
+@dataclass(frozen=True)
+class ThresholdAging:
+    """The rule ``threshold_aging`` builds: hot iff ``column >= threshold``.
+
+    Being a frozen dataclass (rather than a closure) makes the rule
+    *serializable*: :meth:`to_spec` round-trips through WAL/checkpoint
+    JSON, which is what lets aged tables be durable.  Arbitrary callables
+    remain usable as aging rules but stay memory-only.
+    """
+
+    column: str
+    hot_if_at_least: object
+
+    def __call__(self, row: Dict[str, object]) -> str:
+        value = row.get(self.column)
+        if value is None:
+            return COLD
+        return HOT if value >= self.hot_if_at_least else COLD
+
+    def to_spec(self) -> Dict[str, object]:
+        """JSON-serializable description, reversed by :func:`aging_rule_from_spec`."""
+        return {
+            "kind": "threshold",
+            "column": self.column,
+            "hot_if_at_least": self.hot_if_at_least,
+        }
+
+
+def aging_rule_spec(rule) -> Optional[Dict[str, object]]:
+    """``rule.to_spec()`` if the rule is serializable (and the spec is
+    actually JSON-encodable), else None."""
+    to_spec = getattr(rule, "to_spec", None)
+    if to_spec is None:
+        return None
+    spec = to_spec()
+    try:
+        import json
+
+        json.dumps(spec)
+    except (TypeError, ValueError):
+        return None
+    return spec
+
+
+def aging_rule_from_spec(spec: Optional[Dict[str, object]]):
+    """Rebuild a serializable aging rule from its spec (None → None)."""
+    if spec is None:
+        return None
+    kind = spec.get("kind")
+    if kind == "threshold":
+        return ThresholdAging(spec["column"], spec["hot_if_at_least"])
+    raise SchemaError(f"unknown aging rule kind {kind!r}")
+
+
+def threshold_aging(column: str, hot_if_at_least) -> ThresholdAging:
     """Age rows by comparing ``column`` against a threshold.
 
     Rows whose value is ``>= hot_if_at_least`` are hot; everything else
     (including NULL, which belongs to no recent business transaction) is
     cold.  Works for INT, DATE-as-ISO-string, and any totally ordered type.
+    The returned rule is a serializable :class:`ThresholdAging`, so tables
+    using it can live in a durable database.
     """
-
-    def rule(row: Dict[str, object]) -> str:
-        value = row.get(column)
-        if value is None:
-            return COLD
-        return HOT if value >= hot_if_at_least else COLD
-
-    return rule
+    return ThresholdAging(column, hot_if_at_least)
 
 
 def ratio_aging(column: str, values, hot_fraction: float) -> Callable[[Dict[str, object]], str]:

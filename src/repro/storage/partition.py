@@ -15,6 +15,7 @@ of the stamps, materialized either as a numpy mask or as the packed
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
@@ -27,6 +28,15 @@ from .schema import Schema
 from .vector import IntVector
 
 LIVE = 0  # dts value of a row that has not been invalidated
+
+
+@dataclass(frozen=True)
+class ColumnStats:
+    """One column's resident synopsis entry: the three facts pruning needs."""
+
+    min: object
+    max: object
+    has_nulls: bool
 
 
 class Partition:
@@ -63,6 +73,12 @@ class Partition:
         # this in), so "has anything changed since this plan was built?"
         # is an integer compare instead of a content inspection.
         self.version = 0
+        # Resident synopsis: per-column (min, max, has_nulls), rebuilt
+        # lazily whenever the version moves.  This is what lets the pruner
+        # give verdicts on memory-mapped cold partitions without disk I/O —
+        # and spares resident partitions the repeated O(dict) min/max walk.
+        self._synopsis: Dict[str, ColumnStats] = {}
+        self._synopsis_version = -1
 
     # ------------------------------------------------------------------
     # construction
@@ -110,6 +126,11 @@ class Partition:
             raise StorageError(
                 f"row {row} in partition {self.name!r} is already invalidated"
             )
+        if getattr(self._dts, "is_mapped_store", False):
+            # Cold files are immutable: promote dts to a resident copy so
+            # the stamp can land.  cts stays mapped — creation stamps never
+            # change after the merge that built this main.
+            self._promote_dts()
         self._dts[row] = dts
         self.invalidation_epoch += 1
         self.version += 1
@@ -213,8 +234,31 @@ class Partition:
         return horizon
 
     # ------------------------------------------------------------------
-    # statistics
+    # statistics (resident synopsis)
     # ------------------------------------------------------------------
+    def column_stats(self, column: str) -> ColumnStats:
+        """The synopsis entry of one column: (min, max, has_nulls).
+
+        Cached per partition version — appends and invalidations bump the
+        version, which lazily invalidates the whole synopsis.  For mapped
+        cold fragments every fact is answered from metadata (lazy
+        dictionary min/max, manifest-seeded null flag), so prune checks
+        never fault the cold files in.
+        """
+        if self._synopsis_version != self.version:
+            self._synopsis = {}
+            self._synopsis_version = self.version
+        stats = self._synopsis.get(column)
+        if stats is None:
+            fragment = self.column(column)
+            stats = ColumnStats(
+                min=fragment.min_value(),
+                max=fragment.max_value(),
+                has_nulls=fragment.has_nulls(),
+            )
+            self._synopsis[column] = stats
+        return stats
+
     def min_value(self, column: str):
         """Dictionary min of a column — the Equation 5 prefilter input.
 
@@ -222,22 +266,90 @@ class Partition:
         rows keep their values in the dictionary, so pruning stays correct
         (conservative) without visibility checks on the hot path.
         """
-        return self.column(column).min_value()
+        return self.column_stats(column).min
 
     def max_value(self, column: str):
         """Dictionary max of a column (see :meth:`min_value`)."""
-        return self.column(column).max_value()
+        return self.column_stats(column).max
+
+    def has_nulls(self, column: str) -> bool:
+        """Whether any row of ``column`` is NULL (synopsis-cached)."""
+        return self.column_stats(column).has_nulls
+
+    # ------------------------------------------------------------------
+    # storage tiers
+    # ------------------------------------------------------------------
+    @property
+    def storage_tier(self) -> str:
+        """``"mapped"`` once the fragments live in the cold store, else
+        ``"resident"``."""
+        for fragment in self._columns.values():
+            if fragment.is_mapped:
+                return "mapped"
+        return "resident"
+
+    def attach_mapped_stamps(self, cts, dts) -> None:
+        """Swap the MVCC stamp vectors onto mapped backing (demotion).
+
+        ``dts`` may be None to keep the resident vector — recovery uses
+        that when WAL replay stamped invalidations after the demotion, so
+        the cold ``dts.bin`` is stale.
+        """
+        if len(cts) != len(self._cts):
+            raise StorageError(
+                f"mapped stamps for {self.name!r} have {len(cts)} rows, "
+                f"partition has {len(self._cts)}"
+            )
+        self._cts = cts
+        if dts is not None:
+            self._dts = dts
+
+    def _promote_dts(self) -> None:
+        """Copy a mapped ``dts`` vector back to a resident one (copy-on-write
+        before an invalidation stamp lands on a cold partition)."""
+        resident = IntVector()
+        resident.extend(self._dts.view())
+        self._dts = resident
+
+    def release_cold(self) -> int:
+        """Drop every loaded cold handle (memmaps, lazy dictionaries).
+
+        Returns the resident bytes freed.  Mapped data re-faults in
+        transparently on next access; resident partitions are untouched.
+        """
+        freed = sum(frag.release() for frag in self._columns.values())
+        for stamps in (self._cts, self._dts):
+            release = getattr(stamps, "release", None)
+            if release is not None:
+                release()
+        return freed
 
     def nbytes(self) -> int:
         """Approximate bytes: all column fragments + MVCC stamp vectors."""
-        total = sum(frag.nbytes() for frag in self._columns.values())
-        return total + self._cts.nbytes() + self._dts.nbytes()
+        return self.nbytes_resident() + self.nbytes_mapped()
+
+    def nbytes_resident(self) -> int:
+        """Bytes held in RAM (mapped cold pages excluded)."""
+        total = sum(frag.nbytes_resident() for frag in self._columns.values())
+        for stamps in (self._cts, self._dts):
+            if not getattr(stamps, "is_mapped_store", False):
+                total += stamps.nbytes()
+        return total
+
+    def nbytes_mapped(self) -> int:
+        """Bytes backed by cold-tier files (0 while fully resident)."""
+        total = sum(frag.nbytes_mapped() for frag in self._columns.values())
+        for stamps in (self._cts, self._dts):
+            if getattr(stamps, "is_mapped_store", False):
+                total += stamps.nbytes()
+        return total
 
     def nbytes_columns(self, names: Iterable[str]) -> int:
         """Approximate bytes of a subset of columns (Section 6.2 bench)."""
         return sum(self._columns[name].nbytes() for name in names)
 
     def __repr__(self) -> str:
+        tier = ", mapped" if self.storage_tier == "mapped" else ""
         return (
-            f"Partition({self.name!r}, kind={self.kind}, rows={self.row_count})"
+            f"Partition({self.name!r}, kind={self.kind}, rows={self.row_count}{tier})"
         )

@@ -13,8 +13,9 @@ persists a :class:`~repro.database.Database` as a self-describing directory:
 
 Aggregate cache entries are deliberately *not* persisted: they are a cache,
 rebuilt on first use (and their visibility snapshots reference in-memory
-partition objects).  Aging *rules* are code, so aged tables are reloaded by
-passing the rules back to :func:`load_database`.
+partition objects).  Aging rules built from the library constructors
+serialize with the catalog; arbitrary callable rules are code and must be
+passed back to :func:`load_database`.
 """
 
 from __future__ import annotations
@@ -24,6 +25,7 @@ from pathlib import Path
 from typing import Callable, Dict, Optional
 
 from ..errors import StorageError
+from .aging import aging_rule_from_spec, aging_rule_spec
 from .partition import LIVE, Partition
 from .schema import ColumnDef, Schema, SqlType
 from .table import Table
@@ -65,6 +67,9 @@ def save_database(db, directory) -> Path:
                 "name": name,
                 "table_id": table.table_id,
                 "aged": table.is_aged(),
+                "aging_spec": aging_rule_spec(table.aging_rule)
+                if table.is_aged()
+                else None,
                 "separate_update_delta": table.separate_update_delta,
                 "primary_key": table.schema.primary_key,
                 "columns": [
@@ -137,15 +142,21 @@ def load_database(
             ],
             primary_key=spec["primary_key"],
         )
-        if spec["aged"] and spec["name"] not in aging_rules:
-            raise StorageError(
-                f"table {spec['name']!r} was saved with hot/cold partitioning; "
-                "pass its aging rule via aging_rules={...}"
-            )
+        aging_rule = aging_rules.get(spec["name"])
+        if aging_rule is None and spec["aged"]:
+            # Serializable rules round-trip through the snapshot itself; an
+            # explicitly passed rule still wins (callable rules are code).
+            aging_rule = aging_rule_from_spec(spec.get("aging_spec"))
+            if aging_rule is None:
+                raise StorageError(
+                    f"table {spec['name']!r} was saved with hot/cold "
+                    "partitioning under a non-serializable rule; pass it "
+                    "via aging_rules={...}"
+                )
         table = db.catalog.create_table(
             spec["name"],
             schema,
-            aging_rule=aging_rules.get(spec["name"]),
+            aging_rule=aging_rule,
             separate_update_delta=spec["separate_update_delta"],
         )
         table.table_id = spec["table_id"]

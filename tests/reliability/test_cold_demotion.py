@@ -1,0 +1,147 @@
+"""Kill points inside cold-tier demotion: crash, reopen, never a torn hybrid.
+
+``demote_partition`` follows the manifest-as-commit-point protocol: data
+files first, CRC-carrying manifest last via tmp + ``os.replace``.  A crash
+at any point must recover to one of exactly two states — the old resident
+main (cold files absent or discarded) or a complete, CRC-valid mapped cold
+partition.  Query results must be unaffected either way: demotion changes
+the physical layout, never the data.
+"""
+
+import pytest
+
+from repro import Database, ExecutionStrategy
+from repro.reliability.faults import KNOWN_FAULT_POINTS, SimulatedCrash
+from repro.storage import threshold_aging
+from repro.storage.coldstore import partition_dir, read_manifest
+
+UNCACHED = ExecutionStrategy.UNCACHED
+
+SPAN_SQL = (
+    "SELECT h.year AS year, SUM(i.price) AS total, COUNT(*) AS n "
+    "FROM header h, item i WHERE h.hid = i.hid GROUP BY h.year"
+)
+
+
+def make_aged_db(path) -> Database:
+    db = Database.open(path)
+    db.create_table(
+        "header",
+        [("hid", "INT"), ("year", "INT")],
+        primary_key="hid",
+        aging_rule=threshold_aging("year", 2014),
+    )
+    db.create_table(
+        "item",
+        [("iid", "INT"), ("hid", "INT"), ("year", "INT"), ("price", "FLOAT")],
+        primary_key="iid",
+        aging_rule=threshold_aging("year", 2014),
+    )
+    db.add_matching_dependency("header", "hid", "item", "hid")
+    db.declare_consistent_aging("header", "item")
+    for hid in range(8):
+        year = 2012 + hid % 4
+        db.insert_business_object(
+            "header",
+            {"hid": hid, "year": year},
+            "item",
+            [
+                {"iid": hid * 10 + k, "hid": hid, "year": year, "price": float(k + 1)}
+                for k in range(3)
+            ],
+        )
+    db.merge()
+    return db
+
+
+def coldstore_points():
+    return sorted(p for p in KNOWN_FAULT_POINTS if p.startswith("coldstore."))
+
+
+def test_coldstore_points_registered():
+    assert coldstore_points() == ["coldstore.commit", "coldstore.write"]
+
+
+def assert_never_torn(db: Database) -> None:
+    """Every cold main is either fully resident or a CRC-valid mapped set."""
+    for name in ("header", "item"):
+        partition = db.table(name).group("cold").main
+        fragments_mapped = [
+            partition.column(c).is_mapped for c in partition.column_names()
+        ]
+        if partition.storage_tier == "mapped":
+            assert all(fragments_mapped), f"{name}: half-mapped partition"
+            manifest = read_manifest(
+                partition_dir(db.cold_dir, name, partition.name)
+            )
+            assert manifest is not None, f"{name}: mapped without a valid manifest"
+        else:
+            assert not any(fragments_mapped), f"{name}: half-mapped partition"
+
+
+@pytest.mark.parametrize(
+    "point,after",
+    [
+        ("coldstore.write", 0),
+        ("coldstore.write", 3),
+        ("coldstore.commit", 0),
+        ("coldstore.commit", 1),
+    ],
+)
+def test_crash_during_demotion_recovers_consistently(tmp_path, point, after):
+    """Crash on the first and on a later firing of each demotion kill point
+    (the later firings land mid-call: header already demoted, item in
+    flight — ``commit`` fires once per partition, ``write`` once per file)."""
+    db = make_aged_db(tmp_path / "db")
+    expected = db.query(SPAN_SQL, strategy=UNCACHED)
+    db.faults.arm(point, mode="crash", after=after)
+    with pytest.raises(SimulatedCrash):
+        db.age_out()
+    db.close()
+
+    recovered = Database.open(tmp_path / "db")
+    assert_never_torn(recovered)
+    assert recovered.query(SPAN_SQL, strategy=UNCACHED).rows == expected.rows
+
+    # The recovered database demotes cleanly and keeps answering right.
+    demoted = recovered.age_out()
+    assert {t for t, _ in demoted} | {
+        t
+        for t in ("header", "item")
+        if recovered.table(t).group("cold").main.storage_tier == "mapped"
+    } == {"header", "item"}
+    assert_never_torn(recovered)
+    assert recovered.query(SPAN_SQL, strategy=UNCACHED).rows == expected.rows
+    recovered.close()
+
+
+def test_uncrashed_demotion_fires_every_coldstore_point(tmp_path):
+    """The sweep above is only meaningful if the workload actually crosses
+    every coldstore kill point."""
+    db = make_aged_db(tmp_path / "db")
+    db.age_out()
+    for point in coldstore_points():
+        assert db.faults.hits.get(point, 0) > 0, f"{point!r} never fired"
+    db.close()
+
+
+def test_crash_after_commit_reattaches_mapped(tmp_path):
+    """A crash *after* the first table's manifest committed recovers that
+    table straight into the mapped tier (the commit point is durable)."""
+    db = make_aged_db(tmp_path / "db")
+    expected = db.query(SPAN_SQL, strategy=UNCACHED)
+    # header commits; the crash hits item's first data file write.
+    writes_for_header = len(
+        db.table("header").group("cold").main.column_names()
+    ) * 2 + 2  # codes+dict per column, then cts+dts
+    db.faults.arm("coldstore.write", mode="crash", after=writes_for_header)
+    with pytest.raises(SimulatedCrash):
+        db.age_out()
+    db.close()
+
+    recovered = Database.open(tmp_path / "db")
+    assert_never_torn(recovered)
+    assert recovered.table("header").group("cold").main.storage_tier == "mapped"
+    assert recovered.table("item").group("cold").main.storage_tier == "resident"
+    assert recovered.query(SPAN_SQL, strategy=UNCACHED).rows == expected.rows
+    recovered.close()

@@ -168,15 +168,42 @@ class TestDdlReplay:
 
 
 class TestDurabilityLimits:
-    def test_aged_tables_refused_in_durable_mode(self, tmp_path):
+    def test_callable_aging_rules_refused_in_durable_mode(self, tmp_path):
         db = Database.open(tmp_path / "db")
         with pytest.raises(DurabilityError):
             db.create_table(
                 "t",
                 [("id", "INT"), ("year", "INT")],
                 primary_key="id",
-                aging_rule=threshold_aging("year", hot_if_at_least=2014),
+                aging_rule=lambda row: "hot" if row["year"] >= 2014 else "cold",
             )
+
+    def test_threshold_aging_survives_recovery(self, tmp_path):
+        db = Database.open(tmp_path / "db")
+        db.create_table(
+            "t",
+            [("id", "INT"), ("year", "INT")],
+            primary_key="id",
+            aging_rule=threshold_aging("year", hot_if_at_least=2014),
+        )
+        db.insert_many(
+            "t",
+            [
+                {"id": 1, "year": 2012},
+                {"id": 2, "year": 2014},
+                {"id": 3, "year": 2015},
+            ],
+        )
+        db.merge()
+        db.insert("t", {"id": 4, "year": 2013})
+        recovered = reopen(db)
+        table = recovered.table("t")
+        assert table.is_aged()
+        assert table.aging_rule == threshold_aging("year", hot_if_at_least=2014)
+        by_partition = {
+            p.name: p.row_count for p in table.partitions() if p.row_count
+        }
+        assert by_partition == {"hot_main": 2, "cold_main": 1, "cold_delta": 1}
 
     def test_in_memory_database_has_no_durability(self):
         db = Database()

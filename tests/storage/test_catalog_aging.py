@@ -9,6 +9,8 @@ from repro.storage import (
     ConsistentAging,
     Schema,
     SqlType,
+    aging_rule_from_spec,
+    aging_rule_spec,
     ratio_aging,
     threshold_aging,
 )
@@ -80,6 +82,65 @@ class TestAgingRules:
         with pytest.raises(SchemaError):
             ratio_aging("year", [1], hot_fraction=1.5)
 
+    def test_ratio_rule_with_duplicate_domain_values(self):
+        # A domain observed from data carries duplicates; the quantile cut
+        # must still land on a sensible threshold (here: 25 % of the
+        # *observations* hot means only the max year qualifies).
+        years = [2010, 2010, 2011, 2011, 2012, 2012, 2013, 2013]
+        rule = ratio_aging("year", years, hot_fraction=0.25)
+        assert rule({"year": 2013}) == "hot"
+        assert rule({"year": 2012}) == "cold"
+
+    def test_ratio_rule_all_duplicates(self):
+        # A single-valued domain (however many observations): everything
+        # at or above the only value is hot regardless of the fraction.
+        rule = ratio_aging("year", [2012] * 5, hot_fraction=0.5)
+        assert rule({"year": 2012}) == "hot"
+        assert rule({"year": 2011}) == "cold"
+
+    def test_ratio_rule_hot_fraction_one_keeps_domain_hot(self):
+        years = [2010, 2011, 2012]
+        rule = ratio_aging("year", years, hot_fraction=1.0)
+        assert [rule({"year": y}) for y in years] == ["hot"] * 3
+        # Values below the whole domain still age out...
+        assert rule({"year": 2009}) == "cold"
+        # ...as do NULLs, which belong to no recent business transaction.
+        assert rule({"year": None}) == "cold"
+
+    def test_null_routes_cold_for_every_constructor(self):
+        for rule in (
+            threshold_aging("year", 2014),
+            ratio_aging("year", [2010, 2011], hot_fraction=0.5),
+        ):
+            assert rule({"year": None}) == "cold"
+            assert rule({}) == "cold"
+
+
+class TestAgingRuleSpecs:
+    def test_threshold_round_trip(self):
+        rule = threshold_aging("year", 2014)
+        spec = aging_rule_spec(rule)
+        assert spec == {"kind": "threshold", "column": "year", "hot_if_at_least": 2014}
+        assert aging_rule_from_spec(spec) == rule
+
+    def test_ratio_rules_serialize_as_their_threshold(self):
+        rule = ratio_aging("year", [2010, 2011, 2012, 2013], hot_fraction=0.25)
+        restored = aging_rule_from_spec(aging_rule_spec(rule))
+        assert restored == rule
+        assert restored({"year": 2013}) == "hot"
+
+    def test_callable_rules_have_no_spec(self):
+        assert aging_rule_spec(lambda row: "hot") is None
+        assert aging_rule_from_spec(None) is None
+
+    def test_unknown_spec_kind_rejected(self):
+        with pytest.raises(SchemaError):
+            aging_rule_from_spec({"kind": "lunar-phase"})
+
+    def test_non_json_threshold_has_no_spec(self):
+        rule = threshold_aging("stamp", hot_if_at_least=object())
+        assert aging_rule_spec(rule) is None
+
 
 class TestConsistentAging:
     def test_covers(self):
@@ -88,3 +149,10 @@ class TestConsistentAging:
         assert decl.covers("item", "header")
         assert not decl.covers("header", "dim")
         assert decl.tables() == ("header", "item")
+
+    def test_covers_is_symmetric_for_every_pair(self):
+        decl = ConsistentAging("orders", "orderline")
+        for a, b in [("orders", "orderline"), ("orderline", "orders")]:
+            assert decl.covers(a, b) == decl.covers(b, a) is True
+        for a, b in [("orders", "stock"), ("stock", "orderline")]:
+            assert decl.covers(a, b) == decl.covers(b, a) is False

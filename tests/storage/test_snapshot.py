@@ -97,9 +97,9 @@ class TestRoundTrip:
 
 
 class TestAgedAndUpdateDelta:
-    def test_aged_requires_rule(self, tmp_path):
+    def test_callable_aged_requires_rule(self, tmp_path):
         db = Database()
-        rule = threshold_aging("year", 2014)
+        rule = lambda row: "hot" if (row["year"] or 0) >= 2014 else "cold"
         db.create_table(
             "t", [("k", "INT"), ("year", "INT")], primary_key="k", aging_rule=rule
         )
@@ -111,6 +111,23 @@ class TestAgedAndUpdateDelta:
         restored = load_database(tmp_path / "snap", aging_rules={"t": rule})
         assert restored.table("t").partition("hot_delta").row_count == 1
         assert restored.table("t").partition("cold_delta").row_count == 1
+
+    def test_threshold_aging_round_trips(self, tmp_path):
+        db = Database()
+        rule = threshold_aging("year", 2014)
+        db.create_table(
+            "t", [("k", "INT"), ("year", "INT")], primary_key="k", aging_rule=rule
+        )
+        db.insert("t", {"k": 1, "year": 2015})
+        db.insert("t", {"k": 2, "year": 2010})
+        save_database(db, tmp_path / "snap")
+        restored = load_database(tmp_path / "snap")
+        assert restored.table("t").aging_rule == rule
+        assert restored.table("t").partition("hot_delta").row_count == 1
+        assert restored.table("t").partition("cold_delta").row_count == 1
+        # New inserts keep routing through the restored rule.
+        restored.insert("t", {"k": 3, "year": 2016})
+        assert restored.table("t").partition("hot_delta").row_count == 2
 
     def test_update_delta_layout_preserved(self, tmp_path):
         db = Database()
