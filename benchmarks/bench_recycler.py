@@ -1,0 +1,227 @@
+"""Cross-query subjoin recycling on overlapping CH-benCHmark aggregates.
+
+Three dashboard-style queries share the customer/orders/orderline join core
+— same FROM list, same join edges, no extra filters — and differ only in
+group-by and aggregate list.  Without the recycler every query joins the
+compensation subjoins for itself; with it, the first query of the core
+publishes its joined row-index sets and the followers replay them,
+re-aggregating into their own grouped shapes.
+
+The benchmark runs the leader/follower pattern with the recycler on and
+off (delta memos disabled in **both** configurations, so every execution
+pays the full compensation union — the work the recycler shares; with
+memos on the two layers compose and the follower's win shrinks to the
+suffix), asserts:
+
+* the follower queries are **>= 2x** faster in steady state with
+  recycling on,
+* results are **bit-identical** (values, Python types, row order) across
+  recycler-on / recycler-off / uncached,
+* recycler occupancy is visible in ``tracked_bytes`` and is the first
+  thing shed under a memory budget,
+
+and emits ``BENCH_recycler.json`` for the CI artifact.
+
+Env knobs:
+* ``BENCH_RECYCLER_SCALE`` — dataset scale multiplier (default 2;
+  CI smoke sets 1).
+* ``BENCH_RECYCLER_OUT`` — JSON output path
+  (default ``BENCH_recycler.json``).
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import CacheConfig, Database, ExecutionStrategy
+from repro.workloads import ChBenchmark, ChConfig
+
+FULL = ExecutionStrategy.CACHED_FULL_PRUNING
+UNCACHED = ExecutionStrategy.UNCACHED
+
+_SCALE = max(1, int(os.environ.get("BENCH_RECYCLER_SCALE", "2")))
+_OUT = os.environ.get("BENCH_RECYCLER_OUT", "BENCH_recycler.json")
+
+#: The shared join core: identical FROM order, join edges, and filters.
+_CORE = (
+    "FROM customer c, orders o, orderline ol "
+    "WHERE o.o_c_key = c.c_key AND ol.ol_o_key = o.o_key "
+)
+LEADER = (
+    "SELECT o.o_year AS year, SUM(ol.ol_amount) AS revenue "
+    + _CORE
+    + "GROUP BY o.o_year"
+)
+FOLLOWERS = {
+    "by_state": (
+        "SELECT c.c_state AS state, SUM(ol.ol_amount) AS revenue, "
+        "COUNT(*) AS n " + _CORE + "GROUP BY c.c_state"
+    ),
+    "by_nation": (
+        "SELECT c.c_nationkey AS nation, SUM(ol.ol_amount) AS revenue "
+        + _CORE
+        + "GROUP BY c.c_nationkey"
+    ),
+}
+
+_STATE = {}
+
+
+def _make_db(recycler_on: bool) -> Database:
+    db = Database(
+        cache_config=CacheConfig(
+            delta_memo=False, subjoin_recycler=recycler_on
+        )
+    )
+    ChBenchmark(
+        db,
+        ChConfig(
+            warehouses=2,
+            districts_per_warehouse=3,
+            customers_per_district=20 * _SCALE,
+            orders_per_district=120 * _SCALE,
+            orderlines_per_order=8,
+            items=100 * _SCALE,
+            suppliers=10,
+            delta_fraction=0.5,
+            seed=11,
+            amount_quantum=0.25,
+        ),
+    ).load()
+    return db
+
+
+def _typed(rows):
+    return [tuple((type(v).__name__, v) for v in row) for row in rows]
+
+
+def _timed(fn, repeats=3):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def get_pair():
+    if "pair" not in _STATE:
+        _STATE["pair"] = (_make_db(True), _make_db(False))
+    return _STATE["pair"]
+
+
+def test_steady_state_follower_speedup(figures):
+    db_on, db_off = get_pair()
+    # Warm-up: entries exist, the leader has published its subjoins.
+    for db in (db_on, db_off):
+        db.query(LEADER, strategy=FULL)
+        for sql in FOLLOWERS.values():
+            db.query(sql, strategy=FULL)
+    assert db_on.cache.counters_snapshot()["recycler_stored"] > 0
+    assert db_off.cache.recycler is None
+
+    leader_on = _timed(lambda: db_on.query(LEADER, strategy=FULL))
+    leader_off = _timed(lambda: db_off.query(LEADER, strategy=FULL))
+    report = figures.report(
+        "Subjoin recycler",
+        "overlapping customer/orders/orderline aggregates, steady state",
+        "the leader query publishes its compensation subjoins; followers "
+        "replay the joined indices and re-aggregate into their own "
+        "group-by shape (delta memos off in both configurations, so the "
+        "full compensation union is the measured work)",
+        ["query", "role", "recycler_off_s", "recycler_on_s", "speedup"],
+    )
+    cells = []
+    for name, sql in FOLLOWERS.items():
+        on_s = _timed(lambda: db_on.query(sql, strategy=FULL))
+        off_s = _timed(lambda: db_off.query(sql, strategy=FULL))
+        hit_report = db_on.query(sql, strategy=FULL).report
+        assert hit_report.recycler_hits > 0, name
+        speedup = off_s / on_s
+        cells.append(
+            {
+                "query": name,
+                "role": "follower",
+                "seconds_recycler_off": off_s,
+                "seconds_recycler_on": on_s,
+                "speedup": speedup,
+                "recycler_hits": hit_report.recycler_hits,
+            }
+        )
+        report.add_row(
+            name, "follower", round(off_s, 5), round(on_s, 5),
+            round(speedup, 2),
+        )
+    report.add_row(
+        "by_year", "leader", round(leader_off, 5), round(leader_on, 5),
+        round(leader_off / leader_on, 2),
+    )
+    # The acceptance floor: each overlapping follower runs >= 2x faster.
+    # As with the other benchmarks, the perf floor only binds at the
+    # default scale — CI smoke (scale 1) still checks recycler hits,
+    # bit-identity, and accounting, but sub-millisecond sections there
+    # make the ratio jitter-bound.
+    if _SCALE >= 2:
+        for cell in cells:
+            assert cell["speedup"] >= 2.0, cell
+    _STATE["cells"] = cells
+    _STATE["leader"] = {
+        "query": "by_year",
+        "role": "leader",
+        "seconds_recycler_off": leader_off,
+        "seconds_recycler_on": leader_on,
+        "speedup": leader_off / leader_on,
+    }
+
+
+def test_bit_identity_on_off_uncached():
+    db_on, db_off = get_pair()
+    for sql in [LEADER, *FOLLOWERS.values()]:
+        rows_on = db_on.query(sql, strategy=FULL).rows
+        rows_off = db_off.query(sql, strategy=FULL).rows
+        truth = db_on.query(sql, strategy=UNCACHED).rows
+        assert _typed(rows_on) == _typed(rows_off) == _typed(truth)
+    _STATE["bit_identical"] = True
+
+
+def test_recycler_bytes_tracked_and_shed_first():
+    db_on, _db_off = get_pair()
+    db_on.query(LEADER, strategy=FULL)
+    occupancy = db_on.cache.recycler.nbytes()
+    assert occupancy > 0
+    tracked = db_on.cache.tracked_bytes()
+    assert tracked >= occupancy
+    # Recycled subjoins are the cheapest derived state to rebuild: a budget
+    # squeeze drops them before any memo, entry, or plan.
+    entries_before = db_on.cache.entry_count()
+    shed = db_on.cache.shed_to_budget(tracked - 1)
+    assert shed["recycler"] >= 1
+    assert shed["entry"] == 0
+    assert db_on.cache.entry_count() == entries_before
+    _STATE["shed"] = {
+        "recycler_bytes_before_shed": occupancy,
+        "tracked_bytes_before_shed": tracked,
+        "shed_counts": shed,
+    }
+
+
+def test_write_bench_json():
+    """Emit ``BENCH_recycler.json`` for the CI artifact."""
+    cells = _STATE.get("cells")
+    assert cells, "no benchmark cells ran before the JSON writer"
+    assert _STATE.get("bit_identical")
+    if _SCALE >= 2:
+        assert all(cell["speedup"] >= 2.0 for cell in cells)
+    payload = {
+        "benchmark": "recycler",
+        "scale": _SCALE,
+        "delta_memo": False,
+        "rows": sorted(cells, key=lambda c: c["query"]) + [_STATE["leader"]],
+        "shed": _STATE.get("shed"),
+    }
+    path = Path(_OUT)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    assert path.exists()

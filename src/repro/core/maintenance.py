@@ -24,11 +24,14 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from ..plan.cost import FILTER_SELECTIVITY
 from ..query.aggregates import GroupedAggregates
 from ..query.executor import ComboSpec, QueryExecutor
+from ..query.expr import Cmp, Col, Lit
 from ..storage.merge import MergeEvent
 from .cache_entry import AggregateCacheEntry
 from .cache_key import CacheKey
+from .delta_memo import classify_memo
 from .main_compensation import StaleEntryError, apply_main_compensation
 
 
@@ -118,3 +121,180 @@ def finish_entry_maintenance(
             entry.visibility[other_alias] = partition.visibility(event.snapshot)
             entry.invalidation_epochs[other_alias] = partition.invalidation_epoch
     entry.metrics.maintenance_time += pending.elapsed
+    # The merge consumed the delta rows this entry's compensation pressure
+    # accumulated over, so the advisor's "time since last maintenance"
+    # window restarts here — and *only* here: resetting in
+    # plan_entry_maintenance would zero the pressure even when the
+    # two-phase merge rolls back (cancel_merge), silently discarding the
+    # accumulated signal; resetting on the successful finish can never
+    # double-count because each merge finishes each entry at most once.
+    entry.metrics.compensation_time_delta = 0.0
+
+
+# ---------------------------------------------------------------------------
+# Cardinality-based proactive refresh (idle-time maintenance)
+# ---------------------------------------------------------------------------
+#
+# Between merges, entries accumulate delta growth that some future query
+# will pay for at lookup time.  The refresh planner estimates *affected
+# rows* per entry — physical delta growth past the memo's watermarks,
+# discounted by synopsis-based selectivity of the entry's local filters —
+# and routes each entry to one of three actions (the strategy-selection
+# idea from dynamic-tables-ducklake, SNIPPETS.md 3):
+#
+# * ``skip``     — nothing grew (or the memo layer cannot engage);
+# * ``advance``  — modest growth: scan only the appended suffix and
+#                  advance the memo incrementally;
+# * ``rebuild``  — growth dominates the covered prefix (or the memo is
+#                  stale): recompute the compensation union outright.
+#
+# ``Database.refresh_cache`` / ``MergeAdvisor.recommend_refresh`` drive
+# this from idle hooks so steady-state traffic hits an already-advanced
+# memo instead of paying the suffix scan on the critical path.
+
+
+@dataclass
+class RefreshDecision:
+    """The routed refresh action for one cache entry."""
+
+    key: CacheKey
+    action: str  # "advance" | "rebuild" | "skip"
+    reason: str
+    #: Estimated rows a query-time compensation would have to scan now
+    #: (delta growth past the watermarks, selectivity-discounted).
+    affected_rows: int = 0
+    #: Rows the memo's covered prefix already spares.
+    covered_rows: int = 0
+
+    def describe(self) -> str:
+        return (
+            f"{self.key.describe() if hasattr(self.key, 'describe') else self.key}"
+            f": {self.action} ({self.reason}, ~{self.affected_rows} affected"
+            f" / {self.covered_rows} covered)"
+        )
+
+
+def _synopsis_refutes(partition, expr) -> bool:
+    """True when the partition's column synopsis proves an equality filter
+    matches nothing — e.g. appended order lines can never satisfy
+    ``ol_number = 7`` when the synopsis max is 5.  Only ``col = literal``
+    conjuncts are inspected; anything else conservatively keeps the
+    default selectivity."""
+    if not isinstance(expr, Cmp) or expr.op != "=":
+        return False
+    col, lit = expr.left, expr.right
+    if isinstance(col, Lit) and isinstance(lit, Col):
+        col, lit = lit, col
+    if not isinstance(col, Col) or not isinstance(lit, Lit):
+        return False
+    if col.name not in partition.column_names():
+        return False
+    stats = partition.column_stats(col.name)
+    if stats.min is None or stats.max is None:
+        return False
+    try:
+        return lit.value < stats.min or lit.value > stats.max
+    except TypeError:  # mixed-type compare (str filter on int column etc.)
+        return False
+
+
+def _suffix_selectivity(partition, filters) -> float:
+    """Estimated fraction of appended rows surviving the local filters:
+    the planner's flat per-conjunct discount, sharpened to zero when a
+    synopsis refutes an equality conjunct outright."""
+    selectivity = 1.0
+    for expr in filters:
+        if _synopsis_refutes(partition, expr):
+            return 0.0
+        selectivity *= FILTER_SELECTIVITY
+    return selectivity
+
+
+def estimate_affected_rows(entry: AggregateCacheEntry, plan, memo) -> int:
+    """Selectivity-discounted delta growth past ``memo``'s watermarks —
+    the rows a query-time incremental compensation would scan today."""
+    alias_of: Dict[int, str] = {}
+    for sub in plan.subjoins:
+        for alias, partition in sub.partitions.items():
+            alias_of[id(partition)] = alias
+    affected = 0.0
+    for pid, watermark in memo.watermarks.items():
+        partition = memo.partitions[pid]
+        grown = partition.row_count - watermark
+        if grown <= 0:
+            continue
+        alias = alias_of.get(pid)
+        filters = entry.query.local_filters(alias) if alias is not None else []
+        affected += grown * _suffix_selectivity(partition, filters)
+    return int(affected)
+
+
+def plan_cache_refresh(
+    manager, snapshot: int, rebuild_ratio: float
+) -> List[RefreshDecision]:
+    """Route every live entry to a refresh action at ``snapshot``.
+
+    Pure planning — no aggregation happens here; the manager's
+    ``refresh_entries`` applies the decisions (and the advisor's
+    ``recommend_refresh`` surfaces them without applying)."""
+    from .delta_memo import plan_partitions
+
+    decisions: List[RefreshDecision] = []
+    for entry in manager.entries():
+        if not entry.is_active:
+            continue
+        key = entry.key
+        if not manager.config.delta_memo:
+            decisions.append(RefreshDecision(key, "skip", "memo_disabled"))
+            continue
+        try:
+            plan = manager.plan_for(entry.query)
+        except Exception:
+            decisions.append(RefreshDecision(key, "skip", "unplannable"))
+            continue
+        if len(plan.cache_keys) != 1:
+            # Hot/cold multi-entry plans share their compensation value
+            # across entries; the memo layer does not engage for them.
+            decisions.append(RefreshDecision(key, "skip", "multi_entry"))
+            continue
+        memo = entry.delta_memo
+        verdict = classify_memo(
+            memo,
+            snapshot,
+            plan_partitions(plan.subjoins),
+            plan.signature,
+            plan.excluded_fingerprint(),
+        )
+        if verdict == "rebuild":
+            decisions.append(
+                RefreshDecision(
+                    key,
+                    "rebuild",
+                    "no_memo" if memo is None else "stale_memo",
+                )
+            )
+            continue
+        if verdict == "older_reader":  # pragma: no cover - global snapshot
+            decisions.append(RefreshDecision(key, "skip", "older_reader"))
+            continue
+        covered = memo.rows_below_watermarks()
+        affected = estimate_affected_rows(entry, plan, memo)
+        if affected == 0 and snapshot == memo.anchor:
+            decisions.append(
+                RefreshDecision(key, "skip", "clean", 0, covered)
+            )
+        elif affected > rebuild_ratio * max(1, covered):
+            decisions.append(
+                RefreshDecision(
+                    key,
+                    "rebuild",
+                    f"growth exceeds {rebuild_ratio:.0%} of covered prefix",
+                    affected,
+                    covered,
+                )
+            )
+        else:
+            decisions.append(
+                RefreshDecision(key, "advance", "delta_growth", affected, covered)
+            )
+    return decisions

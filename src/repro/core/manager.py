@@ -61,13 +61,16 @@ from .delta_memo import (
 from .eviction import EvictionPolicy, ProfitEviction
 from .main_compensation import StaleEntryError, apply_main_compensation
 from .maintenance import (
+    RefreshDecision,
     _PendingMaintenance,
     finish_entry_maintenance,
+    plan_cache_refresh,
     plan_entry_maintenance,
 )
 from .matching_dependency import MatchingDependency
 from .metrics import CacheMetrics
 from .pruning import PruneReport
+from .recycler import RecycleContext, SubjoinRecycler
 from .strategies import CacheConfig, ExecutionStrategy, MaintenanceMode
 
 
@@ -96,6 +99,14 @@ class CacheQueryReport:
     delta_memo_reason: str = ""
     #: Covered prefix rows an incremental run did not rescan.
     delta_memo_rows_saved: int = 0
+    #: Cross-query subjoin recycler activity during compensation (see
+    #: repro.core.recycler): hits replayed stored joined tuples, misses
+    #: evaluated and published, stale probes found an expired entry, and
+    #: stored counts successful publications.
+    recycler_hits: int = 0
+    recycler_misses: int = 0
+    recycler_stale: int = 0
+    recycler_stored: int = 0
     #: Why the query bypassed the cache while degraded: "breaker_open"
     #: (cache breaker open, cached path skipped upfront) or "fallback"
     #: (the cached path failed mid-query and the answer was recomputed
@@ -211,6 +222,16 @@ class AggregateCacheManager:
         self.total_memo_hits = 0  # incremental delta-compensation reuses
         self.total_memo_misses = 0  # full recomputes that (re)built a memo
         self.total_memo_bypass = 0  # queries the memo layer stepped aside for
+        self.total_refresh_advances = 0  # proactive incremental refreshes
+        self.total_refresh_rebuilds = 0  # proactive full rebuilds
+        # Cross-query subjoin recycler (None when disabled by config); its
+        # own counters live on the recycler, snapshotted under our lock in
+        # counters_snapshot (manager → recycler is the one lock order).
+        self.recycler: Optional[SubjoinRecycler] = (
+            SubjoinRecycler(max_bytes=self.config.recycler_max_bytes, obs=self.obs)
+            if self.config.subjoin_recycler
+            else None
+        )
 
     # ------------------------------------------------------------------
     # object-awareness registration
@@ -268,9 +289,12 @@ class AggregateCacheManager:
             return [e for e in self._entries.values() if e.key.query_text == text]
 
     def clear(self) -> None:
-        """Drop every cache entry."""
+        """Drop every cache entry (and the recycled subjoins derived from
+        the same computations)."""
         with self._lock:
             self._entries.clear()
+            if self.recycler is not None:
+                self.recycler.clear()
 
     def counters_snapshot(self) -> Dict[str, int]:
         """A consistent view of the lifetime counters (for the monitor).
@@ -279,13 +303,30 @@ class AggregateCacheManager:
         as the other counters: computing it separately from ``entries()``
         would tear — entries created/evicted between the two lock takes
         would make the byte total disagree with the entry count.
+        ``tracked_bytes`` is included for the same reason: the governor's
+        health view must describe the same instant as the entry count, not
+        a second lock take during which a shed or insert may have run.
         """
         with self._lock:
+            recycler = (
+                self.recycler.stats()
+                if self.recycler is not None
+                else {
+                    "entries": 0,
+                    "bytes": 0,
+                    "hits": 0,
+                    "misses": 0,
+                    "stale": 0,
+                    "stored": 0,
+                    "evictions": 0,
+                }
+            )
             return {
                 "entries": len(self._entries),
                 "value_bytes": sum(
                     e.metrics.size_bytes for e in self._entries.values()
                 ),
+                "tracked_bytes": self._tracked_bytes_locked(),
                 "hits": self.total_hits,
                 "misses": self.total_misses,
                 "evictions": self.total_evictions,
@@ -293,6 +334,15 @@ class AggregateCacheManager:
                 "memo_hits": self.total_memo_hits,
                 "memo_misses": self.total_memo_misses,
                 "memo_bypass": self.total_memo_bypass,
+                "recycler_entries": recycler["entries"],
+                "recycler_bytes": recycler["bytes"],
+                "recycler_hits": recycler["hits"],
+                "recycler_misses": recycler["misses"],
+                "recycler_stale": recycler["stale"],
+                "recycler_stored": recycler["stored"],
+                "recycler_evictions": recycler["evictions"],
+                "refresh_advances": self.total_refresh_advances,
+                "refresh_rebuilds": self.total_refresh_rebuilds,
             }
 
     def refresh_obs_gauges(self) -> None:
@@ -312,6 +362,10 @@ class AggregateCacheManager:
                 sum(e.metrics.profit() for e in entries)
             )
             self.obs.governor_tracked_bytes.set(self._tracked_bytes_locked())
+            if self.recycler is not None:
+                recycler = self.recycler.stats()
+                self.obs.recycler_bytes.set(recycler["bytes"])
+                self.obs.recycler_entries.set(recycler["entries"])
         self.obs.plan_cache_entries.set(len(self.plan_cache))
         tiers = {"hot": 0, "cold_resident": 0, "cold_mapped": 0}
         for name in self._catalog.table_names():
@@ -341,6 +395,8 @@ class AggregateCacheManager:
         dropped_plans = self.plan_cache.evict_for_table(table_name)
         if dropped_plans:
             self.obs.plan_cache_evictions.inc(dropped_plans)
+        if self.recycler is not None:
+            self.recycler.evict_for_table(table_name)
         return len(victims)
 
     def explain(self, query, strategy=None, star_join_tables=None):
@@ -837,6 +893,8 @@ class AggregateCacheManager:
             parse_cache_stats()["entries"] * _PARSE_CACHE_BYTES_PER_ENTRY
         )
         total += self._cold_overhead_bytes()
+        if self.recycler is not None:
+            total += self.recycler.nbytes()
         return total
 
     def _cold_overhead_bytes(self) -> int:
@@ -874,18 +932,20 @@ class AggregateCacheManager:
         0. **mapped cold columns** (released lazy dictionaries / memmap
            handles re-fault in from the cold files on next access — no
            recompute at all);
-        1. **delta memos** before entries (a memo only accelerates delta
+        1. **recycled subjoins** (pure recomputable join intermediates —
+           dropping them costs the next overlapping query one evaluation);
+        2. **delta memos** before entries (a memo only accelerates delta
            compensation; the entry keeps serving hits without it),
            least-recently-used entries' memos first;
-        2. **cold entries before hot** via the existing eviction
+        3. **cold entries before hot** via the existing eviction
            machinery (:class:`ProfitEviction` — lowest profit first);
-        3. the **plan and parse caches** last (pure recompute caches).
+        4. the **plan and parse caches** last (pure recompute caches).
 
         Returns the per-kind shed counts; totals are recorded on the
         governor (``repro_governor_sheds_total``).
         """
-        shed = {"cold": 0, "memo": 0, "entry": 0, "plan": 0}
-        freed = {"cold": 0, "memo": 0, "entry": 0, "plan": 0}
+        shed = {"cold": 0, "recycler": 0, "memo": 0, "entry": 0, "plan": 0}
+        freed = {"cold": 0, "recycler": 0, "memo": 0, "entry": 0, "plan": 0}
         evicted = 0
         plan_dropped = 0
         with self._lock:
@@ -904,6 +964,12 @@ class AggregateCacheManager:
                         self.governor.record_shed("cold", 1, cold_freed)
                         self.governor.set_tracked_bytes(tracked)
                     return shed
+            if tracked > budget_bytes and self.recycler is not None:
+                dropped, recycler_freed = self.recycler.clear()
+                if dropped:
+                    tracked -= recycler_freed
+                    freed["recycler"] = recycler_freed
+                    shed["recycler"] = dropped
             by_lru = sorted(
                 self._entries.values(),
                 key=lambda e: e.metrics.last_access_clock,
@@ -1007,10 +1073,12 @@ class AggregateCacheManager:
         mode, reason, entry, memo = self._route_delta_memo(plan, txn, entries)
         report.delta_memo_mode = mode
         report.delta_memo_reason = reason
+        recycle = self._recycle_context(plan, txn)
         comp_started = time.perf_counter()
         if mode == "incremental":
             self._delta_compensation_incremental(
-                plan, txn, result, report, span_sink, entry, memo, cancel
+                plan, txn, result, report, span_sink, entry, memo, cancel,
+                recycle,
             )
         else:
             self._delta_compensation_full(
@@ -1022,9 +1090,23 @@ class AggregateCacheManager:
                 entry if mode == "full" else None,
                 memo,
                 cancel,
+                recycle,
             )
         elapsed = time.perf_counter() - comp_started
         report.time_delta_compensation += elapsed
+        # Compensation-pressure accounting: attribute this query's delta-
+        # compensation time to the entries it compensated for, so the merge
+        # advisor's pressure signal reflects real work.  The counter is
+        # cumulative until the entry's *successful* maintenance resets it
+        # (see finish_entry_maintenance) — a cancelled two-phase merge
+        # must neither reset nor double-count it.
+        owners = [e for e in (entries or []) if e is not None]
+        if owners:
+            share = elapsed / len(owners)
+            with self._lock:
+                for owner in owners:
+                    owner.metrics.compensation_time_delta += share
+        self._finish_recycle(recycle, report)
         self._record_prune_obs(report.prune)
         outcome = {"incremental": "hit", "full": "miss", "bypass": "bypass"}[mode]
         with self._lock:
@@ -1050,6 +1132,39 @@ class AggregateCacheManager:
                 span.attrs["compensation_reason"] = reason
             if mode == "incremental":
                 span.attrs["rows_saved"] = report.delta_memo_rows_saved
+
+    def _recycle_context(
+        self, plan: PhysicalPlan, txn: Transaction
+    ) -> Optional[RecycleContext]:
+        """Mint a per-query recycler handle, or None when recycling is off."""
+        if self.recycler is None:
+            return None
+        return self.recycler.context(
+            plan.recycle_fingerprint(), plan.signature, txn.snapshot
+        )
+
+    def _finish_recycle(
+        self,
+        recycle: Optional[RecycleContext],
+        report: Optional[CacheQueryReport],
+    ) -> None:
+        """Fold one context's outcome counts into the report and metrics."""
+        if recycle is None:
+            return
+        if report is not None:
+            report.recycler_hits += recycle.hits
+            report.recycler_misses += recycle.misses
+            report.recycler_stale += recycle.stale
+            report.recycler_stored += recycle.stored
+        if self.obs.enabled:
+            for outcome, count in (
+                ("hit", recycle.hits),
+                ("miss", recycle.misses),
+                ("stale", recycle.stale),
+                ("bypass", recycle.bypass),
+            ):
+                if count:
+                    self.obs.recycler_lookups.labels(outcome).inc(count)
 
     def _route_delta_memo(
         self,
@@ -1101,6 +1216,7 @@ class AggregateCacheManager:
         entry: Optional[AggregateCacheEntry],
         observed: Optional[DeltaMemo],
         cancel=None,
+        recycle: Optional[RecycleContext] = None,
     ) -> None:
         """Evaluate every surviving subjoin; with ``entry`` set, capture the
         folded compensation value as a fresh memo on it."""
@@ -1120,6 +1236,7 @@ class AggregateCacheManager:
             stats=report.executor_stats,
             span_sink=span_sink,
             cancel=cancel,
+            recycle=recycle,
         )
         if entry is None:
             return
@@ -1145,6 +1262,7 @@ class AggregateCacheManager:
         entry: AggregateCacheEntry,
         memo: DeltaMemo,
         cancel=None,
+        recycle: Optional[RecycleContext] = None,
     ) -> None:
         """Merge the memo's folded value and scan only the delta suffix.
 
@@ -1171,6 +1289,7 @@ class AggregateCacheManager:
                 stats=report.executor_stats,
                 span_sink=inner if span_sink is not None else None,
                 cancel=cancel,
+                recycle=recycle,
             )
             result.merge(inc)
         if span_sink is not None:
@@ -1244,6 +1363,148 @@ class AggregateCacheManager:
             obs.pruning_synopsis_skips.inc(prune.synopsis_skips)
 
     # ------------------------------------------------------------------
+    # proactive refresh (idle-time maintenance)
+    # ------------------------------------------------------------------
+    def refresh_entries(
+        self,
+        snapshot: int,
+        decisions: Optional[List[RefreshDecision]] = None,
+        max_entries: Optional[int] = None,
+    ) -> List[RefreshDecision]:
+        """Apply cardinality-routed refreshes (see
+        :func:`repro.core.maintenance.plan_cache_refresh`): advance or
+        rebuild each routed entry's delta memo *now*, off the query path,
+        so the next hit replays an already-advanced memo.  The refresh
+        work also populates the subjoin recycler — overlapping queries
+        arriving after the refresh recycle its subjoins directly.
+
+        ``decisions`` defaults to a fresh plan; ``max_entries`` bounds the
+        work per idle tick (remaining decisions are returned untouched).
+        Returns the decision list with each applied action recorded.
+        """
+        if decisions is None:
+            decisions = plan_cache_refresh(
+                self, snapshot, self.config.refresh_rebuild_ratio
+            )
+        applied = 0
+        for decision in decisions:
+            if decision.action == "skip":
+                if self.obs.enabled:
+                    self.obs.cache_refresh.labels("skip").inc()
+                continue
+            if max_entries is not None and applied >= max_entries:
+                break
+            with self._lock:
+                entry = self._entries.get(decision.key)
+            if entry is None or not entry.is_active:
+                decision.action, decision.reason = "skip", "entry_gone"
+                continue
+            try:
+                plan = self.plan_for(entry.query)
+            except Exception:
+                decision.action, decision.reason = "skip", "unplannable"
+                continue
+            if len(plan.cache_keys) != 1:
+                decision.action, decision.reason = "skip", "multi_entry"
+                continue
+            recycle = None
+            if self.recycler is not None:
+                recycle = self.recycler.context(
+                    plan.recycle_fingerprint(), plan.signature, snapshot
+                )
+            if decision.action == "advance":
+                done = self._refresh_advance(entry, plan, snapshot, recycle)
+                if not done:
+                    done = self._refresh_rebuild(entry, plan, snapshot, recycle)
+                    if done:
+                        decision.action, decision.reason = "rebuild", "advance_raced"
+            else:
+                done = self._refresh_rebuild(entry, plan, snapshot, recycle)
+            self._finish_recycle(recycle, None)
+            if not done:
+                decision.action, decision.reason = "skip", "raced"
+                continue
+            applied += 1
+            with self._lock:
+                if decision.action == "advance":
+                    self.total_refresh_advances += 1
+                else:
+                    self.total_refresh_rebuilds += 1
+            if self.obs.enabled:
+                self.obs.cache_refresh.labels(decision.action).inc()
+        return decisions
+
+    def _refresh_advance(
+        self, entry, plan: PhysicalPlan, snapshot: int, recycle
+    ) -> bool:
+        """Incremental refresh: scan only the suffix past the memo's
+        watermarks and CAS-install the advanced memo.  Returns False when
+        the memo cannot advance (raced away / went stale) — the caller
+        falls back to a rebuild."""
+        with self._lock:
+            memo = entry.delta_memo
+        verdict = classify_memo(
+            memo,
+            snapshot,
+            plan_partitions(plan.subjoins),
+            plan.signature,
+            plan.excluded_fingerprint(),
+        )
+        if verdict != "incremental":
+            return False
+        specs, _spec_counts, _rows_saved = incremental_specs(
+            plan.subjoins, memo.watermarks
+        )
+        inc: Optional[GroupedAggregates] = None
+        if specs:
+            inc = memo.folded.new_like()
+            self._executor.execute(
+                plan.query,
+                snapshot,
+                combos=specs,
+                into=inc,
+                recycle=recycle,
+            )
+        if not specs and snapshot == memo.anchor:
+            return True  # nothing to advance; the memo already serves here
+        advanced = advance_memo(memo, snapshot, inc, plan.signature)
+        with self._lock:
+            if entry.delta_memo is memo and entry.is_active:
+                entry.delta_memo = advanced
+        return True
+
+    def _refresh_rebuild(
+        self, entry, plan: PhysicalPlan, snapshot: int, recycle
+    ) -> bool:
+        """Full refresh: recompute the compensation union into a throwaway
+        aggregate and CAS-install the fresh memo."""
+        with self._lock:
+            observed = entry.delta_memo
+        combos = [
+            sub.to_spec() for sub in plan.subjoins if sub.action != "pruned"
+        ]
+        into = GroupedAggregates(plan.query.aggregates)
+        self._executor.execute(
+            plan.query,
+            snapshot,
+            combos=combos,
+            into=into,
+            recycle=recycle,
+        )
+        fresh = build_memo(
+            into,
+            snapshot,
+            plan_partitions(plan.subjoins),
+            plan.signature,
+            plan.excluded_fingerprint(),
+        )
+        with self._lock:
+            if entry.delta_memo is observed and entry.is_active:
+                entry.delta_memo = fresh
+                return True
+        return False
+
+    # ------------------------------------------------------------------
     # merge maintenance (MergeListener protocol)
     # ------------------------------------------------------------------
     def before_merge(self, event: MergeEvent) -> None:
@@ -1299,6 +1560,13 @@ class AggregateCacheManager:
             for key in self._pending_drops:
                 self._entries.pop(key, None)
             self._pending_drops = set()
+        # The swap replaced the table's partitions, so recycled subjoins
+        # referencing them can never validate again (identity + signature
+        # both moved on) — drop them eagerly rather than letting them age
+        # out as stale probes.  A *cancelled* merge keeps the pre-merge
+        # partitions and deliberately does not purge.
+        if self.recycler is not None:
+            self.recycler.evict_for_table(event.table.name)
 
     def cancel_merge(self, event: Optional[MergeEvent] = None) -> None:
         """Discard maintenance planned for an aborted merge.

@@ -47,6 +47,26 @@ class MergeRecommendation:
 
 
 @dataclass
+class RefreshRecommendation:
+    """The advisor's idle-refresh verdict: one routed decision per entry
+    (see :class:`repro.core.maintenance.RefreshDecision`)."""
+
+    decisions: List = field(default_factory=list)
+
+    @property
+    def should_refresh(self) -> bool:
+        """True when at least one entry needs an advance or rebuild."""
+        return any(d.action != "skip" for d in self.decisions)
+
+    def describe(self) -> str:
+        """One-line human-readable rendering."""
+        pending = [d for d in self.decisions if d.action != "skip"]
+        if not pending:
+            return "no refresh recommended"
+        return "refresh recommended: " + ", ".join(d.describe() for d in pending)
+
+
+@dataclass
 class MergeAdvisor:
     """Threshold-based merge decision function.
 
@@ -76,6 +96,23 @@ class MergeAdvisor:
         if self.synchronize_md_groups and recommendation.tables:
             self._extend_to_md_groups(db, recommendation)
         return recommendation
+
+    def recommend_refresh(
+        self, db, snapshot: Optional[int] = None
+    ) -> RefreshRecommendation:
+        """Route every cache entry to an idle-refresh action (no side
+        effects) — the cardinality-based counterpart of :meth:`recommend`:
+        instead of merging the base tables, advance or rebuild the entries'
+        delta memos so steady-state queries stop paying the suffix scan.
+        ``Database.refresh_cache`` applies the result."""
+        from .maintenance import plan_cache_refresh
+
+        if snapshot is None:
+            snapshot = db.transactions.global_snapshot()
+        decisions = plan_cache_refresh(
+            db.cache, snapshot, db.cache.config.refresh_rebuild_ratio
+        )
+        return RefreshRecommendation(decisions)
 
     def _table_reason(self, db, name: str) -> Optional[str]:
         table = db.table(name)

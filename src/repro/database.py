@@ -165,6 +165,11 @@ class Database:
         self._wal: Optional[WriteAheadLog] = None
         self._replaying = False
         self._txn_ops: Dict[int, List[Dict]] = {}
+        # Transactions whose in-memory effects are visible but whose WAL
+        # record could not be written (append failed after retries).  They
+        # are redelivered FIFO before the next record, so recovery never
+        # silently loses a transaction the live database already served.
+        self._wal_backlog: List[Tuple[int, List[Dict], str]] = []
         # Cold-tier root: explicit ``cold_path`` wins (usable by in-memory
         # databases too); durable databases default to ``<path>/cold``.
         self._cold_path = Path(cold_path) if cold_path is not None else None
@@ -264,10 +269,37 @@ class Database:
         the transaction applied before aborting is part of the in-memory
         state and must survive recovery identically (the record's ``status``
         field preserves the distinction for forensics).
+
+        Row visibility is stamp-based and does not consult the WAL, so by
+        the time this hook runs the transaction's rows are already live.
+        A failed append therefore must not drop the record on the floor —
+        the live database would serve rows recovery cannot reproduce.
+        Failed records queue in ``_wal_backlog`` and are redelivered FIFO
+        ahead of the next transaction (or at close); a successful
+        checkpoint clears the queue instead, because the checkpoint
+        already captured their effects and a late append would make
+        replay apply them twice.
         """
         ops = self._txn_ops.pop(txn.tid, None)
-        if ops and self._wal is not None and not self._replaying:
-            self._wal.append_transaction(txn.tid, ops, txn.state)
+        if not ops or self._wal is None or self._replaying:
+            # Read-only transactions never drain the backlog: reads must
+            # stay servable while WAL-degraded, so redelivery only rides
+            # transactions that would append a record anyway.
+            return
+        self._wal_backlog.append((txn.tid, ops, txn.state))
+        self._drain_wal_backlog()
+
+    def _drain_wal_backlog(self) -> None:
+        """Append queued transaction records in order; stop on failure.
+
+        Raises the :class:`~repro.errors.DurabilityError` of the first
+        record that still cannot be written — everything from that record
+        on stays queued for the next attempt.
+        """
+        while self._wal_backlog:
+            tid, ops, state = self._wal_backlog[0]
+            self._wal.append_transaction(tid, ops, state)
+            self._wal_backlog.pop(0)
 
     def checkpoint(self) -> Optional[Path]:
         """Write an atomic full-state checkpoint (durable databases only).
@@ -301,6 +333,11 @@ class Database:
                 ) from err
             self.governor.record_wal_success()
             self._wal.stats.checkpoints_written += 1
+            # Any transaction still awaiting its WAL record is durable now:
+            # the checkpoint captured its in-memory effects, and replay
+            # starts past this LSN.  Appending the record later would
+            # re-apply those operations on top of the checkpoint image.
+            self._wal_backlog.clear()
             return path
 
     def close(self) -> None:
@@ -319,6 +356,13 @@ class Database:
         with self.lock.write():  # drain in-flight readers before teardown
             self.executor.close()
             if self._wal is not None:
+                try:
+                    # Last chance for transactions whose WAL append failed
+                    # earlier: a clean close must not forget work the live
+                    # database already served.
+                    self._drain_wal_backlog()
+                except DurabilityError:
+                    pass  # still failing; closing must not raise
                 self._wal.close()
 
     def __enter__(self) -> "Database":
@@ -794,6 +838,30 @@ class Database:
             for name in recommendation.tables:
                 stats.extend(self.merge(name))
             return stats
+
+    def refresh_cache(self, advisor=None, max_entries=None):
+        """Idle hook: proactively advance or rebuild cache-entry delta
+        memos per the cardinality-based refresh policy (see
+        :func:`repro.core.maintenance.plan_cache_refresh`), so steady-state
+        queries hit already-advanced memos and a pre-populated subjoin
+        recycler instead of compensating on the critical path.
+
+        Runs under the shared read lock — refreshes are snapshot reads
+        plus compare-and-swap memo installs, exactly like query-time
+        compensation, so they coexist with concurrent readers and yield
+        to writers.  Returns the routed decision list.
+        """
+        from .core.merge_advisor import MergeAdvisor
+
+        advisor = advisor if advisor is not None else MergeAdvisor()
+        with self.lock.read():
+            snapshot = self.transactions.global_snapshot()
+            recommendation = advisor.recommend_refresh(self, snapshot)
+            return self.cache.refresh_entries(
+                snapshot,
+                decisions=recommendation.decisions,
+                max_entries=max_entries,
+            )
 
     # ------------------------------------------------------------------
     # queries

@@ -130,8 +130,16 @@ class HealthReport:
             )
             lines.append(f"io retries: {pairs}")
         if self.memory_budget_bytes is not None:
+            # None means "no reading yet" (the budget exists but nothing
+            # has measured against it) — render it distinctly from a
+            # genuine 0-byte measurement.
+            tracked = (
+                "untracked"
+                if self.tracked_bytes is None
+                else f"{self.tracked_bytes}B"
+            )
             lines.append(
-                f"memory: tracked={self.tracked_bytes or 0}B"
+                f"memory: tracked={tracked}"
                 f" budget={self.memory_budget_bytes}B"
                 f" sheds={dict(sorted(self.sheds.items()))}"
                 f" shed_bytes={self.shed_bytes}"

@@ -32,6 +32,11 @@ DELTA_COMPENSATION_SECONDS = "repro_delta_compensation_seconds"
 COMPENSATED_ROWS_TOTAL = "repro_compensated_rows_total"
 DELTA_MEMO_LOOKUPS_TOTAL = "repro_delta_memo_lookups_total"
 DELTA_MEMO_ROWS_SAVED_TOTAL = "repro_delta_memo_rows_saved_total"
+RECYCLER_LOOKUPS_TOTAL = "repro_recycler_lookups_total"
+RECYCLER_BYTES = "repro_recycler_bytes"
+RECYCLER_ENTRIES = "repro_recycler_entries"
+RECYCLER_EVICTIONS_TOTAL = "repro_recycler_evictions_total"
+CACHE_REFRESH_TOTAL = "repro_cache_refresh_total"
 
 # --- planner / plan cache --------------------------------------------------
 PLAN_BUILD_SECONDS = "repro_plan_build_seconds"

@@ -115,3 +115,74 @@ class TestAutoMerge:
         assert result == db.query(
             HEADER_ITEM_SQL, strategy=ExecutionStrategy.UNCACHED
         )
+
+
+class TestPressureAcrossCancelledMerges:
+    """Compensation pressure must survive a rolled-back merge.
+
+    Regression: resetting ``compensation_time_delta`` in
+    ``plan_entry_maintenance`` zeroed the advisor's signal even when the
+    two-phase merge subsequently cancelled — a workload whose merges kept
+    failing would never accumulate enough pressure to trigger one.  The
+    reset belongs to the successful finish only (which also guarantees it
+    cannot double-count: each merge finishes each entry at most once).
+    """
+
+    def _pressured_db(self):
+        from repro import FaultError  # noqa: F401 - re-exported check
+
+        db = make_erp_db()
+        load_erp(db, n_headers=5, merge=True)
+        load_erp(db, n_headers=1, start_hid=100, merge=False)
+        db.query(HEADER_ITEM_SQL, strategy=FULL)
+        (entry,) = db.cache.entries_for(db.parse(HEADER_ITEM_SQL))
+        entry.metrics.compensation_time_delta = 10.0
+        advisor = MergeAdvisor(
+            delta_fill_threshold=2.0,
+            min_delta_rows=10**9,
+            compensation_budget=1.0,
+        )
+        return db, entry, advisor
+
+    def test_cancelled_merge_keeps_pressure_and_recommendation(self):
+        import pytest
+
+        from repro import FaultError
+
+        db, entry, advisor = self._pressured_db()
+        assert "item" in advisor.recommend(db).tables
+
+        db.faults.arm("merge.before_swap", mode="raise")
+        with pytest.raises(FaultError):
+            db.merge()
+        db.faults.disarm()
+        # The rollback consumed no delta rows: the accumulated signal must
+        # survive unchanged (neither zeroed nor double-counted).
+        assert entry.metrics.compensation_time_delta == 10.0
+        assert "item" in advisor.recommend(db).tables
+
+    def test_remerge_after_cancel_resets_pressure_once(self):
+        import pytest
+
+        from repro import FaultError
+
+        db, entry, advisor = self._pressured_db()
+        db.faults.arm("merge.before_swap", mode="raise")
+        with pytest.raises(FaultError):
+            db.merge()
+        db.faults.disarm()
+
+        db.merge()  # the retry succeeds and consumes the delta
+        assert entry.metrics.compensation_time_delta == 0.0
+        assert not advisor.recommend(db).should_merge
+
+    def test_pressure_accumulates_across_queries(self):
+        db = make_erp_db()
+        load_erp(db, n_headers=5, merge=True)
+        load_erp(db, n_headers=1, start_hid=100, merge=False)
+        db.query(HEADER_ITEM_SQL, strategy=FULL)
+        (entry,) = db.cache.entries_for(db.parse(HEADER_ITEM_SQL))
+        first = entry.metrics.compensation_time_delta
+        assert first > 0.0  # the hit paid a delta compensation
+        db.query(HEADER_ITEM_SQL, strategy=FULL)
+        assert entry.metrics.compensation_time_delta > first

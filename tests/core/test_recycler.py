@@ -1,0 +1,254 @@
+"""Cross-query subjoin recycler: keying, validity windows, budget, accounting.
+
+The recycler shares compensation-subjoin intermediates between overlapping
+queries — same join core, different aggregation shape.  These tests pin the
+contract down:
+
+* the join-core fingerprint includes FROM order, join edges, and filters,
+  and excludes group-by/aggregates (the cross-query sharing axis);
+* a hit replays bit-identical rows (values, types, order) versus both the
+  recycler-off run and the uncached truth;
+* the snapshot-window validity check misses (outcome ``stale``) instead of
+  replaying a scan that would not see rows stamped above the horizon;
+* the byte budget evicts LRU entries and the occupancy is visible through
+  ``tracked_bytes`` / ``counters_snapshot``.
+"""
+
+import pytest
+
+from repro import CacheConfig, Database, ExecutionStrategy
+from repro.core.recycler import RecycledSubjoin, SubjoinRecycler, join_core_fingerprint
+from repro.query.executor import ComboSpec
+from repro.query.sql import parse_sql
+
+from ..conftest import PROFIT_SQL, load_erp, make_erp_db
+
+FULL = ExecutionStrategy.CACHED_FULL_PRUNING
+UNCACHED = ExecutionStrategy.UNCACHED
+
+#: Same join core as PROFIT_SQL (FROM order, join edges, no extra filters),
+#: different group-by and aggregate list — the recyclable overlap.
+LANG_SQL = (
+    "SELECT d.lang AS lang, COUNT(*) AS n "
+    "FROM header h, item i, category d "
+    "WHERE h.hid = i.hid AND i.cid = d.cid "
+    "GROUP BY d.lang"
+)
+YEAR_SQL = (
+    "SELECT h.year AS year, SUM(i.price) AS profit "
+    "FROM header h, item i, category d "
+    "WHERE h.hid = i.hid AND i.cid = d.cid "
+    "GROUP BY h.year"
+)
+#: Same shape but an extra filter: a *different* join core.
+FILTERED_SQL = (
+    "SELECT d.name AS category, SUM(i.price) AS profit, COUNT(*) AS n "
+    "FROM header h, item i, category d "
+    "WHERE h.hid = i.hid AND i.cid = d.cid AND h.year = 2013 "
+    "GROUP BY d.name"
+)
+
+
+def _typed(rows):
+    return [tuple((type(v).__name__, v) for v in row) for row in rows]
+
+
+def _db_with_delta(**kwargs) -> Database:
+    """Merged mains plus a non-empty delta, so compensation subjoins run."""
+    db = make_erp_db(**kwargs)
+    load_erp(db, n_headers=8, merge=True)
+    load_erp(db, n_headers=4, start_hid=100, merge=False)
+    return db
+
+
+class TestFingerprint:
+    def test_aggregation_shape_is_excluded(self):
+        fp = join_core_fingerprint(parse_sql(PROFIT_SQL))
+        assert fp == join_core_fingerprint(parse_sql(LANG_SQL))
+        assert fp == join_core_fingerprint(parse_sql(YEAR_SQL))
+
+    def test_filters_are_included(self):
+        fp = join_core_fingerprint(parse_sql(PROFIT_SQL))
+        assert fp != join_core_fingerprint(parse_sql(FILTERED_SQL))
+
+    def test_from_order_is_included(self):
+        # Declaration order feeds the join-order tie-break, so swapping the
+        # FROM list may produce differently-ordered tuples: never shared.
+        swapped = (
+            "SELECT d.name AS category, SUM(i.price) AS profit, COUNT(*) AS n "
+            "FROM item i, header h, category d "
+            "WHERE h.hid = i.hid AND i.cid = d.cid "
+            "GROUP BY d.name"
+        )
+        fp = join_core_fingerprint(parse_sql(PROFIT_SQL))
+        assert fp != join_core_fingerprint(parse_sql(swapped))
+
+
+class TestCrossQueryRecycling:
+    def test_overlapping_query_hits_and_matches_uncached(self):
+        db = _db_with_delta()
+        db.query(PROFIT_SQL, strategy=FULL)
+        first = db.cache.counters_snapshot()
+        assert first["recycler_stored"] > 0
+
+        result = db.query(LANG_SQL, strategy=FULL)
+        report = db.last_report
+        assert report.recycler_hits > 0
+        assert _typed(result.rows) == _typed(
+            db.query(LANG_SQL, strategy=UNCACHED).rows
+        )
+
+        after = db.cache.counters_snapshot()
+        assert after["recycler_hits"] >= report.recycler_hits
+
+    def test_hit_rows_bit_identical_to_recycler_off(self):
+        queries = [PROFIT_SQL, LANG_SQL, YEAR_SQL, FILTERED_SQL]
+        db_on = _db_with_delta()
+        db_off = _db_with_delta(
+            cache_config=CacheConfig(subjoin_recycler=False)
+        )
+        assert db_off.cache.recycler is None
+        for sql in queries * 2:
+            on = db_on.query(sql, strategy=FULL)
+            off = db_off.query(sql, strategy=FULL)
+            truth = db_off.query(sql, strategy=UNCACHED)
+            assert _typed(on.rows) == _typed(off.rows) == _typed(truth.rows)
+        assert db_on.cache.counters_snapshot()["recycler_hits"] > 0
+
+    def test_different_join_core_does_not_hit(self):
+        db = _db_with_delta()
+        db.query(PROFIT_SQL, strategy=FULL)
+        db.query(FILTERED_SQL, strategy=FULL)
+        assert db.last_report.recycler_hits == 0
+
+    def test_dml_routes_to_fresh_key_with_correct_rows(self):
+        # DML bumps the table versions folded into the plan signature, so
+        # post-write queries miss (new key) instead of replaying a scan
+        # that would not see the new rows.
+        db = _db_with_delta()
+        db.query(PROFIT_SQL, strategy=FULL)
+        load_erp(db, n_headers=2, start_hid=300, merge=False)
+        result = db.query(LANG_SQL, strategy=FULL)
+        assert db.last_report.recycler_hits == 0
+        assert _typed(result.rows) == _typed(
+            db.query(LANG_SQL, strategy=UNCACHED).rows
+        )
+
+    def test_merge_purges_entries_for_the_table(self):
+        db = _db_with_delta()
+        db.query(PROFIT_SQL, strategy=FULL)
+        assert db.cache.recycler.entry_count() > 0
+        db.merge()
+        assert db.cache.recycler.entry_count() == 0
+        assert db.cache.recycler.stats()["invalidated"] > 0
+
+
+class TestValidityWindow:
+    """Direct ``_lookup`` coverage of the [anchor, horizon) window."""
+
+    def _fixture(self):
+        db = _db_with_delta()
+        partition = db.table("item").partition("delta")
+        combo = ComboSpec({"i": partition})
+        entry = RecycledSubjoin(
+            indices=None,
+            partitions={"i": partition},
+            row_counts={"i": partition.row_count},
+            probe_side="i",
+            anchor=10,
+            horizon=20.0,
+            nbytes=512,
+            tables=frozenset({"item"}),
+        )
+        recycler = SubjoinRecycler()
+        recycler._store(("key",), entry)
+        return db, recycler, combo
+
+    def test_snapshot_inside_window_hits(self):
+        _db, recycler, combo = self._fixture()
+        found, outcome = recycler._lookup(("key",), combo, 15)
+        assert outcome == "hit" and found is not None
+
+    def test_snapshot_at_horizon_is_stale(self):
+        # An uncommitted transaction's rows sit above the horizon: a reader
+        # that would see them must not replay the too-old scan.
+        _db, recycler, combo = self._fixture()
+        found, outcome = recycler._lookup(("key",), combo, 20)
+        assert outcome == "stale" and found is None
+        # Stale entries are dropped on sight, not retried forever.
+        assert recycler.entry_count() == 0
+        _found, outcome = recycler._lookup(("key",), combo, 15)
+        assert outcome == "miss"
+
+    def test_older_reader_below_anchor_is_stale(self):
+        _db, recycler, combo = self._fixture()
+        _found, outcome = recycler._lookup(("key",), combo, 9)
+        assert outcome == "stale"
+
+    def test_partition_identity_mismatch_is_stale(self):
+        db, recycler, _combo = self._fixture()
+        other = ComboSpec({"i": db.table("item").partition("main")})
+        _found, outcome = recycler._lookup(("key",), other, 15)
+        assert outcome == "stale"
+
+
+class TestBudgetAndAccounting:
+    def test_lru_eviction_under_tiny_budget(self):
+        db = _db_with_delta(
+            cache_config=CacheConfig(recycler_max_bytes=2048)
+        )
+        for sql in (PROFIT_SQL, LANG_SQL, YEAR_SQL, FILTERED_SQL) * 2:
+            result = db.query(sql, strategy=FULL)
+            assert _typed(result.rows) == _typed(
+                db.query(sql, strategy=UNCACHED).rows
+            )
+            assert db.cache.recycler.nbytes() <= 2048
+        assert db.cache.recycler.stats()["evictions"] > 0
+
+    def test_oversized_entry_is_not_stored(self):
+        recycler = SubjoinRecycler(max_bytes=64)
+        entry = RecycledSubjoin(
+            indices=None,
+            partitions={},
+            row_counts={},
+            probe_side="i",
+            anchor=1,
+            horizon=9.0,
+            nbytes=65,
+            tables=frozenset(),
+        )
+        assert not recycler._store(("key",), entry)
+        assert recycler.entry_count() == 0
+
+    def test_bytes_show_in_tracked_bytes(self):
+        db = _db_with_delta()
+        before = db.cache.tracked_bytes()
+        db.query(PROFIT_SQL, strategy=FULL)
+        occupancy = db.cache.recycler.nbytes()
+        assert occupancy > 0
+        assert db.cache.tracked_bytes() >= before + occupancy
+
+    def test_counters_snapshot_exposes_recycler_state(self):
+        db = _db_with_delta()
+        db.query(PROFIT_SQL, strategy=FULL)
+        db.query(LANG_SQL, strategy=FULL)
+        counters = db.cache.counters_snapshot()
+        assert counters["recycler_entries"] == db.cache.recycler.entry_count()
+        assert counters["recycler_bytes"] == db.cache.recycler.nbytes()
+        assert counters["recycler_stored"] > 0
+        assert counters["recycler_hits"] > 0
+
+    def test_disabled_recycler_reports_zeroes(self):
+        db = _db_with_delta(cache_config=CacheConfig(subjoin_recycler=False))
+        db.query(PROFIT_SQL, strategy=FULL)
+        counters = db.cache.counters_snapshot()
+        assert counters["recycler_entries"] == 0
+        assert counters["recycler_hits"] == 0
+        assert db.last_report.recycler_hits == 0
+
+    def test_clear_frees_everything(self):
+        db = _db_with_delta()
+        db.query(PROFIT_SQL, strategy=FULL)
+        count, freed = db.cache.recycler.clear()
+        assert count > 0 and freed > 0
+        assert db.cache.recycler.nbytes() == 0

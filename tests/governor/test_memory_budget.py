@@ -64,6 +64,27 @@ class TestTrackedBytes:
 
 
 class TestSheddingOrder:
+    def test_recycled_subjoins_shed_before_memos_and_entries(self):
+        db = _populated_db()
+        _run_workload(db)
+        assert db.cache.recycler.entry_count() > 0
+        entries_before = db.cache.entry_count()
+        memos_before = sum(
+            1 for e in db.cache.entries() if e.delta_memo is not None
+        )
+        # A budget just below the full footprint: the recycled subjoins
+        # (cheapest-to-rebuild derived state) cover it alone.
+        shed = db.cache.shed_to_budget(db.cache.tracked_bytes() - 1)
+        assert shed["recycler"] >= 1
+        assert shed["memo"] == 0
+        assert shed["entry"] == 0
+        assert db.cache.recycler.entry_count() == 0
+        assert db.cache.entry_count() == entries_before
+        assert (
+            sum(1 for e in db.cache.entries() if e.delta_memo is not None)
+            == memos_before
+        )
+
     def test_memos_shed_before_entries(self):
         db = _populated_db()
         _run_workload(db)
@@ -72,8 +93,12 @@ class TestSheddingOrder:
         ]
         assert with_memos, "workload should have built delta memos"
         entries_before = db.cache.entry_count()
-        # A budget just below the full footprint: one memo covers it.
-        shed = db.cache.shed_to_budget(db.cache.tracked_bytes() - 1)
+        # Squeeze past the recycler stage: budget below the footprint minus
+        # everything the recycler can free, so at least one memo must go.
+        recycler_bytes = db.cache.recycler.nbytes()
+        shed = db.cache.shed_to_budget(
+            db.cache.tracked_bytes() - recycler_bytes - 1
+        )
         assert shed["memo"] >= 1
         assert shed["entry"] == 0
         assert db.cache.entry_count() == entries_before

@@ -76,15 +76,39 @@ def test_exhausted_wal_retries_lose_no_committed_data(tmp_path, seed):
     committed = _commit_random_rows(db, rng, start=0, n=rng.randint(3, 8))
 
     # A persistent fault outlasts the whole retry budget: the write fails
-    # with the typed durability error and is NOT part of committed state.
+    # with the typed durability error.  Row visibility is stamp-based and
+    # the engine has no undo, so the row is already live in memory —
+    # queries serve it despite the failed append.
     faults.arm("wal.append", mode="io_error", times=None)
     with pytest.raises(DurabilityError):
         db.insert("t", {"k": 500, "v": 1})
+    committed[500] = 1
+    live = db.query("SELECT k AS k, SUM(v) AS v FROM t GROUP BY k").rows
+    assert {k: int(v) for k, v in live} == committed
 
-    # Fault clears; later commits succeed and survive recovery, earlier
-    # commits were never damaged by the failed (and rolled-back) append.
+    # Fault clears; the next successful commit redelivers the queued
+    # record first, so recovery reproduces exactly what the live
+    # database served — the unlogged-but-visible row is not lost.
     faults.disarm("wal.append")
     committed.update(_commit_random_rows(db, rng, start=600, n=2))
+    db.close()
+    _assert_recovers_with(tmp_path, committed)
+
+
+def test_unlogged_transaction_is_redelivered_at_close(tmp_path):
+    rng = random.Random(7)
+    faults = FaultInjector()
+    db = _fresh_db(tmp_path, faults)
+    committed = _commit_random_rows(db, rng, start=0, n=4)
+
+    faults.arm("wal.append", mode="io_error", times=None)
+    with pytest.raises(DurabilityError):
+        db.insert("t", {"k": 500, "v": 1})
+    committed[500] = 1
+
+    # No further writes ride by; the clean close is the last chance to
+    # flush the backlog, and it must take it.
+    faults.disarm("wal.append")
     db.close()
     _assert_recovers_with(tmp_path, committed)
 
